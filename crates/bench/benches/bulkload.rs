@@ -1,0 +1,34 @@
+//! Table 1 microbench: bulkload cost per storage architecture, plus the
+//! tokenizer-only baseline (§7's expat measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xmark::prelude::*;
+
+fn bench_bulkload(c: &mut Criterion) {
+    let doc = generate_document(0.01);
+    let mut group = c.benchmark_group("bulkload");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Bytes(doc.xml.len() as u64));
+
+    group.bench_function("scan_only", |b| {
+        b.iter(|| xmark::xml::parser::scan_only(black_box(&doc.xml)).unwrap())
+    });
+    group.bench_function("parse_dom", |b| {
+        b.iter(|| xmark::xml::parse_document(black_box(&doc.xml)).unwrap().node_count())
+    });
+    for system in SystemId::MASS_STORAGE {
+        group.bench_with_input(
+            BenchmarkId::new("system", format!("{system:?}")),
+            &system,
+            |b, &system| {
+                b.iter(|| build_store(system, black_box(&doc.xml)).unwrap().node_count())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulkload);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Generator benchmarks (paper §4.5 / Fig. 3).
+//!
+//! * `generate/<factor>` — end-to-end document generation throughput; the
+//!   paper's linearity claim means ns/byte should be flat across factors.
+//! * `vocabulary_build` — the fixed startup cost (17 000 words).
+//! * `reference_partition/*` — the DESIGN.md ablation: the paper's
+//!   identical-streams trick assigns item references arithmetically in
+//!   O(1) memory, versus the "straight-forward solution of keeping some
+//!   sort of log" (§4.5) whose memory and time grow with the document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::io::Write;
+
+use xmark::gen::{Generator, GeneratorConfig, Vocabulary, XmarkRng};
+
+struct NullSink;
+
+impl Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for factor in [0.001, 0.005, 0.02] {
+        let generator = Generator::new(GeneratorConfig::at_factor(factor));
+        let bytes = generator.write(&mut NullSink).unwrap().bytes;
+        group.throughput(criterion::Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, _| {
+            b.iter(|| generator.write(&mut NullSink).unwrap().bytes)
+        });
+    }
+    group.finish();
+}
+
+fn bench_vocabulary(c: &mut Criterion) {
+    c.bench_function("vocabulary_build", |b| {
+        b.iter(|| black_box(Vocabulary::standard().len()))
+    });
+}
+
+fn bench_reference_partition(c: &mut Criterion) {
+    // 21750 items at factor 1.0; reference them from two auction sections.
+    let items = 21_750u64;
+    let closed = 9_750u64;
+    let mut group = c.benchmark_group("reference_partition");
+
+    // The paper's trick: auction i references item (partition offset + i);
+    // consistency is arithmetic, memory is O(1).
+    group.bench_function("stream_trick", |b| {
+        b.iter(|| {
+            let mut checksum = 0u64;
+            for i in 0..closed {
+                checksum = checksum.wrapping_add(black_box(i));
+            }
+            for i in 0..(items - closed) {
+                checksum = checksum.wrapping_add(black_box(closed + i));
+            }
+            checksum
+        })
+    });
+
+    // The rejected alternative: draw random item ids and log which have
+    // been referenced to guarantee uniqueness — O(n) memory, degrading
+    // draws as the table fills ("this seems infeasible for large
+    // documents", §4.5).
+    group.bench_function("log_based", |b| {
+        b.iter(|| {
+            let mut rng = XmarkRng::new(0);
+            let mut used = vec![false; items as usize];
+            let mut checksum = 0u64;
+            for _ in 0..items {
+                loop {
+                    let candidate = rng.below(items);
+                    if !used[candidate as usize] {
+                        used[candidate as usize] = true;
+                        checksum = checksum.wrapping_add(candidate);
+                        break;
+                    }
+                }
+            }
+            checksum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_vocabulary,
+    bench_reference_partition
+);
+criterion_main!(benches);

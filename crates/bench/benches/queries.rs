@@ -1,0 +1,81 @@
+//! Table 3 / Table 2 / Fig. 4 microbenches.
+//!
+//! * `q1/<system>` — the exact-match baseline across all seven systems
+//!   (Table 3 row 1 plus System G).
+//! * `compile/<system>` — compile phase alone on the relational stores
+//!   (Table 2's subject).
+//! * `suite/<system>` — the full thirteen-query Table 3 column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use xmark::prelude::*;
+
+fn bench_q1(c: &mut Criterion) {
+    let doc = generate_document(0.01);
+    let mut group = c.benchmark_group("q1");
+    group.sample_size(20);
+    for system in SystemId::ALL {
+        let loaded = load_system(system, &doc.xml);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{system:?}")),
+            &loaded,
+            |b, l| {
+                b.iter(|| {
+                    run_query(query(1).text, l.store.as_ref())
+                        .expect("Q1 runs")
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let doc = generate_document(0.01);
+    let mut group = c.benchmark_group("compile");
+    for system in [SystemId::A, SystemId::B, SystemId::C] {
+        let loaded = load_system(system, &doc.xml);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{system:?}")),
+            &loaded,
+            |b, l| {
+                b.iter(|| {
+                    xmark::query::compile(query(2).text, l.store.as_ref())
+                        .expect("compiles")
+                        .stats
+                        .metadata_accesses
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_suite(c: &mut Criterion) {
+    let doc = generate_document(0.005);
+    let mut group = c.benchmark_group("suite");
+    group.sample_size(10);
+    for system in SystemId::MASS_STORAGE {
+        let loaded = load_system(system, &doc.xml);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{system:?}")),
+            &loaded,
+            |b, l| {
+                b.iter(|| {
+                    let mut items = 0usize;
+                    for &q in TABLE3_QUERIES.iter() {
+                        items += run_query(query(q).text, l.store.as_ref())
+                            .expect("query runs")
+                            .len();
+                    }
+                    items
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q1, bench_compile, bench_suite);
+criterion_main!(benches);

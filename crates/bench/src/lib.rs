@@ -1,0 +1,191 @@
+//! Shared infrastructure for the benchmark harness.
+//!
+//! The `xmark-bench` crate regenerates every table and figure of the
+//! paper's evaluation (§7):
+//!
+//! | Artifact | Binary |
+//! |----------|--------|
+//! | Fig. 3 (document scaling) + §4.5 xmlgen claims | `fig3_scaling` |
+//! | Table 1 (bulkload time, database size) | `table1_bulkload` |
+//! | Table 2 (compile vs execute split, Q1/Q2 on A–C) | `table2_phases` |
+//! | Table 3 (13 queries × systems A–F) | `table3_queries` |
+//! | Fig. 4 (Q1–Q20 on embedded System G) | `fig4_embedded` |
+//!
+//! Criterion microbenches (`benches/`) cover generator throughput, bulk
+//! loading, the query suite, and the two architecture ablations
+//! (structural summary on/off, interval index vs scan).
+
+use std::time::{Duration, Instant};
+
+/// Parse `--factor <f>` (or a bare positional float) from argv, with a
+/// default.
+pub fn factor_from_args(default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--factor" {
+            if let Some(v) = args.get(i + 1).and_then(|a| a.parse().ok()) {
+                return v;
+            }
+        }
+        if let Ok(v) = args[i].parse::<f64>() {
+            return v;
+        }
+        i += 1;
+    }
+    default
+}
+
+/// Whether a bare flag is present in argv.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag)
+}
+
+/// Best-of-`runs` wall time of `f` (first run discarded as warm-up when
+/// `runs > 1`).
+pub fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(runs >= 1);
+    let mut best: Option<(Duration, T)> = None;
+    for i in 0..runs.max(2) {
+        let start = Instant::now();
+        let value = f();
+        let elapsed = start.elapsed();
+        if i == 0 && runs > 1 {
+            continue; // warm-up
+        }
+        match &best {
+            Some((b, _)) if *b <= elapsed => {}
+            _ => best = Some((elapsed, value)),
+        }
+    }
+    best.expect("at least one measured run")
+}
+
+/// Format a duration in the paper's milliseconds convention.
+pub fn ms(d: Duration) -> String {
+    let millis = d.as_secs_f64() * 1e3;
+    if millis >= 100.0 {
+        format!("{millis:.0}")
+    } else if millis >= 1.0 {
+        format!("{millis:.1}")
+    } else {
+        format!("{millis:.3}")
+    }
+}
+
+/// Format bytes as a human-readable size.
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "kB", "MB", "GB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// A fixed-width text table writer for the report binaries.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cell.len();
+                if i == 0 {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad));
+                } else {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_aligns() {
+        let mut t = TextTable::new(&["Query", "System A", "System B"]);
+        t.row(vec!["Q1".into(), "689".into(), "784".into()]);
+        t.row(vec!["Q11".into(), "205675".into(), "2551760".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("System A"));
+        assert!(lines[3].ends_with("2551760"));
+    }
+
+    #[test]
+    fn best_of_discards_warmup() {
+        let mut calls = 0;
+        let (d, v) = best_of(3, || {
+            calls += 1;
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(calls, 3);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 kB");
+        assert_eq!(ms(Duration::from_millis(250)), "250");
+        assert_eq!(ms(Duration::from_micros(1500)), "1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_bad_row() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # XMark — A Benchmark for XML Data Management
+//!
+//! A complete Rust reproduction of the VLDB 2002 benchmark by Schmidt,
+//! Waas, Kersten, Carey, Manolescu and Busse: the scalable auction-site
+//! document generator (`xmlgen`), the twenty XQuery challenge queries, an
+//! XQuery-subset compiler/evaluator, and seven storage backends modeling
+//! the anonymized systems A–G of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xmark::prelude::*;
+//!
+//! // 1. Generate a benchmark document (factor 1.0 ≈ 100 MB; keep it tiny
+//! //    here).
+//! let doc = generate_document(0.001);
+//!
+//! // 2. Bulkload it into a storage architecture.
+//! let loaded = load_system(SystemId::D, &doc.xml);
+//!
+//! // 3. Run benchmark queries.
+//! let m = measure_query(&loaded, 1);
+//! assert_eq!(m.result_items, 1); // Q1: the name of person0
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`xmark_gen`] — the deterministic document generator (paper §4),
+//! * [`xmark_xml`] — XML tokenizer, DOM, serializer,
+//! * [`xmark_rel`] — the relational substrate behind Systems A/B/C,
+//! * [`xmark_store`] — the seven storage architectures (§7),
+//! * [`xmark_query`] — the XQuery subset (§6),
+//! * [`queries`] — the twenty benchmark queries,
+//! * [`spec`] — scales, workload driver, measurement types.
+
+pub mod queries;
+pub mod spec;
+
+pub use xmark_gen as gen;
+pub use xmark_query as query;
+pub use xmark_rel as rel;
+pub use xmark_store as store;
+pub use xmark_xml as xml;
+
+/// Everything needed to run the benchmark.
+pub mod prelude {
+    pub use crate::queries::{query, BenchmarkQuery, Concept, ALL_QUERIES, TABLE3_QUERIES};
+    pub use crate::spec::{
+        canonical_output, generate_document, load_system, measure_query, scale,
+        GeneratedDocument, LoadedStore, QueryMeasurement, Scale, SCALES,
+    };
+    pub use xmark_gen::{generate_split, generate_string, Generator, GeneratorConfig, AUCTION_DTD};
+    pub use xmark_query::{compile, execute, run_query, serialize_sequence};
+    pub use xmark_store::{build_store, SystemId, XmlStore};
+}

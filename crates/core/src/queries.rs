@@ -1,0 +1,299 @@
+//! The twenty XMark benchmark queries (§6 of the paper).
+//!
+//! Each query is stored verbatim as XQuery text together with the paper's
+//! grouping (the "concept to be tested") and its query number. The only
+//! modernization relative to the 2002 publication is `order by` for the
+//! draft-era `SORTBY` in Q19, matching the query set later distributed by
+//! the XMark project.
+
+/// The concept group a query belongs to (the paper's §6 subsections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Concept {
+    /// §6.1 — string lookup with fully specified path.
+    ExactMatch,
+    /// §6.2 — order-sensitive access (array lookups, BEFORE).
+    OrderedAccess,
+    /// §6.3 — string-to-number coercion.
+    Casting,
+    /// §6.4 — regular path expressions / traversal pruning.
+    RegularPaths,
+    /// §6.5 — reference chasing (equi-joins).
+    References,
+    /// §6.6 — construction of complex results.
+    Construction,
+    /// §6.7 — value-based joins with large intermediates.
+    ValueJoins,
+    /// §6.8 — document reconstruction.
+    Reconstruction,
+    /// §6.9 — full-text search combined with structure.
+    FullText,
+    /// §6.10 — long path traversals without wildcards.
+    PathTraversals,
+    /// §6.11 — optional/missing elements.
+    MissingElements,
+    /// §6.12 — user-defined functions.
+    Functions,
+    /// §6.13 — sorting.
+    Sorting,
+    /// §6.14 — grouped aggregation.
+    Aggregation,
+}
+
+/// One benchmark query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkQuery {
+    /// Query number, 1–20.
+    pub number: usize,
+    /// The paper's one-line description.
+    pub title: &'static str,
+    /// Concept group.
+    pub concept: Concept,
+    /// The XQuery text.
+    pub text: &'static str,
+}
+
+/// Q1 — exact match.
+pub const Q1: &str = r#"
+for $b in document("auction.xml")/site/people/person[@id = "person0"]
+return $b/name/text()
+"#;
+
+/// Q2 — ordered access: first bid of every open auction.
+pub const Q2: &str = r#"
+for $b in document("auction.xml")/site/open_auctions/open_auction
+return <increase>{$b/bidder[1]/increase/text()}</increase>
+"#;
+
+/// Q3 — ordered access: auctions whose current increase doubled.
+pub const Q3: &str = r#"
+for $b in document("auction.xml")/site/open_auctions/open_auction
+where zero-or-one($b/bidder[1]/increase/text()) * 2 <= $b/bidder[last()]/increase/text()
+return <increase first="{$b/bidder[1]/increase/text()}"
+                 last="{$b/bidder[last()]/increase/text()}"/>
+"#;
+
+/// Q4 — tag order in the source document (`BEFORE`).
+pub const Q4: &str = r#"
+for $b in document("auction.xml")/site/open_auctions/open_auction
+where some $pr1 in $b/bidder/personref[@person = "person20"],
+           $pr2 in $b/bidder/personref[@person = "person51"]
+      satisfies $pr1 << $pr2
+return <history>{$b/reserve/text()}</history>
+"#;
+
+/// Q5 — casting: how many sold items cost more than 40.
+pub const Q5: &str = r#"
+count(for $i in document("auction.xml")/site/closed_auctions/closed_auction
+      where $i/price/text() >= 40
+      return $i/price)
+"#;
+
+/// Q6 — regular paths: items per region.
+pub const Q6: &str = r#"
+for $b in document("auction.xml")/site/regions
+return count($b//item)
+"#;
+
+/// Q7 — regular paths: pieces of prose (`//email` intentionally does not
+/// exist in the data — the paper's non-existing-path challenge).
+pub const Q7: &str = r#"
+for $p in document("auction.xml")/site
+return count($p//description) + count($p//annotation) + count($p//email)
+"#;
+
+/// Q8 — reference chasing: persons and how many items they bought.
+pub const Q8: &str = r#"
+for $p in document("auction.xml")/site/people/person
+let $a := for $t in document("auction.xml")/site/closed_auctions/closed_auction
+          where $t/buyer/@person = $p/@id
+          return $t
+return <item person="{$p/name/text()}">{count($a)}</item>
+"#;
+
+/// Q9 — reference chasing: persons and the European items they bought.
+pub const Q9: &str = r#"
+for $p in document("auction.xml")/site/people/person
+let $a := for $t in document("auction.xml")/site/closed_auctions/closed_auction,
+              $e in document("auction.xml")/site/regions/europe/item
+          where $t/itemref/@item = $e/@id and $t/buyer/@person = $p/@id
+          return <item>{$e/name/text()}</item>
+return <person name="{$p/name/text()}">{$a}</person>
+"#;
+
+/// Q10 — construction: regroup persons by interest, French markup.
+pub const Q10: &str = r#"
+for $i in distinct-values(document("auction.xml")/site/people/person/profile/interest/@category)
+let $p := for $t in document("auction.xml")/site/people/person
+          where $t/profile/interest/@category = $i
+          return <personne>
+                   <statistiques>
+                     <sexe>{$t/profile/gender/text()}</sexe>
+                     <age>{$t/profile/age/text()}</age>
+                     <education>{$t/profile/education/text()}</education>
+                     <revenu>{data($t/profile/@income)}</revenu>
+                   </statistiques>
+                   <coordonnees>
+                     <nom>{$t/name/text()}</nom>
+                     <rue>{$t/address/street/text()}</rue>
+                     <ville>{$t/address/city/text()}</ville>
+                     <pays>{$t/address/country/text()}</pays>
+                     <reseau>
+                       <courrier>{$t/emailaddress/text()}</courrier>
+                       <pagePerso>{$t/homepage/text()}</pagePerso>
+                     </reseau>
+                   </coordonnees>
+                   <cartePaiement>{$t/creditcard/text()}</cartePaiement>
+                 </personne>
+return <categorie>{<id>{$i}</id>, $p}</categorie>
+"#;
+
+/// Q11 — value join: items whose price a person's income covers 5000-fold.
+pub const Q11: &str = r#"
+for $p in document("auction.xml")/site/people/person
+let $l := for $i in document("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * $i/text()
+          return $i
+return <items name="{$p/name/text()}">{count($l)}</items>
+"#;
+
+/// Q12 — value join restricted to high incomes.
+pub const Q12: &str = r#"
+for $p in document("auction.xml")/site/people/person
+let $l := for $i in document("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * $i/text()
+          return $i
+where $p/profile/@income > 50000
+return <items person="{$p/name/text()}">{count($l)}</items>
+"#;
+
+/// Q13 — reconstruction: Australian items with their descriptions.
+pub const Q13: &str = r#"
+for $i in document("auction.xml")/site/regions/australia/item
+return <item name="{$i/name/text()}">{$i/description}</item>
+"#;
+
+/// Q14 — full text: items whose description mentions gold.
+pub const Q14: &str = r#"
+for $i in document("auction.xml")/site//item
+where contains(string($i/description), "gold")
+return $i/name/text()
+"#;
+
+/// Q15 — long path traversal (descending).
+pub const Q15: &str = r#"
+for $a in document("auction.xml")/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()
+return <text>{$a}</text>
+"#;
+
+/// Q16 — long path traversal with ascent (Q15's sellers).
+pub const Q16: &str = r#"
+for $a in document("auction.xml")/site/closed_auctions/closed_auction
+where not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()))
+return <person id="{$a/seller/@person}"/>
+"#;
+
+/// Q17 — missing elements: persons without a homepage.
+pub const Q17: &str = r#"
+for $p in document("auction.xml")/site/people/person
+where empty($p/homepage/text())
+return <person name="{$p/name/text()}"/>
+"#;
+
+/// Q18 — user-defined function: currency conversion.
+pub const Q18: &str = r#"
+declare function local:convert($v) { 2.20371 * $v };
+for $i in document("auction.xml")/site/open_auctions/open_auction
+return local:convert(zero-or-one($i/reserve/text()))
+"#;
+
+/// Q19 — sorting: items with their locations, alphabetical.
+pub const Q19: &str = r#"
+for $b in document("auction.xml")/site/regions//item
+let $k := $b/name/text()
+order by zero-or-one($b/location) ascending
+return <item name="{$k}">{$b/location/text()}</item>
+"#;
+
+/// Q20 — aggregation: customers grouped by income.
+pub const Q20: &str = r#"
+<result>
+  <preferred>{count(document("auction.xml")/site/people/person/profile[@income >= 100000])}</preferred>
+  <standard>{count(document("auction.xml")/site/people/person/profile[@income < 100000 and @income >= 30000])}</standard>
+  <challenge>{count(document("auction.xml")/site/people/person/profile[@income < 30000])}</challenge>
+  <na>{count(for $p in document("auction.xml")/site/people/person
+             where empty($p/profile/@income)
+             return $p)}</na>
+</result>
+"#;
+
+/// All twenty queries, in order.
+pub const ALL_QUERIES: [BenchmarkQuery; 20] = [
+    BenchmarkQuery { number: 1, title: "Return the name of the person with ID 'person0'", concept: Concept::ExactMatch, text: Q1 },
+    BenchmarkQuery { number: 2, title: "Return the initial increases of all open auctions", concept: Concept::OrderedAccess, text: Q2 },
+    BenchmarkQuery { number: 3, title: "Open auctions whose current increase is at least twice the initial", concept: Concept::OrderedAccess, text: Q3 },
+    BenchmarkQuery { number: 4, title: "Reserves of auctions where one person bid before another", concept: Concept::OrderedAccess, text: Q4 },
+    BenchmarkQuery { number: 5, title: "How many sold items cost more than 40", concept: Concept::Casting, text: Q5 },
+    BenchmarkQuery { number: 6, title: "How many items are listed on all continents", concept: Concept::RegularPaths, text: Q6 },
+    BenchmarkQuery { number: 7, title: "How many pieces of prose are in our database", concept: Concept::RegularPaths, text: Q7 },
+    BenchmarkQuery { number: 8, title: "Names of persons and the number of items they bought", concept: Concept::References, text: Q8 },
+    BenchmarkQuery { number: 9, title: "Names of persons and the names of items they bought in Europe", concept: Concept::References, text: Q9 },
+    BenchmarkQuery { number: 10, title: "List all persons according to their interest (French markup)", concept: Concept::Construction, text: Q10 },
+    BenchmarkQuery { number: 11, title: "Items on sale whose price does not exceed 0.02% of income", concept: Concept::ValueJoins, text: Q11 },
+    BenchmarkQuery { number: 12, title: "Q11 restricted to persons with income above 50000", concept: Concept::ValueJoins, text: Q12 },
+    BenchmarkQuery { number: 13, title: "Names of items registered in Australia with their descriptions", concept: Concept::Reconstruction, text: Q13 },
+    BenchmarkQuery { number: 14, title: "Names of all items whose description contains the word 'gold'", concept: Concept::FullText, text: Q14 },
+    BenchmarkQuery { number: 15, title: "Keywords in emphasis in annotations of closed auctions", concept: Concept::PathTraversals, text: Q15 },
+    BenchmarkQuery { number: 16, title: "Sellers of auctions with keywords in emphasis", concept: Concept::PathTraversals, text: Q16 },
+    BenchmarkQuery { number: 17, title: "Which persons don't have a homepage", concept: Concept::MissingElements, text: Q17 },
+    BenchmarkQuery { number: 18, title: "Convert the reserve of all open auctions to another currency", concept: Concept::Functions, text: Q18 },
+    BenchmarkQuery { number: 19, title: "Alphabetically ordered list of all items with their location", concept: Concept::Sorting, text: Q19 },
+    BenchmarkQuery { number: 20, title: "Group customers by income and output group cardinalities", concept: Concept::Aggregation, text: Q20 },
+];
+
+/// The thirteen queries the paper's Table 3 reports (Q1–Q3, Q5–Q12, Q17,
+/// Q20).
+pub const TABLE3_QUERIES: [usize; 13] = [1, 2, 3, 5, 6, 7, 8, 9, 10, 11, 12, 17, 20];
+
+/// Look up a query by number (1-based).
+///
+/// # Panics
+/// Panics if `number` is not in `1..=20`.
+pub fn query(number: usize) -> &'static BenchmarkQuery {
+    &ALL_QUERIES[number - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_queries_numbered_in_order() {
+        assert_eq!(ALL_QUERIES.len(), 20);
+        for (i, q) in ALL_QUERIES.iter().enumerate() {
+            assert_eq!(q.number, i + 1);
+            assert!(!q.text.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_query_parses() {
+        for q in &ALL_QUERIES {
+            xmark_query::parse_query(q.text)
+                .unwrap_or_else(|e| panic!("Q{} failed to parse: {e}", q.number));
+        }
+    }
+
+    #[test]
+    fn table3_selection_matches_paper() {
+        assert_eq!(TABLE3_QUERIES.len(), 13);
+        assert!(!TABLE3_QUERIES.contains(&4));
+        assert!(!TABLE3_QUERIES.contains(&13));
+        assert!(TABLE3_QUERIES.contains(&11));
+    }
+
+    #[test]
+    fn lookup_by_number() {
+        assert_eq!(query(14).concept, Concept::FullText);
+        assert!(query(7).text.contains("$p//email"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The benchmark specification: scale presets and the workload driver.
+//!
+//! Fig. 3 of the paper names four document scales; [`Scale`] reproduces
+//! them (plus the two miniature scales of Fig. 4's embedded-system
+//! experiment). The load/measure functions tie a scale to a set of
+//! systems and queries and produce the measurements the harness formats
+//! into the paper's tables.
+
+use std::time::{Duration, Instant};
+
+use xmark_gen::{GenStats, Generator, GeneratorConfig};
+use xmark_query::{compile, execute, Sequence};
+use xmark_store::{build_store, SystemId, XmlStore};
+
+use crate::queries::query;
+
+/// A named document scale (paper Fig. 3 + the Fig. 4 miniatures).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Preset name.
+    pub name: &'static str,
+    /// Scaling factor.
+    pub factor: f64,
+    /// Nominal document size, as the paper states it.
+    pub nominal: &'static str,
+}
+
+/// The scales of Fig. 3, plus Fig. 4's 100 kB / 1 MB miniatures.
+pub const SCALES: [Scale; 6] = [
+    Scale { name: "mini", factor: 0.001, nominal: "100 kB" },
+    Scale { name: "small", factor: 0.01, nominal: "1 MB" },
+    Scale { name: "tiny", factor: 0.1, nominal: "10 MB" },
+    Scale { name: "standard", factor: 1.0, nominal: "100 MB" },
+    Scale { name: "large", factor: 10.0, nominal: "1 GB" },
+    Scale { name: "huge", factor: 100.0, nominal: "10 GB" },
+];
+
+/// Look up a scale preset by name.
+pub fn scale(name: &str) -> Option<Scale> {
+    SCALES.iter().copied().find(|s| s.name == name)
+}
+
+/// Result of generating a document.
+#[derive(Debug, Clone)]
+pub struct GeneratedDocument {
+    /// The XML text.
+    pub xml: String,
+    /// Generator statistics.
+    pub stats: GenStats,
+    /// Wall time the generator took.
+    pub elapsed: Duration,
+}
+
+/// Generate the canonical benchmark document at `factor` (seed 0).
+pub fn generate_document(factor: f64) -> GeneratedDocument {
+    let start = Instant::now();
+    let generator = Generator::new(GeneratorConfig::at_factor(factor));
+    let xml = generator.to_string();
+    let elapsed = start.elapsed();
+    let stats = GenStats {
+        bytes: xml.len() as u64,
+        elements: 0,
+        max_depth: 0,
+        cardinalities: generator.cardinalities().clone(),
+    };
+    GeneratedDocument {
+        xml,
+        stats,
+        elapsed,
+    }
+}
+
+/// One bulkload measurement (a row of the paper's Table 1).
+pub struct LoadedStore {
+    /// The system.
+    pub system: SystemId,
+    /// The loaded store.
+    pub store: Box<dyn XmlStore>,
+    /// Bulkload wall time (parse + conversion + index build).
+    pub load_time: Duration,
+    /// Resident size of the store's structures.
+    pub size_bytes: usize,
+}
+
+/// Bulkload `xml` into `system`, measuring Table 1's two columns.
+///
+/// # Panics
+/// Panics if the canonical generated document fails to parse — that would
+/// be a generator bug, not a caller error.
+pub fn load_system(system: SystemId, xml: &str) -> LoadedStore {
+    let start = Instant::now();
+    let store = build_store(system, xml).expect("benchmark document must parse");
+    let load_time = start.elapsed();
+    let size_bytes = store.size_bytes();
+    LoadedStore {
+        system,
+        store,
+        load_time,
+        size_bytes,
+    }
+}
+
+/// One query measurement: the compile/execute split of Table 2 and the
+/// total of Table 3.
+#[derive(Debug, Clone)]
+pub struct QueryMeasurement {
+    /// Query number (1–20).
+    pub query: usize,
+    /// System measured.
+    pub system: SystemId,
+    /// Compilation wall time (parse + metadata + optimization).
+    pub compile_time: Duration,
+    /// Execution wall time.
+    pub execute_time: Duration,
+    /// Metadata accesses during compilation.
+    pub metadata_accesses: u64,
+    /// Result cardinality.
+    pub result_items: usize,
+    /// Serialized result size in bytes (Q10's "more than 10 MB" check).
+    pub result_bytes: usize,
+}
+
+impl QueryMeasurement {
+    /// Total time (Table 3's cell).
+    pub fn total(&self) -> Duration {
+        self.compile_time + self.execute_time
+    }
+
+    /// Compilation share of the total, in percent (Table 2).
+    pub fn compile_share_percent(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            100.0 * self.compile_time.as_secs_f64() / total
+        }
+    }
+}
+
+/// Run query `number` against a loaded store, measuring both phases.
+///
+/// # Panics
+/// Panics if one of the twenty canonical queries fails to compile or
+/// execute — all are tested to run on every backend.
+pub fn measure_query(loaded: &LoadedStore, number: usize) -> QueryMeasurement {
+    let q = query(number);
+    let store = loaded.store.as_ref();
+
+    let compile_start = Instant::now();
+    let compiled = compile(q.text, store)
+        .unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}"));
+    let compile_time = compile_start.elapsed();
+    let metadata_accesses = compiled.stats.metadata_accesses;
+
+    let execute_start = Instant::now();
+    let result: Sequence = execute(&compiled, store)
+        .unwrap_or_else(|e| panic!("Q{number} failed on {}: {e}", loaded.system));
+    let execute_time = execute_start.elapsed();
+
+    let rendered = xmark_query::serialize_sequence(store, &result);
+    QueryMeasurement {
+        query: number,
+        system: loaded.system,
+        compile_time,
+        execute_time,
+        metadata_accesses,
+        result_items: result.len(),
+        result_bytes: rendered.len(),
+    }
+}
+
+/// Run query `number` and return its canonical output (for equivalence
+/// checking).
+///
+/// # Panics
+/// Panics if the query fails to compile or execute.
+pub fn canonical_output(store: &dyn XmlStore, number: usize) -> String {
+    let q = query(number);
+    let compiled = compile(q.text, store)
+        .unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}"));
+    let result = execute(&compiled, store)
+        .unwrap_or_else(|e| panic!("Q{number} failed to execute: {e}"));
+    xmark_query::canonicalize(store, &result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_match_figure_3() {
+        assert_eq!(scale("standard").unwrap().factor, 1.0);
+        assert_eq!(scale("tiny").unwrap().factor, 0.1);
+        assert_eq!(scale("large").unwrap().factor, 10.0);
+        assert_eq!(scale("huge").unwrap().factor, 100.0);
+        assert!(scale("nonsense").is_none());
+    }
+
+    #[test]
+    fn generate_load_measure_roundtrip() {
+        let doc = generate_document(0.001);
+        assert!(doc.stats.bytes > 10_000);
+        let loaded = load_system(SystemId::D, &doc.xml);
+        assert!(loaded.size_bytes > 0);
+        let m = measure_query(&loaded, 1);
+        assert_eq!(m.query, 1);
+        assert_eq!(m.result_items, 1, "Q1 returns person0's name");
+        assert!(m.compile_share_percent() >= 0.0);
+    }
+
+    #[test]
+    fn canonical_outputs_agree_between_two_systems() {
+        let doc = generate_document(0.001);
+        let d = load_system(SystemId::D, &doc.xml);
+        let g = load_system(SystemId::G, &doc.xml);
+        for q in [1, 5, 6, 17] {
+            assert_eq!(
+                canonical_output(d.store.as_ref(), q),
+                canonical_output(g.store.as_ref(), q),
+                "Q{q} output differs between D and G"
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! `xmlgen` — the XMark document generator, as a command-line tool.
+//!
+//! The paper (§4.5) ships xmlgen as a standalone, platform-independent
+//! binary; this is that tool. Examples:
+//!
+//! ```text
+//! xmlgen --factor 0.1 --output auction.xml       # 10 MB document
+//! xmlgen --factor 1.0 --stats                    # 100 MB to stdout + stats
+//! xmlgen --factor 0.01 --split 1000 --outdir db/ # §5 split mode
+//! xmlgen --dtd                                   # print auction.dtd
+//! ```
+
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+
+use xmark_gen::{generate_split, Generator, GeneratorConfig, AUCTION_DTD};
+
+struct Options {
+    factor: f64,
+    seed: u64,
+    output: Option<String>,
+    split: Option<usize>,
+    outdir: String,
+    dtd: bool,
+    stats: bool,
+}
+
+fn usage() -> &'static str {
+    "xmlgen - XMark benchmark document generator\n\
+     \n\
+     USAGE: xmlgen [OPTIONS]\n\
+     \n\
+     OPTIONS:\n\
+       --factor <f>    scaling factor (1.0 = ~100 MB)     [default: 0.01]\n\
+       --seed <n>      generator seed                     [default: 0]\n\
+       --output <file> write the document to a file       [default: stdout]\n\
+       --split <n>     split mode: n entities per file (paper section 5)\n\
+       --outdir <dir>  directory for split-mode files     [default: .]\n\
+       --dtd           print the auction DTD and exit\n\
+       --stats         print generation statistics to stderr\n\
+       --help          show this message"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        factor: 0.01,
+        seed: 0,
+        output: None,
+        split: None,
+        outdir: ".".to_string(),
+        dtd: false,
+        stats: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--factor" | "-f" => {
+                opts.factor = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad factor: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--output" | "-o" => opts.output = Some(take_value(&mut i)?),
+            "--split" => {
+                opts.split = Some(
+                    take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad split count: {e}"))?,
+                )
+            }
+            "--outdir" => opts.outdir = take_value(&mut i)?,
+            "--dtd" => opts.dtd = true,
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`\n\n{}", usage())),
+        }
+        i += 1;
+    }
+    if opts.factor <= 0.0 || !opts.factor.is_finite() {
+        return Err("factor must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.dtd {
+        print!("{AUCTION_DTD}");
+        return ExitCode::SUCCESS;
+    }
+
+    let config = GeneratorConfig {
+        factor: opts.factor,
+        seed: opts.seed,
+    };
+
+    if let Some(per_file) = opts.split {
+        if per_file == 0 {
+            eprintln!("error: --split must be at least 1");
+            return ExitCode::FAILURE;
+        }
+        let files = generate_split(&config, per_file);
+        if std::fs::create_dir_all(&opts.outdir).is_err() {
+            eprintln!("error: cannot create directory {}", opts.outdir);
+            return ExitCode::FAILURE;
+        }
+        let mut total = 0usize;
+        let count = files.len();
+        for f in files {
+            let path = format!("{}/{}", opts.outdir, f.name);
+            if let Err(e) = std::fs::write(&path, &f.content) {
+                eprintln!("error writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            total += f.content.len();
+        }
+        if opts.stats {
+            eprintln!("wrote {count} files, {total} bytes, to {}/", opts.outdir);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let generator = Generator::new(config);
+    let start = std::time::Instant::now();
+    let result = match &opts.output {
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error creating {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            generator.write(BufWriter::new(file))
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = BufWriter::new(stdout.lock());
+            let r = generator.write(&mut lock);
+            let _ = lock.flush();
+            r
+        }
+    };
+    match result {
+        Ok(stats) => {
+            if opts.stats {
+                let elapsed = start.elapsed();
+                eprintln!(
+                    "factor {} seed {}: {} bytes, {} elements, depth {}, in {elapsed:.2?} ({:.1} MB/s)",
+                    opts.factor,
+                    opts.seed,
+                    stats.bytes,
+                    stats.elements,
+                    stats.max_depth,
+                    stats.bytes as f64 / 1e6 / elapsed.as_secs_f64(),
+                );
+                eprintln!(
+                    "entities: {} items, {} persons, {} open + {} closed auctions, {} categories",
+                    stats.cardinalities.items,
+                    stats.cardinalities.persons,
+                    stats.cardinalities.open_auctions,
+                    stats.cardinalities.closed_auctions,
+                    stats.cardinalities.categories,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,765 @@
+//! `xmlgen` — the scalable, deterministic XMark document generator.
+//!
+//! Faithful to the four requirements of §4.5 of the paper:
+//!
+//! 1. **platform independent** — no OS randomness, no floating-point
+//!    environment dependence beyond IEEE-754 (`f64` everywhere);
+//! 2. **accurately scalable** — entity counts derive linearly from the
+//!    scaling factor ([`crate::schema::Cardinalities`]);
+//! 3. **time and resource efficient** — the document streams straight to
+//!    the output sink; memory is O(1) in the document size;
+//! 4. **deterministic** — output depends only on `(factor, seed)`.
+//!
+//! The paper's multi-stream trick ("several identical streams of random
+//! numbers") generalizes here to *per-entity* streams: entity `i` of each
+//! section is generated from `section_stream.fork(i)`, so any entity can be
+//! produced in isolation. That is what makes split mode (§5) and the
+//! sold/unsold item partition work without a log of referenced identifiers.
+
+use std::io::{self, Write};
+
+use crate::dist;
+use crate::rng::XmarkRng;
+use crate::schema::Cardinalities;
+use crate::text::Vocabulary;
+use crate::writer::XmlWriter;
+
+/// Stream labels for the top-level document sections.
+pub(crate) mod streams {
+    pub const REGIONS: u64 = 1;
+    pub const CATEGORIES: u64 = 2;
+    pub const CATGRAPH: u64 = 3;
+    pub const PEOPLE: u64 = 4;
+    pub const OPEN_AUCTIONS: u64 = 5;
+    pub const CLOSED_AUCTIONS: u64 = 6;
+}
+
+/// Configuration of a generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Scaling factor; 1.0 ≈ 100 MB (paper Fig. 3).
+    pub factor: f64,
+    /// Master seed. The benchmark's canonical documents use seed 0.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            factor: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Config at the given factor with the canonical seed.
+    pub fn at_factor(factor: f64) -> Self {
+        GeneratorConfig { factor, seed: 0 }
+    }
+}
+
+/// Statistics reported after generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenStats {
+    /// Bytes emitted.
+    pub bytes: u64,
+    /// Elements emitted.
+    pub elements: u64,
+    /// Maximum element nesting depth.
+    pub max_depth: usize,
+    /// The entity counts that were generated.
+    pub cardinalities: Cardinalities,
+}
+
+const COUNTRIES: &[&str] = &[
+    "United States", "Germany", "Netherlands", "France", "Japan", "Brazil",
+    "Kenya", "Australia", "Romania", "Canada", "China", "Italy",
+];
+const CITIES: &[&str] = &[
+    "Amsterdam", "Redmond", "Darmstadt", "Le Chesnay", "Hong Kong",
+    "San Jose", "Madison", "Leipzig", "Toronto", "Kyoto", "Nairobi",
+    "Porto Alegre",
+];
+const PAYMENTS: &[&str] = &["Creditcard", "Money order", "Personal Check", "Cash"];
+const SHIPPING: &[&str] = &[
+    "Will ship only within country",
+    "Will ship internationally",
+    "Buyer pays fixed shipping charges",
+    "See description for charges",
+];
+const EDUCATION: &[&str] = &["High School", "College", "Graduate School", "Other"];
+
+/// The generator. Construction builds the (shared, immutable) vocabulary;
+/// each [`Generator::write`] call streams one document.
+pub struct Generator {
+    config: GeneratorConfig,
+    cards: Cardinalities,
+    vocab: Vocabulary,
+    master: XmarkRng,
+}
+
+impl Generator {
+    /// Create a generator for `config`.
+    pub fn new(config: GeneratorConfig) -> Self {
+        let cards = Cardinalities::for_factor(config.factor);
+        let master = XmarkRng::new(config.seed);
+        Generator {
+            config,
+            cards,
+            vocab: Vocabulary::standard(),
+            master,
+        }
+    }
+
+    /// The entity counts this generator will produce.
+    pub fn cardinalities(&self) -> &Cardinalities {
+        &self.cards
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Vocabulary in use (shared with split-mode generation).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Stream the complete benchmark document to `out`.
+    pub fn write<W: Write>(&self, out: W) -> io::Result<GenStats> {
+        let mut w = XmlWriter::new(out);
+        w.declaration()?;
+        w.open("site")?;
+
+        self.write_regions(&mut w)?;
+        self.write_categories(&mut w)?;
+        self.write_catgraph(&mut w)?;
+        self.write_people(&mut w)?;
+        self.write_open_auctions(&mut w)?;
+        self.write_closed_auctions(&mut w)?;
+
+        w.close()?;
+        w.newline()?;
+        let (bytes, elements, max_depth) = w.finish()?;
+        Ok(GenStats {
+            bytes,
+            elements,
+            max_depth,
+            cardinalities: self.cards.clone(),
+        })
+    }
+
+    /// Generate the document into a `String` (small factors only; the
+    /// benchmark harness streams to files instead).
+    #[allow(clippy::inherent_to_string)] // not a Display: this *generates* the document
+    pub fn to_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write(&mut buf).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("generator emits ASCII")
+    }
+
+    fn section_stream(&self, section: u64) -> XmarkRng {
+        self.master.fork(section)
+    }
+
+    /// Per-entity stream: the heart of the reproducibility story.
+    fn entity_stream(&self, section: u64, index: usize) -> XmarkRng {
+        self.section_stream(section).fork(index as u64)
+    }
+
+    // ---- sections -------------------------------------------------------
+
+    pub(crate) fn write_regions<W: Write>(&self, w: &mut XmlWriter<W>) -> io::Result<()> {
+        w.open("regions")?;
+        let mut item_index = 0usize;
+        for &(region, count) in &self.cards.region_items {
+            // Region element tags are static; match them to satisfy the
+            // writer's `&'static str` stack without leaking.
+            let tag = region_tag(region);
+            w.open(tag)?;
+            for _ in 0..count {
+                self.write_item(w, item_index)?;
+                item_index += 1;
+            }
+            w.close()?;
+        }
+        w.close()
+    }
+
+    pub(crate) fn write_item<W: Write>(
+        &self,
+        w: &mut XmlWriter<W>,
+        index: usize,
+    ) -> io::Result<()> {
+        let mut rng = self.entity_stream(streams::REGIONS, index);
+        let id = format!("item{index}");
+        let featured = rng.chance(0.1);
+        if featured {
+            w.open_with("item", &[("id", &id), ("featured", "yes")])?;
+        } else {
+            w.open_with("item", &[("id", &id)])?;
+        }
+        let country = if rng.chance(0.75) {
+            "United States"
+        } else {
+            COUNTRIES[rng.below(COUNTRIES.len() as u64) as usize]
+        };
+        w.leaf("location", country)?;
+        w.leaf("quantity", &(1 + dist::exponential_index(&mut rng, 5, 0.35)).to_string())?;
+        let name_words = 2 + rng.below(3) as usize;
+        w.leaf("name", &self.vocab.sentence(&mut rng, name_words))?;
+        w.leaf("payment", &pick_subset(&mut rng, PAYMENTS))?;
+        self.write_description(w, &mut rng, false)?;
+        w.leaf("shipping", &pick_subset(&mut rng, SHIPPING))?;
+        let incats = 1 + dist::exponential_index(&mut rng, 5, 0.3);
+        for _ in 0..incats {
+            let cat = rng.below(self.cards.categories as u64);
+            w.empty("incategory", &[("category", &format!("category{cat}"))])?;
+        }
+        w.open("mailbox")?;
+        let mails = dist::exponential_index(&mut rng, 5, 0.28);
+        for _ in 0..mails {
+            w.open("mail")?;
+            w.leaf("from", &crate::text::person_name(&mut rng).0)?;
+            w.leaf("to", &crate::text::person_name(&mut rng).0)?;
+            w.leaf("date", &crate::text::date(&mut rng))?;
+            self.write_text_element(w, &mut rng, 200)?;
+            w.close()?;
+        }
+        w.close()?; // mailbox
+        w.close() // item
+    }
+
+    pub(crate) fn write_categories<W: Write>(&self, w: &mut XmlWriter<W>) -> io::Result<()> {
+        w.open("categories")?;
+        for i in 0..self.cards.categories {
+            let mut rng = self.entity_stream(streams::CATEGORIES, i);
+            w.open_with("category", &[("id", &format!("category{i}"))])?;
+            let name_words = 1 + rng.below(3) as usize;
+            w.leaf("name", &self.vocab.sentence(&mut rng, name_words))?;
+            self.write_description(w, &mut rng, false)?;
+            w.close()?;
+        }
+        w.close()
+    }
+
+    pub(crate) fn write_catgraph<W: Write>(&self, w: &mut XmlWriter<W>) -> io::Result<()> {
+        w.open("catgraph")?;
+        for i in 0..self.cards.catgraph_edges {
+            let mut rng = self.entity_stream(streams::CATGRAPH, i);
+            let from = rng.below(self.cards.categories as u64);
+            let to = rng.below(self.cards.categories as u64);
+            w.empty(
+                "edge",
+                &[
+                    ("from", &format!("category{from}")),
+                    ("to", &format!("category{to}")),
+                ],
+            )?;
+        }
+        w.close()
+    }
+
+    pub(crate) fn write_people<W: Write>(&self, w: &mut XmlWriter<W>) -> io::Result<()> {
+        w.open("people")?;
+        for i in 0..self.cards.persons {
+            self.write_person(w, i)?;
+        }
+        w.close()
+    }
+
+    pub(crate) fn write_person<W: Write>(
+        &self,
+        w: &mut XmlWriter<W>,
+        index: usize,
+    ) -> io::Result<()> {
+        let mut rng = self.entity_stream(streams::PEOPLE, index);
+        w.open_with("person", &[("id", &format!("person{index}"))])?;
+        let (full, _given, family) = crate::text::person_name(&mut rng);
+        w.leaf("name", &full)?;
+        w.leaf("emailaddress", &crate::text::email(&mut rng, family, index))?;
+        if rng.chance(0.5) {
+            w.leaf("phone", &crate::text::phone(&mut rng))?;
+        }
+        if rng.chance(0.6) {
+            w.open("address")?;
+            w.leaf(
+                "street",
+                &format!(
+                    "{} {} St",
+                    rng.range_inclusive(1, 99),
+                    self.vocab.sample(&mut rng)
+                ),
+            )?;
+            w.leaf("city", CITIES[rng.below(CITIES.len() as u64) as usize])?;
+            let country = if rng.chance(0.75) {
+                "United States"
+            } else {
+                COUNTRIES[rng.below(COUNTRIES.len() as u64) as usize]
+            };
+            w.leaf("country", country)?;
+            if rng.chance(0.3) {
+                w.leaf("province", self.vocab.sample(&mut rng))?;
+            }
+            w.leaf("zipcode", &rng.range_inclusive(10_000, 99_999).to_string())?;
+            w.close()?;
+        }
+        // §6.11 (Q17): "the fraction of people without a homepage is rather
+        // high" — exactly half of the people get one.
+        if rng.chance(0.5) {
+            w.leaf(
+                "homepage",
+                &crate::text::homepage(&mut rng, family, index),
+            )?;
+        }
+        if rng.chance(0.7) {
+            w.leaf("creditcard", &crate::text::creditcard(&mut rng))?;
+        }
+        if rng.chance(0.9) {
+            // Q20's four income groups need: some >= 100000, many in
+            // 30000..100000, some < 30000, and some without income at all.
+            let has_income = rng.chance(0.85);
+            let income = dist::clamped_normal(&mut rng, 45_000.0, 30_000.0, 4_000.0, 250_000.0);
+            if has_income {
+                w.open_with("profile", &[("income", &format!("{income:.2}"))])?;
+            } else {
+                w.open("profile")?;
+            }
+            let interests = dist::exponential_index(&mut rng, 7, 0.25);
+            for _ in 0..interests {
+                let cat = rng.below(self.cards.categories as u64);
+                w.empty("interest", &[("category", &format!("category{cat}"))])?;
+            }
+            if rng.chance(0.4) {
+                w.leaf("education", EDUCATION[rng.below(EDUCATION.len() as u64) as usize])?;
+            }
+            if rng.chance(0.6) {
+                w.leaf("gender", if rng.chance(0.5) { "male" } else { "female" })?;
+            }
+            w.leaf("business", if rng.chance(0.2) { "Yes" } else { "No" })?;
+            if rng.chance(0.5) {
+                let age = dist::clamped_normal(&mut rng, 38.0, 12.0, 18.0, 95.0);
+                w.leaf("age", &format!("{}", age as u64))?;
+            }
+            w.close()?;
+        }
+        if rng.chance(0.6) {
+            w.open("watches")?;
+            let watches = dist::exponential_index(&mut rng, 12, 0.18);
+            for _ in 0..watches {
+                let auction = rng.below(self.cards.open_auctions as u64);
+                w.empty("watch", &[("open_auction", &format!("open_auction{auction}"))])?;
+            }
+            w.close()?;
+        }
+        w.close()
+    }
+
+    pub(crate) fn write_open_auctions<W: Write>(&self, w: &mut XmlWriter<W>) -> io::Result<()> {
+        w.open("open_auctions")?;
+        for i in 0..self.cards.open_auctions {
+            self.write_open_auction(w, i)?;
+        }
+        w.close()
+    }
+
+    pub(crate) fn write_open_auction<W: Write>(
+        &self,
+        w: &mut XmlWriter<W>,
+        index: usize,
+    ) -> io::Result<()> {
+        let mut rng = self.entity_stream(streams::OPEN_AUCTIONS, index);
+        w.open_with("open_auction", &[("id", &format!("open_auction{index}"))])?;
+        let initial = 1.5 + dist::exponential(&mut rng, 100.0);
+        w.leaf("initial", &format!("{initial:.2}"))?;
+        if rng.chance(0.45) {
+            let reserve = initial * (1.2 + 1.3 * rng.next_f64());
+            w.leaf("reserve", &format!("{reserve:.2}"))?;
+        }
+        // Bid history (§6.2): an ordered list — Q2/Q3 do positional access,
+        // Q4 queries the *textual order* of two bidders.
+        let bidders = dist::exponential_index(&mut rng, 12, 0.2);
+        let mut current = initial;
+        for _ in 0..bidders {
+            w.open("bidder")?;
+            w.leaf("date", &crate::text::date(&mut rng))?;
+            w.leaf("time", &crate::text::time(&mut rng))?;
+            let person = rng.below(self.cards.persons as u64);
+            w.empty("personref", &[("person", &format!("person{person}"))])?;
+            // Increases grow as the auction heats up, giving Q3 ("current at
+            // least twice the initial") a stable non-trivial selectivity.
+            let increase = 1.5 + dist::exponential(&mut rng, 25.0);
+            current += increase;
+            w.leaf("increase", &format!("{increase:.2}"))?;
+            w.close()?;
+        }
+        w.leaf("current", &format!("{current:.2}"))?;
+        if rng.chance(0.3) {
+            w.leaf("privacy", if rng.chance(0.5) { "Yes" } else { "No" })?;
+        }
+        // The arithmetic partition: open auction i sells item
+        // first_open_item() + i (§4.5's identical-streams trick).
+        let item = self.cards.first_open_item() + index;
+        w.empty("itemref", &[("item", &format!("item{item}"))])?;
+        let seller = dist::normal_index(&mut rng, self.cards.persons);
+        w.empty("seller", &[("person", &format!("person{seller}"))])?;
+        self.write_annotation(w, &mut rng, false)?;
+        w.leaf("quantity", &(1 + rng.below(5)).to_string())?;
+        w.leaf("type", if rng.chance(0.8) { "Regular" } else { "Featured" })?;
+        w.open("interval")?;
+        w.leaf("start", &crate::text::date(&mut rng))?;
+        w.leaf("end", &crate::text::date(&mut rng))?;
+        w.close()?;
+        w.close()
+    }
+
+    pub(crate) fn write_closed_auctions<W: Write>(&self, w: &mut XmlWriter<W>) -> io::Result<()> {
+        w.open("closed_auctions")?;
+        for i in 0..self.cards.closed_auctions {
+            self.write_closed_auction(w, i)?;
+        }
+        w.close()
+    }
+
+    pub(crate) fn write_closed_auction<W: Write>(
+        &self,
+        w: &mut XmlWriter<W>,
+        index: usize,
+    ) -> io::Result<()> {
+        let mut rng = self.entity_stream(streams::CLOSED_AUCTIONS, index);
+        w.open("closed_auction")?;
+        let seller = dist::normal_index(&mut rng, self.cards.persons);
+        w.empty("seller", &[("person", &format!("person{seller}"))])?;
+        // Buyers follow the exponential reference distribution (§4.2): a few
+        // people buy a lot, which is what Q8/Q9's join fan-out measures.
+        let buyer = dist::exponential_index(&mut rng, self.cards.persons, 0.25);
+        w.empty("buyer", &[("person", &format!("person{buyer}"))])?;
+        // Closed auction i sold item i (the other half of the partition).
+        w.empty("itemref", &[("item", &format!("item{index}"))])?;
+        let price = 1.5 + dist::exponential(&mut rng, 100.0);
+        w.leaf("price", &format!("{price:.2}"))?;
+        w.leaf("date", &crate::text::date(&mut rng))?;
+        w.leaf("quantity", &(1 + rng.below(5)).to_string())?;
+        w.leaf("type", if rng.chance(0.8) { "Regular" } else { "Featured" })?;
+        if rng.chance(0.8) {
+            // Deep annotations: Q15/Q16 chase the path annotation/
+            // description/parlist/listitem/parlist/listitem/text/emph/
+            // keyword, so closed-auction annotations are biased towards
+            // nested parlists.
+            self.write_annotation(w, &mut rng, true)?;
+        }
+        w.close()
+    }
+
+    fn write_annotation<W: Write>(
+        &self,
+        w: &mut XmlWriter<W>,
+        rng: &mut XmarkRng,
+        deep: bool,
+    ) -> io::Result<()> {
+        w.open("annotation")?;
+        let author = dist::exponential_index(rng, self.cards.persons, 0.3);
+        w.empty("author", &[("person", &format!("person{author}"))])?;
+        if rng.chance(0.85) {
+            self.write_description(w, rng, deep)?;
+        }
+        w.leaf("happiness", &(1 + rng.below(10)).to_string())?;
+        w.close()
+    }
+
+    // ---- document-centric content (§4.1's second entity group) ----------
+
+    fn write_description<W: Write>(
+        &self,
+        w: &mut XmlWriter<W>,
+        rng: &mut XmarkRng,
+        deep: bool,
+    ) -> io::Result<()> {
+        w.open("description")?;
+        let parlist_p = if deep { 0.55 } else { 0.3 };
+        if rng.chance(parlist_p) {
+            self.write_parlist(w, rng, 0, deep)?;
+        } else {
+            self.write_text_element(w, rng, 78)?;
+        }
+        w.close()
+    }
+
+    fn write_parlist<W: Write>(
+        &self,
+        w: &mut XmlWriter<W>,
+        rng: &mut XmarkRng,
+        depth: usize,
+        deep: bool,
+    ) -> io::Result<()> {
+        w.open("parlist")?;
+        let items = 1 + rng.below(3);
+        for _ in 0..items {
+            w.open("listitem")?;
+            let nest_p = if deep { 0.45 } else { 0.2 };
+            if depth < 2 && rng.chance(nest_p) {
+                self.write_parlist(w, rng, depth + 1, deep)?;
+            } else {
+                self.write_text_element(w, rng, 55)?;
+            }
+            w.close()?;
+        }
+        w.close()
+    }
+
+    /// `<text>` mixed content: prose interspersed with `bold`, `keyword`
+    /// and `emph` markup "imitating the characteristics of natural language
+    /// texts" (§4.1).
+    fn write_text_element<W: Write>(
+        &self,
+        w: &mut XmlWriter<W>,
+        rng: &mut XmarkRng,
+        mean_words: usize,
+    ) -> io::Result<()> {
+        w.open("text")?;
+        let segments = 1 + rng.below(3) as usize;
+        let mut sentence = String::with_capacity(mean_words * 8);
+        for seg in 0..segments {
+            let words = 3 + (dist::exponential(rng, mean_words as f64 / segments as f64) as usize)
+                .min(120);
+            sentence.clear();
+            self.vocab.sentence_into(rng, words, &mut sentence);
+            w.text(&sentence)?;
+            if seg + 1 < segments || rng.chance(0.5) {
+                w.text(" ")?;
+                match rng.below(3) {
+                    0 => w.leaf("bold", self.vocab.sample(rng))?,
+                    1 => w.leaf("keyword", self.vocab.sample(rng))?,
+                    _ => {
+                        // `emph` sometimes wraps a `keyword`: the terminal
+                        // steps of Q15's twelve-step path.
+                        w.open("emph")?;
+                        if rng.chance(0.55) {
+                            w.open("keyword")?;
+                            w.text(self.vocab.sample(rng))?;
+                            w.close()?;
+                        } else {
+                            w.text(self.vocab.sample(rng))?;
+                        }
+                        w.close()?;
+                    }
+                }
+                w.text(" ")?;
+            }
+        }
+        w.close()
+    }
+}
+
+fn region_tag(name: &str) -> &'static str {
+    match name {
+        "africa" => "africa",
+        "asia" => "asia",
+        "australia" => "australia",
+        "europe" => "europe",
+        "namerica" => "namerica",
+        "samerica" => "samerica",
+        other => panic!("unknown region {other}"),
+    }
+}
+
+/// Build a random subset (at least one member) of `pool`, joined by ", ".
+fn pick_subset(rng: &mut XmarkRng, pool: &[&str]) -> String {
+    let mut out = String::new();
+    loop {
+        for item in pool {
+            if rng.chance(0.4) {
+                if !out.is_empty() {
+                    out.push_str(", ");
+                }
+                out.push_str(item);
+            }
+        }
+        if !out.is_empty() {
+            return out;
+        }
+    }
+}
+
+/// Generate a document with `config`, returning the XML text.
+pub fn generate_string(config: &GeneratorConfig) -> String {
+    Generator::new(config.clone()).to_string()
+}
+
+/// Generate a document with `config` into `out`.
+pub fn generate_into<W: Write>(config: &GeneratorConfig, out: W) -> io::Result<GenStats> {
+    Generator::new(config.clone()).write(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> GeneratorConfig {
+        GeneratorConfig {
+            factor: 0.001,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn output_is_well_formed() {
+        let xml = generate_string(&tiny());
+        let doc = xmark_xml::parse_document(&xml).unwrap();
+        assert_eq!(doc.tag_name(doc.root_element()), "site");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(generate_string(&tiny()), generate_string(&tiny()));
+    }
+
+    #[test]
+    fn different_seed_changes_content_not_structure() {
+        let a = generate_string(&tiny());
+        let b = generate_string(&GeneratorConfig {
+            factor: 0.001,
+            seed: 1,
+        });
+        assert_ne!(a, b);
+        let doc = xmark_xml::parse_document(&b).unwrap();
+        assert_eq!(doc.tag_name(doc.root_element()), "site");
+    }
+
+    #[test]
+    fn person0_exists_for_q1() {
+        let xml = generate_string(&tiny());
+        assert!(xml.contains("person id=\"person0\""));
+    }
+
+    #[test]
+    fn sections_appear_in_dtd_order() {
+        let xml = generate_string(&tiny());
+        let order = [
+            "<regions>", "<categories>", "<catgraph>", "<people>",
+            "<open_auctions>", "<closed_auctions>",
+        ];
+        let mut last = 0;
+        for tag in order {
+            let pos = xml.find(tag).unwrap_or_else(|| panic!("{tag} missing"));
+            assert!(pos > last, "{tag} out of order");
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn stats_match_cardinalities() {
+        let g = Generator::new(tiny());
+        let mut sink = std::io::sink();
+        let stats = g.write(&mut sink).unwrap();
+        assert_eq!(&stats.cardinalities, g.cardinalities());
+        assert!(stats.elements > 100);
+        assert!(stats.max_depth >= 8, "depth {}", stats.max_depth);
+    }
+
+    #[test]
+    fn item_partition_references_are_consistent() {
+        let cfg = GeneratorConfig {
+            factor: 0.002,
+            seed: 0,
+        };
+        let xml = generate_string(&cfg);
+        let doc = xmark_xml::parse_document(&xml).unwrap();
+        let root = doc.root_element();
+        let cards = Cardinalities::for_factor(cfg.factor);
+        // Every item id referenced from an auction must exist, and the two
+        // auction kinds must partition the item set.
+        let mut referenced = std::collections::HashSet::new();
+        for n in doc.descendants(root) {
+            if doc.is_element(n) && doc.tag_name(n) == "itemref" {
+                let item = doc.attribute(n, "item").unwrap().to_string();
+                assert!(referenced.insert(item.clone()), "{item} referenced twice");
+            }
+        }
+        assert_eq!(referenced.len(), cards.items);
+    }
+
+    #[test]
+    fn size_scales_linearly() {
+        let small = generate_string(&GeneratorConfig { factor: 0.002, seed: 0 }).len();
+        let large = generate_string(&GeneratorConfig { factor: 0.008, seed: 0 }).len();
+        let ratio = large as f64 / small as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn calibration_factor_001_is_about_one_megabyte() {
+        // Fig. 3: factor 0.01 ≈ 1 MB (and so factor 1.0 ≈ 100 MB).
+        let len = generate_string(&GeneratorConfig { factor: 0.01, seed: 0 }).len();
+        assert!(
+            (800_000..1_400_000).contains(&len),
+            "factor 0.01 produced {len} bytes; recalibrate text lengths"
+        );
+    }
+
+    #[test]
+    fn gold_occurs_in_descriptions_for_q14() {
+        let xml = generate_string(&GeneratorConfig { factor: 0.01, seed: 0 });
+        assert!(xml.contains("gold"));
+    }
+
+    #[test]
+    fn q15_deep_path_exists() {
+        // closed_auction/annotation/description/parlist/listitem/parlist/
+        // listitem/text/emph/keyword must occur at factor 0.01.
+        let xml = generate_string(&GeneratorConfig { factor: 0.01, seed: 0 });
+        let doc = xmark_xml::parse_document(&xml).unwrap();
+        let root = doc.root_element();
+        let mut found = false;
+        'outer: for n in doc.descendants(root) {
+            if doc.is_element(n) && doc.tag_name(n) == "keyword" {
+                let mut path = Vec::new();
+                let mut cur = n;
+                while let Some(p) = doc.parent(cur) {
+                    path.push(doc.tag_name(p).to_string());
+                    cur = p;
+                }
+                let want = [
+                    "emph", "text", "listitem", "parlist", "listitem",
+                    "parlist", "description", "annotation", "closed_auction",
+                ];
+                if path.len() >= want.len()
+                    && path[..want.len()] == want.map(String::from)
+                {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "Q15's twelve-step path never materialized");
+    }
+
+    #[test]
+    fn some_persons_lack_homepages_and_incomes() {
+        let xml = generate_string(&GeneratorConfig { factor: 0.005, seed: 0 });
+        let doc = xmark_xml::parse_document(&xml).unwrap();
+        let root = doc.root_element();
+        let persons: Vec<_> = doc
+            .descendants(root)
+            .filter(|&n| doc.is_element(n) && doc.tag_name(n) == "person")
+            .collect();
+        let with_home = persons
+            .iter()
+            .filter(|&&p| doc.children(p).any(|c| doc.is_element(c) && doc.tag_name(c) == "homepage"))
+            .count();
+        assert!(with_home > 0 && with_home < persons.len());
+        let with_income = persons
+            .iter()
+            .filter(|&&p| {
+                doc.children(p).any(|c| {
+                    doc.is_element(c)
+                        && doc.tag_name(c) == "profile"
+                        && doc.attribute(c, "income").is_some()
+                })
+            })
+            .count();
+        assert!(with_income > 0 && with_income < persons.len());
+    }
+}

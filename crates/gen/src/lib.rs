@@ -1,0 +1,40 @@
+//! `xmlgen` — the XMark benchmark document generator (paper §4).
+//!
+//! This crate reproduces the paper's data generator in full:
+//!
+//! * a platform-independent, deterministic PRNG with named sub-streams
+//!   ([`rng`]) — the paper's "several identical streams of random numbers"
+//!   trick that keeps generator memory constant,
+//! * the textbook distributions used for reference skew ([`dist`]),
+//! * the natural-language text model with a 17 000-word Zipf vocabulary
+//!   ([`text`]),
+//! * the auction-site schema, scaling model and DTD ([`schema`]),
+//! * the streaming generator itself ([`generator`]) and the §5 split mode
+//!   ([`split`]).
+//!
+//! # Example
+//!
+//! ```
+//! use xmark_gen::{GeneratorConfig, generate_string};
+//!
+//! // factor 0.0005 ≈ 50 kB; factor 1.0 ≈ 100 MB (paper Fig. 3).
+//! let xml = generate_string(&GeneratorConfig { factor: 0.0005, seed: 0 });
+//! let doc = xmark_xml::parse_document(&xml).unwrap();
+//! assert_eq!(doc.tag_name(doc.root_element()), "site");
+//! ```
+
+pub mod dist;
+pub mod generator;
+pub mod rng;
+pub mod schema;
+pub mod split;
+pub mod text;
+
+mod writer;
+
+pub use generator::{generate_into, generate_string, GenStats, Generator, GeneratorConfig};
+pub use rng::XmarkRng;
+pub use schema::{Cardinalities, AUCTION_DTD};
+pub use split::{generate_split, SplitFile};
+pub use text::Vocabulary;
+pub use writer::XmlWriter;

@@ -1,0 +1,278 @@
+//! The XMark auction-site schema: cardinality model and DTD.
+//!
+//! §4.5 of the paper: *"we scale selected sets like the number of items and
+//! persons with the user defined factor … we calibrated the numbers to match
+//! a total document size of slightly more than 100 MB for scaling factor
+//! 1.0"*, and the integrity constraint *"the number of items organized by
+//! continents equals the sum of open and closed auctions"*.
+
+/// The six world regions and their item counts at scaling factor 1.0.
+/// The totals sum to [`ITEMS_PER_FACTOR`].
+pub const REGIONS: &[(&str, u32)] = &[
+    ("africa", 550),
+    ("asia", 2_000),
+    ("australia", 2_200),
+    ("europe", 6_000),
+    ("namerica", 10_000),
+    ("samerica", 1_000),
+];
+
+/// Items at factor 1.0 (= open + closed auctions, §4.5).
+pub const ITEMS_PER_FACTOR: u32 = 21_750;
+/// Persons at factor 1.0.
+pub const PERSONS_PER_FACTOR: u32 = 25_500;
+/// Open (in-progress) auctions at factor 1.0.
+pub const OPEN_AUCTIONS_PER_FACTOR: u32 = 12_000;
+/// Closed (finished) auctions at factor 1.0.
+pub const CLOSED_AUCTIONS_PER_FACTOR: u32 = 9_750;
+/// Categories at factor 1.0.
+pub const CATEGORIES_PER_FACTOR: u32 = 1_000;
+/// Category-graph edges at factor 1.0.
+pub const CATGRAPH_EDGES_PER_FACTOR: u32 = 10_000;
+
+/// Entity counts for one concrete scaling factor.
+///
+/// All sets scale linearly with floors so even minuscule factors yield a
+/// well-formed document that every query can run against. The paper's
+/// invariant `items == open + closed` is maintained exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cardinalities {
+    /// Items per region, in [`REGIONS`] order.
+    pub region_items: Vec<(&'static str, usize)>,
+    /// Total items (sum over regions).
+    pub items: usize,
+    /// Persons.
+    pub persons: usize,
+    /// Open auctions.
+    pub open_auctions: usize,
+    /// Closed auctions.
+    pub closed_auctions: usize,
+    /// Categories.
+    pub categories: usize,
+    /// Category-graph edges.
+    pub catgraph_edges: usize,
+}
+
+impl Cardinalities {
+    /// Compute the entity counts for `factor`.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite and positive.
+    pub fn for_factor(factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scaling factor must be positive, got {factor}"
+        );
+        let scaled = |base: u32, floor: usize| -> usize {
+            ((base as f64 * factor).round() as usize).max(floor)
+        };
+        let region_items: Vec<(&'static str, usize)> = REGIONS
+            .iter()
+            .map(|&(name, base)| (name, scaled(base, 1)))
+            .collect();
+        let items: usize = region_items.iter().map(|&(_, n)| n).sum();
+        // Partition items into sold (closed) and on-sale (open), preserving
+        // the paper's ratio 9750:12000 and the invariant open+closed=items.
+        let closed_ratio =
+            CLOSED_AUCTIONS_PER_FACTOR as f64 / ITEMS_PER_FACTOR as f64;
+        let closed_auctions = ((items as f64 * closed_ratio).round() as usize)
+            .clamp(1, items - 1);
+        let open_auctions = items - closed_auctions;
+        Cardinalities {
+            region_items,
+            items,
+            persons: scaled(PERSONS_PER_FACTOR, 3),
+            open_auctions,
+            closed_auctions,
+            categories: scaled(CATEGORIES_PER_FACTOR, 2),
+            catgraph_edges: scaled(CATGRAPH_EDGES_PER_FACTOR, 1),
+        }
+    }
+
+    /// Index of the first item sold through an *open* auction.
+    ///
+    /// Items `[0, closed_auctions)` belong to closed auctions, items
+    /// `[closed_auctions, items)` to open auctions — the arithmetic
+    /// partition that replaces the paper's "log of referenced identifiers"
+    /// (§4.5) and keeps generator memory constant.
+    pub fn first_open_item(&self) -> usize {
+        self.closed_auctions
+    }
+}
+
+/// The document type definition shipped with the benchmark (§4.4: "A DTD
+/// and schema information are provided to allow for more efficient
+/// mappings"). System C derives its inlined relational schema from this.
+pub const AUCTION_DTD: &str = r#"<!-- XMark auction-site DTD -->
+<!ELEMENT site            (regions, categories, catgraph, people,
+                           open_auctions, closed_auctions)>
+<!ELEMENT regions         (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa          (item*)>
+<!ELEMENT asia            (item*)>
+<!ELEMENT australia       (item*)>
+<!ELEMENT europe          (item*)>
+<!ELEMENT namerica        (item*)>
+<!ELEMENT samerica        (item*)>
+<!ELEMENT item            (location, quantity, name, payment, description,
+                           shipping, incategory+, mailbox)>
+<!ATTLIST item            id ID #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT location        (#PCDATA)>
+<!ELEMENT quantity        (#PCDATA)>
+<!ELEMENT payment         (#PCDATA)>
+<!ELEMENT shipping        (#PCDATA)>
+<!ELEMENT name            (#PCDATA)>
+<!ELEMENT incategory      EMPTY>
+<!ATTLIST incategory      category IDREF #REQUIRED>
+<!ELEMENT mailbox         (mail*)>
+<!ELEMENT mail            (from, to, date, text)>
+<!ELEMENT from            (#PCDATA)>
+<!ELEMENT to              (#PCDATA)>
+<!ELEMENT date            (#PCDATA)>
+<!ELEMENT description     (text | parlist)>
+<!ELEMENT text            (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold            (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT keyword         (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT emph            (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT parlist         (listitem)*>
+<!ELEMENT listitem        (text | parlist)*>
+<!ELEMENT categories      (category+)>
+<!ELEMENT category        (name, description)>
+<!ATTLIST category        id ID #REQUIRED>
+<!ELEMENT catgraph        (edge*)>
+<!ELEMENT edge            EMPTY>
+<!ATTLIST edge            from IDREF #REQUIRED to IDREF #REQUIRED>
+<!ELEMENT people          (person*)>
+<!ELEMENT person          (name, emailaddress, phone?, address?, homepage?,
+                           creditcard?, profile?, watches?)>
+<!ATTLIST person          id ID #REQUIRED>
+<!ELEMENT emailaddress    (#PCDATA)>
+<!ELEMENT phone           (#PCDATA)>
+<!ELEMENT address         (street, city, country, province?, zipcode)>
+<!ELEMENT street          (#PCDATA)>
+<!ELEMENT city            (#PCDATA)>
+<!ELEMENT country         (#PCDATA)>
+<!ELEMENT province        (#PCDATA)>
+<!ELEMENT zipcode         (#PCDATA)>
+<!ELEMENT homepage        (#PCDATA)>
+<!ELEMENT creditcard      (#PCDATA)>
+<!ELEMENT profile         (interest*, education?, gender?, business, age?)>
+<!ATTLIST profile         income CDATA #IMPLIED>
+<!ELEMENT interest        EMPTY>
+<!ATTLIST interest        category IDREF #REQUIRED>
+<!ELEMENT education       (#PCDATA)>
+<!ELEMENT gender          (#PCDATA)>
+<!ELEMENT business        (#PCDATA)>
+<!ELEMENT age             (#PCDATA)>
+<!ELEMENT watches         (watch*)>
+<!ELEMENT watch           EMPTY>
+<!ATTLIST watch           open_auction IDREF #REQUIRED>
+<!ELEMENT open_auctions   (open_auction*)>
+<!ELEMENT open_auction    (initial, reserve?, bidder*, current, privacy?,
+                           itemref, seller, annotation, quantity, type,
+                           interval)>
+<!ATTLIST open_auction    id ID #REQUIRED>
+<!ELEMENT initial         (#PCDATA)>
+<!ELEMENT reserve         (#PCDATA)>
+<!ELEMENT current         (#PCDATA)>
+<!ELEMENT privacy         (#PCDATA)>
+<!ELEMENT bidder          (date, time, personref, increase)>
+<!ELEMENT time            (#PCDATA)>
+<!ELEMENT personref       EMPTY>
+<!ATTLIST personref       person IDREF #REQUIRED>
+<!ELEMENT increase        (#PCDATA)>
+<!ELEMENT itemref         EMPTY>
+<!ATTLIST itemref         item IDREF #REQUIRED>
+<!ELEMENT seller          EMPTY>
+<!ATTLIST seller          person IDREF #REQUIRED>
+<!ELEMENT annotation      (author, description?, happiness)>
+<!ELEMENT author          EMPTY>
+<!ATTLIST author          person IDREF #REQUIRED>
+<!ELEMENT happiness       (#PCDATA)>
+<!ELEMENT interval        (start, end)>
+<!ELEMENT start           (#PCDATA)>
+<!ELEMENT end             (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction  (seller, buyer, itemref, price, date, quantity,
+                           type, annotation?)>
+<!ELEMENT buyer           EMPTY>
+<!ATTLIST buyer           person IDREF #REQUIRED>
+<!ELEMENT price           (#PCDATA)>
+<!ELEMENT type            (#PCDATA)>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_one_matches_paper_cardinalities() {
+        let c = Cardinalities::for_factor(1.0);
+        assert_eq!(c.items, 21_750);
+        assert_eq!(c.persons, 25_500);
+        assert_eq!(c.open_auctions, 12_000);
+        assert_eq!(c.closed_auctions, 9_750);
+        assert_eq!(c.categories, 1_000);
+        assert_eq!(c.catgraph_edges, 10_000);
+    }
+
+    #[test]
+    fn items_equal_open_plus_closed_at_every_factor() {
+        for &f in &[0.0001, 0.001, 0.01, 0.1, 0.37, 1.0, 2.5, 10.0] {
+            let c = Cardinalities::for_factor(f);
+            assert_eq!(
+                c.items,
+                c.open_auctions + c.closed_auctions,
+                "invariant broken at factor {f}"
+            );
+            assert!(c.open_auctions >= 1);
+            assert!(c.closed_auctions >= 1);
+        }
+    }
+
+    #[test]
+    fn regions_sum_to_items_per_factor() {
+        let total: u32 = REGIONS.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, ITEMS_PER_FACTOR);
+    }
+
+    #[test]
+    fn tiny_factor_keeps_floors() {
+        let c = Cardinalities::for_factor(0.00001);
+        assert_eq!(c.items, 6); // one per region
+        assert!(c.persons >= 3);
+        assert!(c.categories >= 2);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let c1 = Cardinalities::for_factor(0.1);
+        let c2 = Cardinalities::for_factor(0.2);
+        assert!((c2.items as f64 / c1.items as f64 - 2.0).abs() < 0.01);
+        assert!((c2.persons as f64 / c1.persons as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "scaling factor")]
+    fn rejects_nonpositive_factor() {
+        let _ = Cardinalities::for_factor(0.0);
+    }
+
+    #[test]
+    fn item_partition_is_exhaustive() {
+        let c = Cardinalities::for_factor(0.01);
+        assert_eq!(c.first_open_item(), c.closed_auctions);
+        assert_eq!(c.items - c.first_open_item(), c.open_auctions);
+    }
+
+    #[test]
+    fn dtd_mentions_every_queried_element() {
+        for tag in [
+            "open_auction", "closed_auction", "person", "item", "category",
+            "bidder", "increase", "itemref", "seller", "buyer", "profile",
+            "interest", "keyword", "emph", "parlist", "listitem", "homepage",
+            "income", "reserve", "initial", "current", "location",
+        ] {
+            assert!(AUCTION_DTD.contains(tag), "DTD is missing {tag}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Split-mode generation (§5 of the paper).
+//!
+//! *"the data generator xmlgen additionally offers a mode that outputs n
+//! entities (as defined in Section 4) per file where n can be chosen by the
+//! user"* — for systems that cannot bulkload a single 100 MB document.
+//!
+//! Each emitted file is a well-formed document whose root element names the
+//! section it came from (`<people>`, `<open_auctions>` …) and which contains
+//! at most `entities_per_file` entities. Because every entity is generated
+//! from its own named random stream (see [`crate::generator`]), the content
+//! of each entity is byte-identical to its appearance in the one-document
+//! version — the property §5 demands ("the semantics of the queries …
+//! should not differ").
+
+use std::io;
+
+use crate::generator::{streams, Generator, GeneratorConfig};
+use crate::writer::XmlWriter;
+
+/// Writer callback: emits entity `i` of a section into a buffer-backed
+/// [`XmlWriter`].
+type EntityWriter = dyn Fn(&Generator, &mut XmlWriter<&mut Vec<u8>>, usize) -> io::Result<()>;
+
+/// One split-mode output file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitFile {
+    /// Suggested file name, e.g. `people_003.xml`.
+    pub name: String,
+    /// File contents (a well-formed XML document).
+    pub content: String,
+}
+
+/// Generate the benchmark database as a collection of files with at most
+/// `entities_per_file` entities each.
+///
+/// # Panics
+/// Panics if `entities_per_file == 0`.
+pub fn generate_split(config: &GeneratorConfig, entities_per_file: usize) -> Vec<SplitFile> {
+    assert!(entities_per_file > 0, "entities_per_file must be positive");
+    let generator = Generator::new(config.clone());
+    let cards = generator.cardinalities().clone();
+    let mut files = Vec::new();
+
+    let mut emit_section =
+        |section: &'static str,
+         count: usize,
+         write_entity: &EntityWriter| {
+            let mut index = 0usize;
+            let mut file_no = 0usize;
+            while index < count {
+                let mut buf = Vec::new();
+                let mut w = XmlWriter::new(&mut buf);
+                w.declaration().expect("vec write");
+                w.open(section).expect("vec write");
+                let end = (index + entities_per_file).min(count);
+                for i in index..end {
+                    write_entity(&generator, &mut w, i).expect("vec write");
+                }
+                w.close().expect("vec write");
+                w.finish().expect("vec write");
+                files.push(SplitFile {
+                    name: format!("{section}_{file_no:03}.xml"),
+                    content: String::from_utf8(buf).expect("generator emits ASCII"),
+                });
+                index = end;
+                file_no += 1;
+            }
+        };
+
+    emit_section("regions", cards.items, &|g, w, i| g.write_item(w, i));
+    emit_section("people", cards.persons, &|g, w, i| g.write_person(w, i));
+    emit_section("open_auctions", cards.open_auctions, &|g, w, i| {
+        g.write_open_auction(w, i)
+    });
+    emit_section("closed_auctions", cards.closed_auctions, &|g, w, i| {
+        g.write_closed_auction(w, i)
+    });
+    // Categories and the catgraph are small; they always fit one file each.
+    {
+        let mut buf = Vec::new();
+        let mut w = XmlWriter::new(&mut buf);
+        w.declaration().expect("vec write");
+        generator.write_categories(&mut w).expect("vec write");
+        w.finish().expect("vec write");
+        files.push(SplitFile {
+            name: "categories_000.xml".to_string(),
+            content: String::from_utf8(buf).expect("ASCII"),
+        });
+    }
+    {
+        let mut buf = Vec::new();
+        let mut w = XmlWriter::new(&mut buf);
+        w.declaration().expect("vec write");
+        generator.write_catgraph(&mut w).expect("vec write");
+        w.finish().expect("vec write");
+        files.push(SplitFile {
+            name: "catgraph_000.xml".to_string(),
+            content: String::from_utf8(buf).expect("ASCII"),
+        });
+    }
+    files
+}
+
+// Re-export the stream labels privately needed above.
+#[allow(unused_imports)]
+use streams as _streams_doc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GeneratorConfig {
+        GeneratorConfig {
+            factor: 0.001,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn every_split_file_is_well_formed() {
+        for file in generate_split(&cfg(), 10) {
+            let doc = xmark_xml::parse_document(&file.content)
+                .unwrap_or_else(|e| panic!("{}: {e}", file.name));
+            assert!(doc.node_count() > 0);
+        }
+    }
+
+    #[test]
+    fn chunking_respects_entity_budget() {
+        let files = generate_split(&cfg(), 7);
+        for file in &files {
+            if file.name.starts_with("people_") {
+                let doc = xmark_xml::parse_document(&file.content).unwrap();
+                let persons = doc
+                    .descendants(doc.root_element())
+                    .filter(|&n| doc.is_element(n) && doc.tag_name(n) == "person")
+                    .count();
+                assert!(persons <= 7, "{} holds {persons} persons", file.name);
+            }
+        }
+    }
+
+    #[test]
+    fn split_and_monolithic_entities_are_identical() {
+        let config = cfg();
+        let whole = crate::generator::generate_string(&config);
+        let files = generate_split(&config, 5);
+        // person3's serialization in the split files must appear verbatim in
+        // the monolithic document.
+        let person_chunk = files
+            .iter()
+            .find(|f| f.name.starts_with("people_000"))
+            .unwrap();
+        let start = person_chunk.content.find("<person id=\"person3\"").unwrap();
+        let end = person_chunk.content[start..].find("</person>").unwrap();
+        let fragment = &person_chunk.content[start..start + end];
+        assert!(
+            whole.contains(fragment),
+            "split-mode person3 differs from the monolithic document"
+        );
+    }
+
+    #[test]
+    fn file_count_scales_with_budget() {
+        let a = generate_split(&cfg(), 5).len();
+        let b = generate_split(&cfg(), 50).len();
+        assert!(a > b);
+    }
+
+    #[test]
+    #[should_panic(expected = "entities_per_file")]
+    fn zero_budget_is_rejected() {
+        let _ = generate_split(&cfg(), 0);
+    }
+}

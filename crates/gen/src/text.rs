@@ -1,0 +1,292 @@
+//! The natural-language text model.
+//!
+//! §4.3 of the paper: the authors analyzed Shakespeare's plays, extracted
+//! the 17 000 most frequent non-stopwords, and generate text mimicking those
+//! frequencies; names and e-mail addresses came from scrambled phone
+//! directories.
+//!
+//! **Substitution (documented in DESIGN.md):** we do not ship Shakespeare's
+//! text. The queries only observe (a) string-length distributions, (b) the
+//! skew of token frequencies — Q14's full-text `contains(., "gold")` must
+//! select a stable, non-trivial fraction of descriptions — and (c) strict
+//! determinism. We therefore synthesize a 17 000-word vocabulary from
+//! deterministic syllable composition, rank it by a Zipf(1.0) law, and pin a
+//! set of *anchor words* (including `gold`) at fixed ranks so keyword-search
+//! selectivities are reproducible across machines, exactly like the paper's
+//! fixed word list.
+
+use crate::dist::Zipf;
+use crate::rng::XmarkRng;
+
+/// Number of words in the vocabulary, per §4.3 of the paper.
+pub const VOCABULARY_SIZE: usize = 17_000;
+
+/// Anchor words pinned to fixed ranks (rank = index × 37 + 5) so that
+/// full-text queries have stable selectivity. `gold` is the Q14 keyword.
+pub const ANCHOR_WORDS: &[&str] = &[
+    "gold", "silver", "sword", "shield", "crown", "castle", "merchant",
+    "voyage", "fortune", "garden", "winter", "summer", "honour", "duke",
+    "queen", "king", "letter", "promise", "market", "harbour",
+];
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j",
+    "k", "l", "m", "n", "p", "pl", "pr", "qu", "r", "s", "sh", "sl", "sp",
+    "st", "str", "t", "th", "tr", "v", "w", "wh", "y", "z",
+];
+const NUCLEI: &[&str] = &[
+    "a", "ai", "au", "e", "ea", "ee", "i", "ie", "o", "oa", "oo", "ou", "u",
+];
+const CODAS: &[&str] = &[
+    "", "b", "ck", "d", "ft", "g", "k", "l", "ld", "ll", "m", "n", "nd",
+    "ng", "nt", "p", "r", "rd", "rn", "rt", "s", "ss", "st", "t", "th", "x",
+];
+
+/// The generator's word list plus samplers for prose, names and e-mail
+/// addresses.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    zipf: Zipf,
+}
+
+impl Vocabulary {
+    /// Build the standard 17 000-word vocabulary. Deterministic: the word at
+    /// any rank is the same on every platform and in every run.
+    pub fn standard() -> Self {
+        Self::with_size(VOCABULARY_SIZE)
+    }
+
+    /// Build a smaller vocabulary (used by tests).
+    pub fn with_size(size: usize) -> Self {
+        assert!(size >= ANCHOR_WORDS.len() * 38, "vocabulary too small");
+        let mut words = Vec::with_capacity(size);
+        let mut seen = std::collections::HashSet::with_capacity(size * 2);
+        for anchor in ANCHOR_WORDS {
+            seen.insert((*anchor).to_string());
+        }
+
+        // Deterministic enumeration of syllable compositions, ordered by a
+        // fixed mixing function so adjacent ranks don't share prefixes.
+        let mut rng = XmarkRng::new(0x9a7c_0c1e_5eed_f00d);
+        while words.len() < size {
+            let syllables = 1 + (rng.below(100) < 55) as usize + (rng.below(100) < 25) as usize;
+            let mut w = String::new();
+            for _ in 0..syllables {
+                w.push_str(ONSETS[rng.below(ONSETS.len() as u64) as usize]);
+                w.push_str(NUCLEI[rng.below(NUCLEI.len() as u64) as usize]);
+                w.push_str(CODAS[rng.below(CODAS.len() as u64) as usize]);
+            }
+            if w.len() >= 2 && seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+
+        // Pin the anchors at spread-out ranks.
+        for (i, anchor) in ANCHOR_WORDS.iter().enumerate() {
+            let rank = i * 37 + 5;
+            words[rank] = (*anchor).to_string();
+        }
+
+        let zipf = Zipf::new(size, 1.0);
+        Vocabulary { words, zipf }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word at a rank (rank 0 = most frequent).
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+
+    /// Sample one word according to the Zipf law.
+    pub fn sample<'v>(&'v self, rng: &mut XmarkRng) -> &'v str {
+        &self.words[self.zipf.sample(rng)]
+    }
+
+    /// Append `n` Zipf-sampled words, space-separated, to `out`.
+    pub fn sentence_into(&self, rng: &mut XmarkRng, n: usize, out: &mut String) {
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.sample(rng));
+        }
+    }
+
+    /// A sentence of `n` words as a fresh string.
+    pub fn sentence(&self, rng: &mut XmarkRng, n: usize) -> String {
+        let mut s = String::with_capacity(n * 7);
+        self.sentence_into(rng, n, &mut s);
+        s
+    }
+}
+
+const GIVEN_NAMES: &[&str] = &[
+    "Albrecht", "Beatrice", "Cyrus", "Daniela", "Edmund", "Farida", "Gregor",
+    "Hannah", "Ioana", "Jasper", "Katrin", "Laszlo", "Mirela", "Nils",
+    "Odette", "Piotr", "Quentin", "Ralph", "Sanda", "Takeshi", "Ulrike",
+    "Viktor", "Wanda", "Xenia", "Yusuf", "Zelda", "Martin", "Florian",
+    "Michael", "Amira", "Bogdan", "Celine",
+];
+const FAMILY_NAMES: &[&str] = &[
+    "Schmidt", "Waas", "Kersten", "Carey", "Manolescu", "Busse", "Okafor",
+    "Tanaka", "Ferreira", "Novak", "Lindqvist", "Moreau", "Castillo",
+    "Petrov", "Andersen", "Gallo", "Haugen", "Ibrahim", "Jansen", "Kovacs",
+    "Larsen", "Meyer", "Nakamura", "Olsen", "Popescu", "Quinn", "Rossi",
+    "Silva", "Tamm", "Urbano", "Virtanen", "Weber",
+];
+const DOMAINS: &[&str] = &[
+    "cwi.nl", "example.com", "auction.example", "mail.example", "ipsi.de",
+    "inria.fr", "acm.example", "vldb.example",
+];
+
+/// Generate a person name ("Given Family") — the scrambled-phone-directory
+/// substitute.
+pub fn person_name(rng: &mut XmarkRng) -> (String, &'static str, &'static str) {
+    let given = GIVEN_NAMES[rng.below(GIVEN_NAMES.len() as u64) as usize];
+    let family = FAMILY_NAMES[rng.below(FAMILY_NAMES.len() as u64) as usize];
+    (format!("{given} {family}"), given, family)
+}
+
+/// E-mail address derived from a name, disambiguated with the person index.
+pub fn email(rng: &mut XmarkRng, family: &str, index: usize) -> String {
+    let domain = DOMAINS[rng.below(DOMAINS.len() as u64) as usize];
+    format!("mailto:{family}{index}@{domain}")
+}
+
+/// A phone number string: "+NN (NNN) NNNNNNN".
+pub fn phone(rng: &mut XmarkRng) -> String {
+    format!(
+        "+{} ({}) {}",
+        rng.range_inclusive(1, 99),
+        rng.range_inclusive(100, 999),
+        rng.range_inclusive(1_000_000, 9_999_999)
+    )
+}
+
+/// A homepage URL for the person with `family` name and `index`.
+pub fn homepage(rng: &mut XmarkRng, family: &str, index: usize) -> String {
+    let domain = DOMAINS[rng.below(DOMAINS.len() as u64) as usize];
+    format!("http://www.{domain}/~{family}{index}")
+}
+
+/// A creditcard number "NNNN NNNN NNNN NNNN".
+pub fn creditcard(rng: &mut XmarkRng) -> String {
+    format!(
+        "{} {} {} {}",
+        rng.range_inclusive(1000, 9999),
+        rng.range_inclusive(1000, 9999),
+        rng.range_inclusive(1000, 9999),
+        rng.range_inclusive(1000, 9999)
+    )
+}
+
+/// An ISO-ish date "MM/DD/YYYY" within the benchmark's fictional window
+/// (1998–2001, the era of the paper).
+pub fn date(rng: &mut XmarkRng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.range_inclusive(1, 12),
+        rng.range_inclusive(1, 28),
+        rng.range_inclusive(1998, 2001)
+    )
+}
+
+/// A time "HH:MM:SS".
+pub fn time(rng: &mut XmarkRng) -> String {
+    format!(
+        "{:02}:{:02}:{:02}",
+        rng.below(24),
+        rng.below(60),
+        rng.below(60)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vocabulary_has_17000_distinct_words() {
+        let v = Vocabulary::standard();
+        assert_eq!(v.len(), VOCABULARY_SIZE);
+        let distinct: std::collections::HashSet<_> = (0..v.len()).map(|i| v.word(i)).collect();
+        assert_eq!(distinct.len(), VOCABULARY_SIZE);
+    }
+
+    #[test]
+    fn vocabulary_is_deterministic() {
+        let a = Vocabulary::with_size(1000);
+        let b = Vocabulary::with_size(1000);
+        for i in 0..1000 {
+            assert_eq!(a.word(i), b.word(i));
+        }
+    }
+
+    #[test]
+    fn gold_is_pinned_near_the_top() {
+        let v = Vocabulary::with_size(1000);
+        assert_eq!(v.word(5), "gold");
+        assert_eq!(v.word(42), "silver");
+    }
+
+    #[test]
+    fn sampling_is_zipf_skewed() {
+        let v = Vocabulary::with_size(1000);
+        let mut rng = XmarkRng::new(3);
+        let mut top_word = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if v.sample(&mut rng) == v.word(0) {
+                top_word += 1;
+            }
+        }
+        // Zipf(1.0) over 1000 ranks gives rank 0 probability ≈ 0.133.
+        let frac = top_word as f64 / trials as f64;
+        assert!((0.11..0.16).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn sentences_have_requested_word_count() {
+        let v = Vocabulary::with_size(1000);
+        let mut rng = XmarkRng::new(4);
+        let s = v.sentence(&mut rng, 12);
+        assert_eq!(s.split(' ').count(), 12);
+    }
+
+    #[test]
+    fn gold_appears_in_long_text_with_expected_frequency() {
+        let v = Vocabulary::standard();
+        let mut rng = XmarkRng::new(5);
+        // gold is at rank 5 of 17000 with Zipf(1.0): p ≈ (1/6)/H(17000) ≈ 0.0164.
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| v.sample(&mut rng) == "gold").count();
+        let frac = hits as f64 / trials as f64;
+        assert!((0.012..0.022).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn entity_strings_are_deterministic_and_well_formed() {
+        let mut a = XmarkRng::new(6);
+        let mut b = XmarkRng::new(6);
+        assert_eq!(person_name(&mut a).0, person_name(&mut b).0);
+        assert_eq!(phone(&mut a), phone(&mut b));
+        let d = date(&mut a);
+        assert_eq!(d.len(), 10);
+        let t = time(&mut a);
+        assert_eq!(t.len(), 8);
+        let cc = creditcard(&mut a);
+        assert_eq!(cc.split(' ').count(), 4);
+        assert!(email(&mut a, "Schmidt", 17).starts_with("mailto:Schmidt17@"));
+        assert!(homepage(&mut a, "Waas", 3).starts_with("http://www."));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for xmlgen: §4.5's guarantees must hold for *every*
+//! (factor, seed) pair, not just the canonical ones.
+
+use proptest::prelude::*;
+
+use xmark_gen::{generate_split, generate_string, Cardinalities, GeneratorConfig, XmarkRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn output_is_deterministic(seed in any::<u64>(), factor in 0.0002f64..0.003) {
+        let cfg = GeneratorConfig { factor, seed };
+        prop_assert_eq!(generate_string(&cfg), generate_string(&cfg));
+    }
+
+    #[test]
+    fn output_is_well_formed(seed in any::<u64>(), factor in 0.0002f64..0.003) {
+        let xml = generate_string(&GeneratorConfig { factor, seed });
+        let doc = xmark_xml::parse_document(&xml).unwrap();
+        prop_assert_eq!(doc.tag_name(doc.root_element()), "site");
+    }
+
+    #[test]
+    fn output_is_seven_bit_ascii(seed in any::<u64>()) {
+        // §4.4: "We also restrict ourselves to the seven bit ASCII
+        // character set."
+        let xml = generate_string(&GeneratorConfig { factor: 0.0005, seed });
+        prop_assert!(xml.bytes().all(|b| b < 0x80));
+    }
+
+    #[test]
+    fn cardinality_invariants_hold(factor in 0.0001f64..5.0) {
+        let c = Cardinalities::for_factor(factor);
+        prop_assert_eq!(c.items, c.open_auctions + c.closed_auctions);
+        prop_assert!(c.open_auctions >= 1);
+        prop_assert!(c.closed_auctions >= 1);
+        prop_assert!(c.persons >= 3);
+        prop_assert_eq!(c.first_open_item(), c.closed_auctions);
+    }
+
+    #[test]
+    fn split_mode_is_consistent_with_monolithic(seed in any::<u64>()) {
+        let cfg = GeneratorConfig { factor: 0.0005, seed };
+        let whole = generate_string(&cfg);
+        let files = generate_split(&cfg, 4);
+        // Every split file parses, and each item fragment occurs verbatim
+        // in the monolithic document.
+        for file in files {
+            let doc = xmark_xml::parse_document(&file.content).unwrap();
+            prop_assert!(doc.node_count() > 0);
+            if file.name.starts_with("regions_000") {
+                let start = file.content.find("<item ").unwrap();
+                let end = file.content[start..].find("</item>").unwrap();
+                prop_assert!(whole.contains(&file.content[start..start + end]));
+            }
+        }
+    }
+
+    #[test]
+    fn rng_fork_streams_are_independent_of_consumption_order(
+        seed in any::<u64>(),
+        label_a in any::<u64>(),
+        label_b in any::<u64>(),
+    ) {
+        prop_assume!(label_a != label_b);
+        let parent = XmarkRng::new(seed);
+        // Consume A before B.
+        let mut a1 = parent.fork(label_a);
+        let _ = (0..10).map(|_| a1.next_u64()).count();
+        let mut b1 = parent.fork(label_b);
+        let b_first: Vec<u64> = (0..10).map(|_| b1.next_u64()).collect();
+        // Consume B without touching A.
+        let mut b2 = parent.fork(label_b);
+        let b_second: Vec<u64> = (0..10).map(|_| b2.next_u64()).collect();
+        prop_assert_eq!(b_first, b_second);
+    }
+
+    #[test]
+    fn uniform_below_is_always_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = XmarkRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_for_any_seed(seed in any::<u64>()) {
+        let xml = generate_string(&GeneratorConfig { factor: 0.001, seed });
+        let doc = xmark_xml::parse_document(&xml).unwrap();
+        let root = doc.root_element();
+        let mut ids = std::collections::HashSet::new();
+        for n in doc.descendants(root) {
+            if doc.is_element(n) {
+                if let Some(id) = doc.attribute(n, "id") {
+                    prop_assert!(ids.insert(id.to_string()), "duplicate id {}", id);
+                }
+            }
+        }
+        prop_assert!(ids.len() > 20);
+    }
+}

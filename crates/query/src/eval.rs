@@ -1,0 +1,1653 @@
+//! The query evaluator.
+//!
+//! A tuple-at-a-time FLWOR interpreter over the backend-neutral
+//! [`XmlStore`] interface. Architecture-specific speed comes exclusively
+//! from the access paths the store offers:
+//!
+//! * `lookup_id` for `[@id = "…"]` rewrites (Q1),
+//! * `positional_child` for `bidder[1]` / `bidder[last()]` (Q2/Q3 — the
+//!   paper's "set-valued aggregates on the index attribute"),
+//! * `typed_child_value` for `…/tag/text()` tails (System C's inlined
+//!   columns),
+//! * `descendants_named` / `count_descendants_named` for `//tag` and
+//!   `count(//tag)` (System D's structural summary).
+//!
+//! Loop-invariant absolute paths are memoized per execution — the
+//! materialization every system in the paper performs before joining.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use xmark_store::{Node, PositionSpec, XmlStore};
+
+use crate::ast::*;
+use crate::result::{atomize, number, CElem, Item, Sequence};
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Reference to an unbound variable.
+    UndefinedVariable(String),
+    /// Call to an unknown function.
+    UnknownFunction(String),
+    /// `zero-or-one` applied to a longer sequence.
+    Cardinality(&'static str),
+    /// A path step applied to a constructed element or atomic.
+    PathOverNonNode,
+    /// Relative path with no context item.
+    NoContext,
+    /// Wrong number of arguments to a function.
+    Arity(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UndefinedVariable(v) => write!(f, "undefined variable ${v}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function {n}()"),
+            EvalError::Cardinality(what) => write!(f, "cardinality violation in {what}"),
+            EvalError::PathOverNonNode => write!(f, "path step applied to a non-node item"),
+            EvalError::NoContext => write!(f, "relative path without a context item"),
+            EvalError::Arity(n) => write!(f, "wrong number of arguments to {n}()"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+type EResult<T> = Result<T, EvalError>;
+
+/// A lookup index for decorrelated joins: canonical key → (source
+/// position, item) pairs in source order.
+type JoinIndex = HashMap<String, Vec<(usize, Item)>>;
+
+/// Variable environment with lexical scoping.
+#[derive(Default)]
+struct Env {
+    bindings: Vec<(String, Rc<Sequence>)>,
+}
+
+impl Env {
+    fn push(&mut self, name: &str, value: Rc<Sequence>) {
+        self.bindings.push((name.to_string(), value));
+    }
+
+    fn pop(&mut self) {
+        self.bindings.pop();
+    }
+
+    fn get(&self, name: &str) -> Option<&Rc<Sequence>> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// The evaluator, bound to one store and one compiled query's functions.
+pub struct Evaluator<'s> {
+    store: &'s dyn XmlStore,
+    functions: HashMap<String, FunctionDecl>,
+    /// Memo for loop-invariant absolute paths.
+    path_cache: RefCell<HashMap<String, Rc<Sequence>>>,
+    /// Memo for decorrelated lookup indexes (`try_correlated_lookup`) and
+    /// hash-join build sides (`try_hash_join`).
+    index_cache: RefCell<HashMap<String, Rc<JoinIndex>>>,
+    /// Memo for hash-join probe-side key lists, aligned with the cached
+    /// source sequence.
+    key_cache: RefCell<HashMap<String, Rc<Vec<Vec<String>>>>>,
+    /// Whether the join/decorrelation rewrites are enabled. Disabling
+    /// forces pure nested-loop semantics — used by the oracle tests that
+    /// prove the rewrites preserve results.
+    optimize: bool,
+}
+
+impl<'s> Evaluator<'s> {
+    /// Create an evaluator for `query` against `store`.
+    pub fn new(store: &'s dyn XmlStore, query: &Query) -> Self {
+        Self::with_optimizations(store, query, true)
+    }
+
+    /// Create an evaluator with the FLWOR rewrites (hash join,
+    /// decorrelation, predicate pushdown) switched on or off.
+    pub fn with_optimizations(store: &'s dyn XmlStore, query: &Query, optimize: bool) -> Self {
+        Evaluator {
+            store,
+            functions: query
+                .functions
+                .iter()
+                .map(|f| (f.name.clone(), f.clone()))
+                .collect(),
+            path_cache: RefCell::new(HashMap::new()),
+            index_cache: RefCell::new(HashMap::new()),
+            key_cache: RefCell::new(HashMap::new()),
+            optimize,
+        }
+    }
+
+    /// Evaluate the query body.
+    pub fn run(&self, query: &Query) -> EResult<Sequence> {
+        let mut env = Env::default();
+        self.eval(&query.body, &mut env, None)
+    }
+
+    fn eval(&self, expr: &Expr, env: &mut Env, ctx: Option<&Item>) -> EResult<Sequence> {
+        match expr {
+            Expr::Str(s) => Ok(vec![Item::str(s)]),
+            Expr::Num(n) => Ok(vec![Item::Num(*n)]),
+            Expr::Empty => Ok(Vec::new()),
+            Expr::Var(name) => env
+                .get(name)
+                .map(|s| s.as_ref().clone())
+                .ok_or_else(|| EvalError::UndefinedVariable(name.clone())),
+            Expr::Sequence(parts) => {
+                let mut out = Vec::new();
+                for p in parts {
+                    out.extend(self.eval(p, env, ctx)?);
+                }
+                Ok(out)
+            }
+            Expr::Or(parts) => {
+                for p in parts {
+                    if ebv(&self.eval(p, env, ctx)?) {
+                        return Ok(vec![Item::Bool(true)]);
+                    }
+                }
+                Ok(vec![Item::Bool(false)])
+            }
+            Expr::And(parts) => {
+                for p in parts {
+                    if !ebv(&self.eval(p, env, ctx)?) {
+                        return Ok(vec![Item::Bool(false)]);
+                    }
+                }
+                Ok(vec![Item::Bool(true)])
+            }
+            Expr::Cmp(op, lhs, rhs) => {
+                let l = self.eval(lhs, env, ctx)?;
+                let r = self.eval(rhs, env, ctx)?;
+                Ok(vec![Item::Bool(self.general_compare(*op, &l, &r))])
+            }
+            Expr::Before(lhs, rhs) => {
+                let l = self.eval(lhs, env, ctx)?;
+                let r = self.eval(rhs, env, ctx)?;
+                let before = l.iter().any(|a| {
+                    r.iter().any(|b| match (a, b) {
+                        (Item::Node(x), Item::Node(y)) => x < y,
+                        _ => false,
+                    })
+                });
+                Ok(vec![Item::Bool(before)])
+            }
+            Expr::Arith(op, lhs, rhs) => {
+                let l = self.eval(lhs, env, ctx)?;
+                let r = self.eval(rhs, env, ctx)?;
+                let (Some(a), Some(b)) = (singleton_number(self.store, &l), singleton_number(self.store, &r))
+                else {
+                    return Ok(Vec::new());
+                };
+                let v = match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => a / b,
+                    ArithOp::Mod => a % b,
+                };
+                Ok(vec![Item::Num(v)])
+            }
+            Expr::Neg(inner) => {
+                let v = self.eval(inner, env, ctx)?;
+                Ok(match singleton_number(self.store, &v) {
+                    Some(n) => vec![Item::Num(-n)],
+                    None => Vec::new(),
+                })
+            }
+            Expr::Path { base, steps } => self.eval_path(base, steps, env, ctx),
+            Expr::Flwor(f) => self.eval_flwor(f, env, ctx),
+            Expr::Some {
+                bindings,
+                satisfies,
+            } => {
+                let found = self.eval_some(bindings, 0, satisfies, env, ctx)?;
+                Ok(vec![Item::Bool(found)])
+            }
+            Expr::Call(name, args) => self.eval_call(name, args, env, ctx),
+            Expr::Element(ctor) => {
+                let elem = self.build_element(ctor, env, ctx)?;
+                Ok(vec![Item::Elem(Rc::new(elem))])
+            }
+        }
+    }
+
+    // ---- FLWOR -----------------------------------------------------------
+
+    fn eval_flwor(&self, f: &Flwor, env: &mut Env, ctx: Option<&Item>) -> EResult<Sequence> {
+        let mut tuples: Vec<(Option<OrderKey>, Sequence)> = Vec::new();
+        let rewritten = self.optimize
+            && (self.try_correlated_lookup(f, env, ctx, &mut tuples)?
+                || self.try_hash_join(f, env, ctx, &mut tuples)?);
+        if !rewritten {
+            // Predicate pushdown: schedule each where-conjunct at the
+            // earliest clause depth where its variables are bound, so
+            // selective filters prune before expensive bindings run (the
+            // optimization that makes the paper's Q12 cheaper than Q11 on
+            // every system).
+            let conjuncts: Vec<&Expr> = match &f.where_clause {
+                None => Vec::new(),
+                Some(Expr::And(parts)) => parts.iter().collect(),
+                Some(other) => vec![other],
+            };
+            let mut scheduled: Vec<Vec<&Expr>> = vec![Vec::new(); f.clauses.len() + 1];
+            for conjunct in conjuncts {
+                let mut depth = 0;
+                for (i, clause) in f.clauses.iter().enumerate() {
+                    let var = match clause {
+                        Clause::For(v, _) | Clause::Let(v, _) => v,
+                    };
+                    if expr_uses_var(conjunct, var) {
+                        depth = i + 1;
+                    }
+                }
+                if !self.optimize {
+                    depth = f.clauses.len();
+                }
+                scheduled[depth].push(conjunct);
+            }
+            self.flwor_rec(f, 0, &scheduled, env, ctx, &mut tuples)?;
+        }
+        if let Some((_, ascending)) = &f.order_by {
+            tuples.sort_by(|a, b| {
+                let ord = compare_keys(a.0.as_ref(), b.0.as_ref());
+                if *ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        let mut out = Vec::new();
+        for (_, seq) in tuples {
+            out.extend(seq);
+        }
+        Ok(out)
+    }
+
+    /// Decorrelation rewrite: a FLWOR of the shape
+    /// `for $t in <absolute path> where path($t) = <outer expr> return …`
+    /// — Q8's correlated inner query — is answered through a lookup index
+    /// on `path($t)`, built once per execution and cached. This is the
+    /// index-nested-loop plan a relational optimizer produces for
+    /// reference chasing.
+    fn try_correlated_lookup(
+        &self,
+        f: &Flwor,
+        env: &mut Env,
+        ctx: Option<&Item>,
+        out: &mut Vec<(Option<OrderKey>, Sequence)>,
+    ) -> EResult<bool> {
+        let [Clause::For(v, src)] = f.clauses.as_slice() else {
+            return Ok(false);
+        };
+        // The source must be a memoizable absolute path (same criterion as
+        // the path cache), so the index is valid across invocations.
+        let Expr::Path {
+            base: PathBase::Root,
+            steps: src_steps,
+        } = src
+        else {
+            return Ok(false);
+        };
+        if src_steps.iter().any(|s| !s.preds.is_empty()) {
+            return Ok(false);
+        }
+        let Some(where_clause) = &f.where_clause else {
+            return Ok(false);
+        };
+        let conjuncts: Vec<&Expr> = match where_clause {
+            Expr::And(parts) => parts.iter().collect(),
+            other => vec![other],
+        };
+        // Find `path($v) = outer` (or mirrored).
+        let mut found: Option<(usize, &Expr, &Expr)> = None;
+        for (i, conjunct) in conjuncts.iter().enumerate() {
+            let Expr::Cmp(CmpOp::Eq, a, b) = conjunct else {
+                continue;
+            };
+            let is_inner_key = |e: &Expr| match e {
+                Expr::Path {
+                    base: PathBase::Var(var),
+                    steps,
+                } => var == v && steps.iter().all(|s| s.preds.is_empty()),
+                _ => false,
+            };
+            if is_inner_key(a) && !expr_uses_var(b, v) {
+                found = Some((i, a, b));
+                break;
+            }
+            if is_inner_key(b) && !expr_uses_var(a, v) {
+                found = Some((i, b, a));
+                break;
+            }
+        }
+        let Some((join_idx, inner_key, outer_key)) = found else {
+            return Ok(false);
+        };
+        let residual: Vec<&Expr> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != join_idx)
+            .map(|(_, e)| *e)
+            .collect();
+
+        // Build (or reuse) the lookup index: canonical key → (position,
+        // item) pairs in source order.
+        let inner_key_steps = match inner_key {
+            Expr::Path { steps, .. } => steps,
+            _ => unreachable!("is_inner_key matched a path"),
+        };
+        let index_sig = format!(
+            "{}|{}",
+            path_signature(src_steps),
+            path_signature(inner_key_steps)
+        );
+        let cached = self.index_cache.borrow().get(&index_sig).cloned();
+        let index = if let Some(cached) = cached {
+            cached
+        } else {
+            let source = self.eval(src, env, ctx)?;
+            let mut map: JoinIndex = HashMap::new();
+            for (i, item) in source.into_iter().enumerate() {
+                env.push(v, Rc::new(vec![item.clone()]));
+                let keys = self.eval(inner_key, env, ctx);
+                env.pop();
+                for key in keys? {
+                    map.entry(canonical_key(&atomize(self.store, &key)))
+                        .or_default()
+                        .push((i, item.clone()));
+                }
+            }
+            let rc = Rc::new(map);
+            self.index_cache
+                .borrow_mut()
+                .insert(index_sig, Rc::clone(&rc));
+            rc
+        };
+
+        // Probe with the outer key(s).
+        let outer_keys = self.eval(outer_key, env, ctx)?;
+        let mut matched: Vec<(usize, Item)> = Vec::new();
+        for key in outer_keys {
+            if let Some(items) = index.get(&canonical_key(&atomize(self.store, &key))) {
+                matched.extend(items.iter().cloned());
+            }
+        }
+        matched.sort_by_key(|(i, _)| *i);
+        matched.dedup_by_key(|(i, _)| *i);
+        for (_, item) in matched {
+            env.push(v, Rc::new(vec![item]));
+            let result = self.join_tail(f, &residual, env, ctx, out);
+            env.pop();
+            result?;
+        }
+        Ok(true)
+    }
+
+    /// Equi-join rewrite: a FLWOR of the shape
+    /// `for $a in s1, $b in s2 where path($a) = path($b) [and rest] …`
+    /// executes as a hash join instead of a nested loop — §7 of the paper:
+    /// "Queries Q8 and Q9 are usually implemented as joins … chasing the
+    /// references basically amounted to executing equi-joins on strings."
+    ///
+    /// Returns `false` (leaving `out` untouched) when the FLWOR does not
+    /// have the joinable shape.
+    fn try_hash_join(
+        &self,
+        f: &Flwor,
+        env: &mut Env,
+        ctx: Option<&Item>,
+        out: &mut Vec<(Option<OrderKey>, Sequence)>,
+    ) -> EResult<bool> {
+        // Exactly two `for` clauses, the second independent of the first.
+        let [Clause::For(v1, s1), Clause::For(v2, s2)] = f.clauses.as_slice() else {
+            return Ok(false);
+        };
+        if expr_uses_var(s2, v1) {
+            return Ok(false);
+        }
+        // A conjunct `path($v1) = path($v2)` in the where clause.
+        let Some(where_clause) = &f.where_clause else {
+            return Ok(false);
+        };
+        let conjuncts: Vec<&Expr> = match where_clause {
+            Expr::And(parts) => parts.iter().collect(),
+            other => vec![other],
+        };
+        let mut join_idx = None;
+        let mut key1: Option<&Expr> = None;
+        let mut key2: Option<&Expr> = None;
+        for (i, conjunct) in conjuncts.iter().enumerate() {
+            let Expr::Cmp(CmpOp::Eq, a, b) = conjunct else {
+                continue;
+            };
+            let var_of = |e: &Expr| match e {
+                Expr::Path {
+                    base: PathBase::Var(v),
+                    steps,
+                } if steps.iter().all(|s| s.preds.is_empty()) => Some(v.clone()),
+                _ => None,
+            };
+            match (var_of(a), var_of(b)) {
+                (Some(va), Some(vb)) if va == *v1 && vb == *v2 => {
+                    join_idx = Some(i);
+                    key1 = Some(a);
+                    key2 = Some(b);
+                    break;
+                }
+                (Some(va), Some(vb)) if va == *v2 && vb == *v1 => {
+                    join_idx = Some(i);
+                    key1 = Some(b);
+                    key2 = Some(a);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let (Some(join_idx), Some(key1), Some(key2)) = (join_idx, key1, key2) else {
+            return Ok(false);
+        };
+        let residual: Vec<&Expr> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != join_idx)
+            .map(|(_, e)| *e)
+            .collect();
+
+        // Build side: hash the (canonicalized) keys of s2's items. When the
+        // source and key are loop-invariant, the table is built once and
+        // reused — the hoisting a relational optimizer performs when the
+        // join sits inside a correlated subquery (Q9).
+        let table = self.join_build_side(v2, s2, key2, env, ctx)?;
+
+        // Probe side, with the per-item key lists likewise memoizable.
+        let left = self.eval(s1, env, ctx)?;
+        let probe_keys = self.join_probe_keys(v1, s1, key1, &left, env, ctx)?;
+        for (li, litem) in left.iter().enumerate() {
+            // Distinct matched right items, preserving right order (the
+            // nested loop visits right items in order for each left item).
+            let mut matched: Vec<(usize, &Item)> = Vec::new();
+            for key in &probe_keys[li] {
+                if let Some(entries) = table.get(key) {
+                    matched.extend(entries.iter().map(|(i, item)| (*i, item)));
+                }
+            }
+            matched.sort_by_key(|(i, _)| *i);
+            matched.dedup_by_key(|(i, _)| *i);
+            env.push(v1, Rc::new(vec![litem.clone()]));
+            for (_, ritem) in matched {
+                env.push(v2, Rc::new(vec![ritem.clone()]));
+                let result = self.join_tail(f, &residual, env, ctx, out);
+                env.pop();
+                if let Err(e) = result {
+                    env.pop();
+                    return Err(e);
+                }
+            }
+            env.pop();
+        }
+        Ok(true)
+    }
+
+    /// Build (or fetch from cache) a hash table `canonical key → (index,
+    /// item)` over the items of `src`, keyed by `key_expr` evaluated with
+    /// `var` bound to each item.
+    fn join_build_side(
+        &self,
+        var: &str,
+        src: &Expr,
+        key_expr: &Expr,
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<Rc<JoinIndex>> {
+        let signature = invariant_join_signature(src, key_expr);
+        if let Some(sig) = &signature {
+            if let Some(cached) = self.index_cache.borrow().get(sig) {
+                return Ok(Rc::clone(cached));
+            }
+        }
+        let source = self.eval(src, env, ctx)?;
+        let mut map: JoinIndex = HashMap::with_capacity(source.len());
+        for (i, item) in source.into_iter().enumerate() {
+            env.push(var, Rc::new(vec![item.clone()]));
+            let keys = self.eval(key_expr, env, ctx);
+            env.pop();
+            for key in keys? {
+                map.entry(canonical_key(&atomize(self.store, &key)))
+                    .or_default()
+                    .push((i, item.clone()));
+            }
+        }
+        let rc = Rc::new(map);
+        if let Some(sig) = signature {
+            self.index_cache.borrow_mut().insert(sig, Rc::clone(&rc));
+        }
+        Ok(rc)
+    }
+
+    /// Per-item canonical key lists for the probe side, memoized when
+    /// loop-invariant (aligned with the path-cached source sequence).
+    fn join_probe_keys(
+        &self,
+        var: &str,
+        src: &Expr,
+        key_expr: &Expr,
+        left: &[Item],
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<Rc<Vec<Vec<String>>>> {
+        let signature = invariant_join_signature(src, key_expr).map(|s| s + "#probe");
+        if let Some(sig) = &signature {
+            if let Some(cached) = self.key_cache.borrow().get(sig) {
+                if cached.len() == left.len() {
+                    return Ok(Rc::clone(cached));
+                }
+            }
+        }
+        let mut keys = Vec::with_capacity(left.len());
+        for item in left {
+            env.push(var, Rc::new(vec![item.clone()]));
+            let evaluated = self.eval(key_expr, env, ctx);
+            env.pop();
+            keys.push(
+                evaluated?
+                    .iter()
+                    .map(|k| canonical_key(&atomize(self.store, k)))
+                    .collect::<Vec<String>>(),
+            );
+        }
+        let rc = Rc::new(keys);
+        if let Some(sig) = signature {
+            self.key_cache.borrow_mut().insert(sig, Rc::clone(&rc));
+        }
+        Ok(rc)
+    }
+
+    /// Evaluate residual predicates, order key and return expression for
+    /// one joined tuple.
+    fn join_tail(
+        &self,
+        f: &Flwor,
+        residual: &[&Expr],
+        env: &mut Env,
+        ctx: Option<&Item>,
+        out: &mut Vec<(Option<OrderKey>, Sequence)>,
+    ) -> EResult<()> {
+        for pred in residual {
+            if !ebv(&self.eval(pred, env, ctx)?) {
+                return Ok(());
+            }
+        }
+        let key = match &f.order_by {
+            Some((key_expr, _)) => {
+                let key_seq = self.eval(key_expr, env, ctx)?;
+                key_seq.first().map(|item| {
+                    let s = atomize(self.store, item);
+                    let n = s.trim().parse::<f64>().ok();
+                    OrderKey { text: s, num: n }
+                })
+            }
+            None => None,
+        };
+        let result = self.eval(&f.ret, env, ctx)?;
+        out.push((key, result));
+        Ok(())
+    }
+
+    fn flwor_rec(
+        &self,
+        f: &Flwor,
+        depth: usize,
+        scheduled: &[Vec<&Expr>],
+        env: &mut Env,
+        ctx: Option<&Item>,
+        out: &mut Vec<(Option<OrderKey>, Sequence)>,
+    ) -> EResult<()> {
+        // Conjuncts whose variables are all bound by now.
+        for conjunct in &scheduled[depth] {
+            if !ebv(&self.eval(conjunct, env, ctx)?) {
+                return Ok(());
+            }
+        }
+        if depth == f.clauses.len() {
+            let key = match &f.order_by {
+                Some((key_expr, _)) => {
+                    let key_seq = self.eval(key_expr, env, ctx)?;
+                    key_seq.first().map(|item| {
+                        let s = atomize(self.store, item);
+                        let n = s.trim().parse::<f64>().ok();
+                        OrderKey { text: s, num: n }
+                    })
+                }
+                None => None,
+            };
+            let result = self.eval(&f.ret, env, ctx)?;
+            out.push((key, result));
+            return Ok(());
+        }
+        match &f.clauses[depth] {
+            Clause::For(var, source) => {
+                let seq = self.eval(source, env, ctx)?;
+                for item in seq {
+                    env.push(var, Rc::new(vec![item]));
+                    let r = self.flwor_rec(f, depth + 1, scheduled, env, ctx, out);
+                    env.pop();
+                    r?;
+                }
+            }
+            Clause::Let(var, source) => {
+                let seq = self.eval(source, env, ctx)?;
+                env.push(var, Rc::new(seq));
+                let r = self.flwor_rec(f, depth + 1, scheduled, env, ctx, out);
+                env.pop();
+                r?;
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_some(
+        &self,
+        bindings: &[(String, Expr)],
+        depth: usize,
+        satisfies: &Expr,
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<bool> {
+        if depth == bindings.len() {
+            return Ok(ebv(&self.eval(satisfies, env, ctx)?));
+        }
+        let (var, source) = &bindings[depth];
+        let seq = self.eval(source, env, ctx)?;
+        for item in seq {
+            env.push(var, Rc::new(vec![item]));
+            let found = self.eval_some(bindings, depth + 1, satisfies, env, ctx);
+            env.pop();
+            if found? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    // ---- paths -----------------------------------------------------------
+
+    fn eval_path(
+        &self,
+        base: &PathBase,
+        steps: &[Step],
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<Sequence> {
+        // Loop-invariant absolute paths are memoized (predicate-free ones
+        // only: predicates may reference outer variables).
+        if matches!(base, PathBase::Root) && steps.iter().all(|s| s.preds.is_empty()) {
+            let key = path_signature(steps);
+            if let Some(cached) = self.path_cache.borrow().get(&key) {
+                return Ok(cached.as_ref().clone());
+            }
+            let result = self.eval_path_uncached(base, steps, env, ctx)?;
+            self.path_cache
+                .borrow_mut()
+                .insert(key, Rc::new(result.clone()));
+            return Ok(result);
+        }
+        self.eval_path_uncached(base, steps, env, ctx)
+    }
+
+    fn eval_path_uncached(
+        &self,
+        base: &PathBase,
+        steps: &[Step],
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<Sequence> {
+        let mut start_index = 0;
+        let mut current: Sequence = match base {
+            PathBase::Root => {
+                // Paths start at the virtual document node: the first step
+                // matches against the root *element* itself.
+                let root = self.store.root();
+                match steps.first() {
+                    None => vec![Item::Node(root)],
+                    Some(first) => {
+                        start_index = 1;
+                        let mut seq: Sequence = Vec::new();
+                        match (&first.axis, &first.test) {
+                            (Axis::Child, NodeTest::Tag(tag)) => {
+                                if self.store.tag_of(root) == Some(tag) {
+                                    seq.push(Item::Node(root));
+                                }
+                            }
+                            (Axis::Descendant, NodeTest::Tag(tag)) => {
+                                if self.store.tag_of(root) == Some(tag) {
+                                    seq.push(Item::Node(root));
+                                }
+                                seq.extend(
+                                    self.store
+                                        .descendants_named(root, tag)
+                                        .into_iter()
+                                        .map(Item::Node),
+                                );
+                            }
+                            _ => {
+                                // Rare forms (`/*`, `/@x`): evaluate the
+                                // step against the root element generically.
+                                start_index = 0;
+                                seq.push(Item::Node(root));
+                            }
+                        }
+                        if start_index == 1 && !first.preds.is_empty() {
+                            let nodes: Vec<Node> = seq
+                                .into_iter()
+                                .filter_map(|i| match i {
+                                    Item::Node(n) => Some(n),
+                                    _ => None,
+                                })
+                                .collect();
+                            seq = self
+                                .apply_predicates(nodes, &first.preds, env, ctx)?
+                                .into_iter()
+                                .map(Item::Node)
+                                .collect();
+                        }
+                        seq
+                    }
+                }
+            }
+            PathBase::Var(name) => env
+                .get(name)
+                .map(|s| s.as_ref().clone())
+                .ok_or_else(|| EvalError::UndefinedVariable(name.clone()))?,
+            PathBase::Context => vec![ctx.ok_or(EvalError::NoContext)?.clone()],
+            PathBase::Expr(e) => self.eval(e, env, ctx)?,
+        };
+
+        let mut i = start_index;
+        while i < steps.len() {
+            let step = &steps[i];
+
+            // Fast path: `…/tag/text()` tail answered from inlined entity
+            // columns (System C).
+            if i + 2 == steps.len()
+                && step.axis == Axis::Child
+                && step.preds.is_empty()
+                && steps[i + 1].axis == Axis::Child
+                && steps[i + 1].test == NodeTest::Text
+                && steps[i + 1].preds.is_empty()
+            {
+                if let NodeTest::Tag(tag) = &step.test {
+                    if let Some(shortcut) = self.try_inlined_tail(&current, tag)? {
+                        return Ok(shortcut);
+                    }
+                }
+            }
+
+            // Fast path: `person[@id = "…"]` via the store's ID index.
+            if let Some(rewritten) = self.try_id_lookup(&current, step)? {
+                current = rewritten;
+                i += 1;
+                continue;
+            }
+
+            current = self.apply_step(&current, step, env, ctx)?;
+            i += 1;
+        }
+        Ok(current)
+    }
+
+    /// `…/tag/text()` over inlined columns. Returns `Some` only if *every*
+    /// context node could be answered from the entity tables.
+    fn try_inlined_tail(&self, current: &[Item], tag: &str) -> EResult<Option<Sequence>> {
+        let mut out = Vec::new();
+        for item in current {
+            let Item::Node(n) = item else {
+                return Err(EvalError::PathOverNonNode);
+            };
+            match self.store.typed_child_value(*n, tag) {
+                Some(Some(v)) => out.push(Item::str(v)),
+                Some(None) => {}
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Rewrite `tag[@id = "literal"]` to an ID-index probe when the store
+    /// has one — the access path behind every mass-storage system's Q1.
+    fn try_id_lookup(&self, current: &[Item], step: &Step) -> EResult<Option<Sequence>> {
+        if step.preds.len() != 1 || step.axis == Axis::Attribute {
+            return Ok(None);
+        }
+        let NodeTest::Tag(tag) = &step.test else {
+            return Ok(None);
+        };
+        let Pred::Expr(Expr::Cmp(CmpOp::Eq, lhs, rhs)) = &step.preds[0] else {
+            return Ok(None);
+        };
+        let (attr_path, literal) = match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Path { base: PathBase::Context, steps }, Expr::Str(s)) => (steps, s),
+            (Expr::Str(s), Expr::Path { base: PathBase::Context, steps }) => (steps, s),
+            _ => return Ok(None),
+        };
+        if attr_path.len() != 1
+            || attr_path[0].axis != Axis::Attribute
+            || attr_path[0].test != NodeTest::Tag("id".to_string())
+        {
+            return Ok(None);
+        }
+        let Some(hit) = self.store.lookup_id(literal) else {
+            return Ok(None); // No ID index: evaluate generically (System G).
+        };
+        let Some(node) = hit else {
+            return Ok(Some(Vec::new()));
+        };
+        // Verify the hit is the right tag and actually below the context.
+        if self.store.tag_of(node) != Some(tag) {
+            return Ok(Some(Vec::new()));
+        }
+        let reachable = current.iter().any(|item| match item {
+            Item::Node(c) => {
+                if *c == self.store.root() {
+                    true
+                } else {
+                    self.store.parent(node) == Some(*c) || {
+                        let mut cur = node;
+                        let mut found = false;
+                        while let Some(p) = self.store.parent(cur) {
+                            if p == *c {
+                                found = true;
+                                break;
+                            }
+                            cur = p;
+                        }
+                        found
+                    }
+                }
+            }
+            _ => false,
+        });
+        Ok(Some(if reachable {
+            vec![Item::Node(node)]
+        } else {
+            Vec::new()
+        }))
+    }
+
+    fn apply_step(
+        &self,
+        current: &[Item],
+        step: &Step,
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<Sequence> {
+        let mut out: Sequence = Vec::new();
+        let multi_context = current.len() > 1;
+        for item in current {
+            let Item::Node(n) = item else {
+                return Err(EvalError::PathOverNonNode);
+            };
+            match (&step.axis, &step.test) {
+                (Axis::Attribute, NodeTest::Tag(name)) => {
+                    if let Some(v) = self.store.attribute(*n, name) {
+                        out.push(Item::str(v));
+                    }
+                }
+                (Axis::Attribute, _) => return Err(EvalError::PathOverNonNode),
+                (Axis::Child, NodeTest::Text) => {
+                    for c in self.store.children(*n) {
+                        if self.store.text(c).is_some() {
+                            out.push(Item::Node(c));
+                        }
+                    }
+                }
+                (Axis::Child, NodeTest::Wildcard) => {
+                    for c in self.store.children(*n) {
+                        if self.store.tag_of(c).is_some() {
+                            out.push(Item::Node(c));
+                        }
+                    }
+                }
+                (Axis::Child, NodeTest::Tag(tag)) => {
+                    // Positional fast path (Q2/Q3 on System C).
+                    if step.preds.len() == 1 {
+                        let spec = match step.preds[0] {
+                            Pred::Position(k) => Some(PositionSpec::First(k)),
+                            Pred::Last => Some(PositionSpec::Last),
+                            _ => None,
+                        };
+                        if let Some(spec) = spec {
+                            if let Some(hit) = self.store.positional_child(*n, tag, spec) {
+                                if let Some(node) = hit {
+                                    out.push(Item::Node(node));
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    let matched = self.store.children_named(*n, tag);
+                    let filtered = self.apply_predicates(matched, &step.preds, env, ctx)?;
+                    out.extend(filtered.into_iter().map(Item::Node));
+                    continue;
+                }
+                (Axis::Descendant, NodeTest::Tag(tag)) => {
+                    let matched = self.store.descendants_named(*n, tag);
+                    let filtered = self.apply_predicates(matched, &step.preds, env, ctx)?;
+                    out.extend(filtered.into_iter().map(Item::Node));
+                    continue;
+                }
+                (Axis::Descendant, NodeTest::Text) => {
+                    collect_descendant_text(self.store, *n, &mut out);
+                }
+                (Axis::Descendant, NodeTest::Wildcard) => {
+                    let mut stack = self.store.children(*n);
+                    while let Some(c) = stack.pop() {
+                        if self.store.tag_of(c).is_some() {
+                            out.push(Item::Node(c));
+                            stack.extend(self.store.children(c));
+                        }
+                    }
+                    out.sort_by(node_order);
+                }
+            }
+            // Predicates for the non-tag axes above.
+            if !step.preds.is_empty()
+                && !matches!(
+                    (&step.axis, &step.test),
+                    (Axis::Child | Axis::Descendant, NodeTest::Tag(_))
+                )
+            {
+                let nodes: Vec<Node> = out
+                    .drain(..)
+                    .filter_map(|i| match i {
+                        Item::Node(n) => Some(n),
+                        _ => None,
+                    })
+                    .collect();
+                let filtered = self.apply_predicates(nodes, &step.preds, env, ctx)?;
+                out.extend(filtered.into_iter().map(Item::Node));
+            }
+        }
+        // Document order + set semantics across merged contexts.
+        if multi_context && out.iter().all(|i| matches!(i, Item::Node(_))) {
+            out.sort_by(node_order);
+            out.dedup();
+        }
+        Ok(out)
+    }
+
+    fn apply_predicates(
+        &self,
+        mut nodes: Vec<Node>,
+        preds: &[Pred],
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<Vec<Node>> {
+        let _ = ctx;
+        for pred in preds {
+            nodes = match pred {
+                Pred::Position(k) => {
+                    if *k >= 1 && *k <= nodes.len() {
+                        vec![nodes[*k - 1]]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                Pred::Last => match nodes.last() {
+                    Some(&n) => vec![n],
+                    None => Vec::new(),
+                },
+                Pred::Expr(e) => {
+                    let mut kept = Vec::new();
+                    for n in nodes {
+                        let item = Item::Node(n);
+                        if ebv(&self.eval(e, env, Some(&item))?) {
+                            kept.push(n);
+                        }
+                    }
+                    kept
+                }
+            };
+        }
+        Ok(nodes)
+    }
+
+    // ---- functions ---------------------------------------------------------
+
+    fn eval_call(
+        &self,
+        name: &str,
+        args: &[Expr],
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<Sequence> {
+        // Count with a descendant-tail path gets the summary fast path
+        // (Q6/Q7 on System D): count(//tag) needs no node materialization.
+        if name == "count" && args.len() == 1 {
+            if let Expr::Path { base, steps } = &args[0] {
+                if let Some(n) = self.try_count_fast(base, steps, env, ctx)? {
+                    return Ok(vec![Item::Num(n as f64)]);
+                }
+            }
+        }
+
+        let mut evaluated: Vec<Sequence> = Vec::with_capacity(args.len());
+        for a in args {
+            evaluated.push(self.eval(a, env, ctx)?);
+        }
+
+        match name {
+            "count" => {
+                expect_arity(name, &evaluated, 1)?;
+                Ok(vec![Item::Num(evaluated[0].len() as f64)])
+            }
+            "sum" => {
+                expect_arity(name, &evaluated, 1)?;
+                let total: f64 = evaluated[0]
+                    .iter()
+                    .filter_map(|i| number(self.store, i))
+                    .sum();
+                Ok(vec![Item::Num(total)])
+            }
+            "not" => {
+                expect_arity(name, &evaluated, 1)?;
+                Ok(vec![Item::Bool(!ebv(&evaluated[0]))])
+            }
+            "empty" => {
+                expect_arity(name, &evaluated, 1)?;
+                Ok(vec![Item::Bool(evaluated[0].is_empty())])
+            }
+            "exists" => {
+                expect_arity(name, &evaluated, 1)?;
+                Ok(vec![Item::Bool(!evaluated[0].is_empty())])
+            }
+            "contains" => {
+                expect_arity(name, &evaluated, 2)?;
+                let hay = join_atomized(self.store, &evaluated[0]);
+                let needle = join_atomized(self.store, &evaluated[1]);
+                Ok(vec![Item::Bool(hay.contains(&needle))])
+            }
+            "string" => {
+                expect_arity(name, &evaluated, 1)?;
+                Ok(vec![Item::str(join_atomized(self.store, &evaluated[0]))])
+            }
+            "data" => {
+                expect_arity(name, &evaluated, 1)?;
+                Ok(evaluated[0]
+                    .iter()
+                    .map(|i| Item::str(atomize(self.store, i)))
+                    .collect())
+            }
+            "distinct-values" => {
+                expect_arity(name, &evaluated, 1)?;
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for i in &evaluated[0] {
+                    let v = atomize(self.store, i);
+                    if seen.insert(v.clone()) {
+                        out.push(Item::str(v));
+                    }
+                }
+                Ok(out)
+            }
+            "zero-or-one" => {
+                expect_arity(name, &evaluated, 1)?;
+                if evaluated[0].len() > 1 {
+                    return Err(EvalError::Cardinality("zero-or-one"));
+                }
+                Ok(evaluated[0].clone())
+            }
+            "number" => {
+                expect_arity(name, &evaluated, 1)?;
+                Ok(match evaluated[0]
+                    .first()
+                    .and_then(|i| number(self.store, i))
+                {
+                    Some(n) => vec![Item::Num(n)],
+                    None => Vec::new(),
+                })
+            }
+            _ => {
+                let Some(decl) = self.functions.get(name) else {
+                    return Err(EvalError::UnknownFunction(name.to_string()));
+                };
+                if decl.params.len() != evaluated.len() {
+                    return Err(EvalError::Arity(name.to_string()));
+                }
+                for (param, value) in decl.params.iter().zip(evaluated) {
+                    env.push(param, Rc::new(value));
+                }
+                let result = self.eval(&decl.body, env, ctx);
+                for _ in &decl.params {
+                    env.pop();
+                }
+                result
+            }
+        }
+    }
+
+    /// `count(path)` where the path's final step is a predicate-free tag
+    /// test: answered by `count_descendants_named` when the prefix yields
+    /// plain nodes, without materializing the counted extent.
+    fn try_count_fast(
+        &self,
+        base: &PathBase,
+        steps: &[Step],
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<Option<usize>> {
+        let Some(last) = steps.last() else {
+            return Ok(None);
+        };
+        if last.axis != Axis::Descendant || !last.preds.is_empty() {
+            return Ok(None);
+        }
+        let NodeTest::Tag(tag) = &last.test else {
+            return Ok(None);
+        };
+        let prefix = &steps[..steps.len() - 1];
+        if prefix.iter().any(|s| !s.preds.is_empty()) {
+            return Ok(None);
+        }
+        let contexts = self.eval_path(base, prefix, env, ctx)?;
+        let mut total = 0usize;
+        for item in contexts {
+            let Item::Node(n) = item else {
+                return Err(EvalError::PathOverNonNode);
+            };
+            total += self.store.count_descendants_named(n, tag);
+        }
+        Ok(Some(total))
+    }
+
+    // ---- constructors ------------------------------------------------------
+
+    fn build_element(
+        &self,
+        ctor: &ElementCtor,
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<CElem> {
+        let mut attrs = Vec::with_capacity(ctor.attrs.len());
+        for (name, parts) in &ctor.attrs {
+            let mut value = String::new();
+            for part in parts {
+                match part {
+                    AttrPart::Lit(s) => value.push_str(s),
+                    AttrPart::Expr(e) => {
+                        let seq = self.eval(e, env, ctx)?;
+                        // AVT: items joined with single spaces.
+                        for (i, item) in seq.iter().enumerate() {
+                            if i > 0 {
+                                value.push(' ');
+                            }
+                            value.push_str(&atomize(self.store, item));
+                        }
+                    }
+                }
+            }
+            attrs.push((name.clone(), value));
+        }
+        let mut children = Vec::new();
+        for content in &ctor.content {
+            match content {
+                Content::Text(t) => children.push(Item::str(t)),
+                Content::Expr(e) => children.extend(self.eval(e, env, ctx)?),
+                Content::Element(nested) => {
+                    children.push(Item::Elem(Rc::new(self.build_element(nested, env, ctx)?)));
+                }
+            }
+        }
+        Ok(CElem {
+            tag: ctor.tag.clone(),
+            attrs,
+            children,
+        })
+    }
+
+    fn general_compare(&self, op: CmpOp, l: &[Item], r: &[Item]) -> bool {
+        for a in l {
+            let sa = atomize(self.store, a);
+            let na = sa.trim().parse::<f64>().ok();
+            for b in r {
+                let sb = atomize(self.store, b);
+                let matched = match (na, sb.trim().parse::<f64>().ok()) {
+                    (Some(x), Some(y)) => compare_ord(op, x.partial_cmp(&y)),
+                    _ => compare_ord(op, Some(sa.as_str().cmp(sb.as_str()))),
+                };
+                if matched {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// XQuery order key: numeric when the value parses, else string.
+struct OrderKey {
+    text: String,
+    num: Option<f64>,
+}
+
+fn compare_keys(a: Option<&OrderKey>, b: Option<&OrderKey>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less, // empty least
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => match (x.num, y.num) {
+            (Some(nx), Some(ny)) => nx.total_cmp(&ny),
+            _ => x.text.cmp(&y.text),
+        },
+    }
+}
+
+fn compare_ord(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
+    use std::cmp::Ordering::*;
+    match ord {
+        None => false,
+        Some(o) => match op {
+            CmpOp::Eq => o == Equal,
+            CmpOp::Ne => o != Equal,
+            CmpOp::Lt => o == Less,
+            CmpOp::Le => o != Greater,
+            CmpOp::Gt => o == Greater,
+            CmpOp::Ge => o != Less,
+        },
+    }
+}
+
+fn node_order(a: &Item, b: &Item) -> std::cmp::Ordering {
+    match (a, b) {
+        (Item::Node(x), Item::Node(y)) => x.cmp(y),
+        _ => std::cmp::Ordering::Equal,
+    }
+}
+
+fn collect_descendant_text(store: &dyn XmlStore, n: Node, out: &mut Sequence) {
+    for c in store.children(n) {
+        if store.text(c).is_some() {
+            out.push(Item::Node(c));
+        } else {
+            collect_descendant_text(store, c, out);
+        }
+    }
+}
+
+/// Effective boolean value.
+pub fn ebv(seq: &[Item]) -> bool {
+    match seq.first() {
+        None => false,
+        Some(Item::Bool(b)) => *b && seq.len() == 1 || seq.len() > 1,
+        Some(Item::Num(n)) if seq.len() == 1 => *n != 0.0 && !n.is_nan(),
+        Some(Item::Str(s)) if seq.len() == 1 => !s.is_empty(),
+        Some(_) => true,
+    }
+}
+
+fn singleton_number(store: &dyn XmlStore, seq: &[Item]) -> Option<f64> {
+    match seq {
+        [item] => number(store, item),
+        _ => None,
+    }
+}
+
+fn join_atomized(store: &dyn XmlStore, seq: &[Item]) -> String {
+    let mut out = String::new();
+    for (i, item) in seq.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&atomize(store, item));
+    }
+    out
+}
+
+/// A cache signature for a (source, key-path) pair, or `None` when either
+/// is not loop-invariant.
+fn invariant_join_signature(src: &Expr, key_expr: &Expr) -> Option<String> {
+    let Expr::Path {
+        base: PathBase::Root,
+        steps: src_steps,
+    } = src
+    else {
+        return None;
+    };
+    if src_steps.iter().any(|s| !s.preds.is_empty()) {
+        return None;
+    }
+    let Expr::Path {
+        base: PathBase::Var(_),
+        steps: key_steps,
+    } = key_expr
+    else {
+        return None;
+    };
+    if key_steps.iter().any(|s| !s.preds.is_empty()) {
+        return None;
+    }
+    Some(format!(
+        "{}|{}",
+        path_signature(src_steps),
+        path_signature(key_steps)
+    ))
+}
+
+/// Canonical hash-join key: numeric values are normalized so that the
+/// join agrees with the general comparison's numeric equality ("40" and
+/// "40.0" join).
+fn canonical_key(s: &str) -> String {
+    match s.trim().parse::<f64>() {
+        Ok(n) => crate::result::format_number(n),
+        Err(_) => s.to_string(),
+    }
+}
+
+/// Does `expr` reference the variable `var` anywhere?
+fn expr_uses_var(expr: &Expr, var: &str) -> bool {
+    match expr {
+        Expr::Var(v) => v == var,
+        Expr::Path { base, steps } => {
+            let base_uses = match base {
+                PathBase::Var(v) => v == var,
+                PathBase::Expr(e) => expr_uses_var(e, var),
+                PathBase::Root | PathBase::Context => false,
+            };
+            base_uses
+                || steps.iter().any(|s| {
+                    s.preds.iter().any(|p| match p {
+                        Pred::Expr(e) => expr_uses_var(e, var),
+                        _ => false,
+                    })
+                })
+        }
+        Expr::Flwor(f) => {
+            f.clauses.iter().any(|c| match c {
+                Clause::For(_, e) | Clause::Let(_, e) => expr_uses_var(e, var),
+            }) || f.where_clause.as_ref().is_some_and(|w| expr_uses_var(w, var))
+                || f.order_by.as_ref().is_some_and(|(k, _)| expr_uses_var(k, var))
+                || expr_uses_var(&f.ret, var)
+        }
+        Expr::Or(parts) | Expr::And(parts) | Expr::Sequence(parts) => {
+            parts.iter().any(|p| expr_uses_var(p, var))
+        }
+        Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::Before(a, b) => {
+            expr_uses_var(a, var) || expr_uses_var(b, var)
+        }
+        Expr::Neg(e) => expr_uses_var(e, var),
+        Expr::Call(_, args) => args.iter().any(|a| expr_uses_var(a, var)),
+        Expr::Some {
+            bindings,
+            satisfies,
+        } => {
+            bindings.iter().any(|(_, e)| expr_uses_var(e, var)) || expr_uses_var(satisfies, var)
+        }
+        Expr::Element(ctor) => ctor_uses_var(ctor, var),
+        Expr::Str(_) | Expr::Num(_) | Expr::Empty => false,
+    }
+}
+
+fn ctor_uses_var(ctor: &ElementCtor, var: &str) -> bool {
+    ctor.attrs.iter().any(|(_, parts)| {
+        parts.iter().any(|p| match p {
+            AttrPart::Expr(e) => expr_uses_var(e, var),
+            AttrPart::Lit(_) => false,
+        })
+    }) || ctor.content.iter().any(|c| match c {
+        Content::Expr(e) => expr_uses_var(e, var),
+        Content::Element(nested) => ctor_uses_var(nested, var),
+        Content::Text(_) => false,
+    })
+}
+
+fn path_signature(steps: &[Step]) -> String {
+    let mut sig = String::new();
+    for s in steps {
+        sig.push(match s.axis {
+            Axis::Child => '/',
+            Axis::Descendant => 'D',
+            Axis::Attribute => '@',
+        });
+        match &s.test {
+            NodeTest::Tag(t) => sig.push_str(t),
+            NodeTest::Wildcard => sig.push('*'),
+            NodeTest::Text => sig.push_str("#t"),
+        }
+    }
+    sig
+}
+
+fn expect_arity(name: &str, args: &[Sequence], n: usize) -> EResult<()> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(EvalError::Arity(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use crate::result::serialize_sequence;
+    use xmark_store::NaiveStore;
+
+    const DOC: &str = r#"<site><regions><europe><item id="item0"><name>gold ring</name><description><text>pure gold</text></description></item><item id="item1"><name>cup</name><description><text>plain tin</text></description></item></europe></regions><people><person id="person0"><name>Alice</name><profile income="95000.00"><age>30</age></profile></person><person id="person1"><name>Bob</name><homepage>http://b</homepage></person></people><open_auctions><open_auction id="open_auction0"><initial>10.00</initial><bidder><personref person="person0"/><increase>5.00</increase></bidder><bidder><personref person="person1"/><increase>20.00</increase></bidder><current>35.00</current></open_auction></open_auctions></site>"#;
+
+    fn run(q: &str) -> String {
+        let store = NaiveStore::load(DOC).unwrap();
+        let query = parse_query(q).unwrap();
+        let eval = Evaluator::new(&store, &query);
+        let result = eval.run(&query).unwrap();
+        serialize_sequence(&store, &result)
+    }
+
+    #[test]
+    fn q1_shape_exact_match() {
+        let out = run(r#"for $b in document("x")/site/people/person[@id = "person0"] return $b/name/text()"#);
+        assert_eq!(out, "Alice");
+    }
+
+    #[test]
+    fn positional_access() {
+        let out = run(r#"for $b in /site/open_auctions/open_auction return <i>{$b/bidder[1]/increase/text()}</i>"#);
+        assert_eq!(out, "<i>5.00</i>");
+        let out = run(r#"for $b in /site/open_auctions/open_auction return <i>{$b/bidder[last()]/increase/text()}</i>"#);
+        assert_eq!(out, "<i>20.00</i>");
+    }
+
+    #[test]
+    fn where_with_arithmetic() {
+        let out = run(
+            r#"for $b in /site/open_auctions/open_auction where zero-or-one($b/bidder[1]/increase/text()) * 2 <= $b/bidder[last()]/increase/text() return <hit/>"#,
+        );
+        assert_eq!(out, "<hit/>");
+    }
+
+    #[test]
+    fn descendant_counting() {
+        assert_eq!(run("count(/site//item)"), "2");
+        assert_eq!(run("count(/site//nothing)"), "0");
+        assert_eq!(
+            run("for $p in /site return count($p//item) + count($p//person)"),
+            "4"
+        );
+    }
+
+    #[test]
+    fn contains_fulltext() {
+        let out = run(
+            r#"for $i in /site//item where contains(string($i/description), "gold") return $i/name/text()"#,
+        );
+        assert_eq!(out, "gold ring");
+    }
+
+    #[test]
+    fn missing_elements() {
+        let out = run(
+            r#"for $p in /site/people/person where empty($p/homepage/text()) return <person name="{$p/name/text()}"/>"#,
+        );
+        assert_eq!(out, r#"<person name="Alice"/>"#);
+    }
+
+    #[test]
+    fn join_on_values() {
+        let out = run(
+            r#"for $p in /site/people/person let $a := for $t in /site/open_auctions/open_auction/bidder/personref where $t/@person = $p/@id return $t return <n name="{$p/name/text()}">{count($a)}</n>"#,
+        );
+        assert_eq!(out, "<n name=\"Alice\">1</n>\n<n name=\"Bob\">1</n>");
+    }
+
+    #[test]
+    fn order_by_sorts() {
+        let out = run(
+            r#"for $i in /site//item order by zero-or-one($i/name) return $i/name/text()"#,
+        );
+        assert_eq!(out, "cup\ngold ring");
+        let out = run(
+            r#"for $i in /site//item order by zero-or-one($i/name) descending return $i/name/text()"#,
+        );
+        assert_eq!(out, "gold ring\ncup");
+    }
+
+    #[test]
+    fn quantified_before() {
+        let out = run(
+            r#"for $b in /site/open_auctions/open_auction where some $x in $b/bidder/personref[@person = "person0"], $y in $b/bidder/personref[@person = "person1"] satisfies $x << $y return <yes/>"#,
+        );
+        assert_eq!(out, "<yes/>");
+        let out = run(
+            r#"for $b in /site/open_auctions/open_auction where some $x in $b/bidder/personref[@person = "person1"], $y in $b/bidder/personref[@person = "person0"] satisfies $x << $y return <yes/>"#,
+        );
+        assert_eq!(out, "");
+    }
+
+    #[test]
+    fn udf_application() {
+        let out = run(
+            "declare function local:convert($v) { 2.20371 * $v }; for $i in /site/open_auctions/open_auction return local:convert(zero-or-one($i/initial/text()))",
+        );
+        let value: f64 = out.parse().unwrap();
+        assert!((value - 22.0371).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicate_on_attributes_numeric() {
+        assert_eq!(
+            run(r#"count(/site/people/person/profile[@income >= 90000])"#),
+            "1"
+        );
+        assert_eq!(
+            run(r#"count(/site/people/person/profile[@income < 90000])"#),
+            "0"
+        );
+    }
+
+    #[test]
+    fn distinct_values_dedups() {
+        let out = run(r#"for $x in distinct-values(/site/open_auctions/open_auction/bidder/personref/@person) return <p>{$x}</p>"#);
+        assert_eq!(out, "<p>person0</p>\n<p>person1</p>");
+    }
+
+    #[test]
+    fn reconstruction_copies_subtrees() {
+        let out = run(r#"for $i in /site/regions/europe/item[@id = "item1"] return <item name="{$i/name/text()}">{$i/description}</item>"#);
+        assert_eq!(
+            out,
+            r#"<item name="cup"><description><text>plain tin</text></description></item>"#
+        );
+    }
+
+    #[test]
+    fn arithmetic_with_empty_is_empty() {
+        assert_eq!(run("count(2 * /site/people/person[@id = \"ghost\"]/name)"), "0");
+    }
+
+    #[test]
+    fn sum_and_number_functions() {
+        assert_eq!(
+            run("sum(/site/open_auctions/open_auction/bidder/increase)"),
+            "25"
+        );
+        assert_eq!(run("sum(())"), "0");
+        assert_eq!(run("number(/site/open_auctions/open_auction/initial)"), "10");
+        assert_eq!(run("count(number(/site/people/person/name))"), "0");
+    }
+
+    #[test]
+    fn exists_and_not() {
+        assert_eq!(run("exists(/site/people/person)"), "true");
+        assert_eq!(run("exists(/site/ghosts)"), "false");
+        assert_eq!(run("not(empty(/site/people/person))"), "true");
+    }
+
+    #[test]
+    fn data_atomizes_attributes() {
+        assert_eq!(
+            run("data(/site/people/person/profile/@income)"),
+            "95000.00"
+        );
+    }
+
+    #[test]
+    fn zero_or_one_rejects_long_sequences() {
+        let store = NaiveStore::load(DOC).unwrap();
+        let query = parse_query("zero-or-one(/site/people/person)").unwrap();
+        let eval = Evaluator::new(&store, &query);
+        assert!(matches!(
+            eval.run(&query),
+            Err(EvalError::Cardinality("zero-or-one"))
+        ));
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let store = NaiveStore::load(DOC).unwrap();
+        let query = parse_query("count(1, 2)").unwrap();
+        let eval = Evaluator::new(&store, &query);
+        assert!(matches!(eval.run(&query), Err(EvalError::Arity(_))));
+    }
+
+    #[test]
+    fn wildcard_and_descendant_text_steps() {
+        assert_eq!(run("count(/site/regions/europe/item[@id = \"item0\"]/*)"), "2");
+        let out = run(r#"for $t in /site/regions/europe/item[@id = "item0"]//text() return $t"#);
+        assert_eq!(out, "gold ring\npure gold");
+    }
+
+    #[test]
+    fn or_expressions_shortcircuit() {
+        assert_eq!(
+            run(r#"count(for $p in /site/people/person where $p/@id = "person0" or $p/homepage return $p)"#),
+            "2"
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let store = NaiveStore::load(DOC).unwrap();
+        let query = parse_query("$undefined").unwrap();
+        let eval = Evaluator::new(&store, &query);
+        assert!(matches!(
+            eval.run(&query),
+            Err(EvalError::UndefinedVariable(_))
+        ));
+        let query = parse_query("nosuchfn(1)").unwrap();
+        let eval = Evaluator::new(&store, &query);
+        assert!(matches!(
+            eval.run(&query),
+            Err(EvalError::UnknownFunction(_))
+        ));
+    }
+}

@@ -1,0 +1,949 @@
+//! A scannerless recursive-descent parser for the XQuery subset.
+//!
+//! Scannerless because XQuery's direct element constructors switch the
+//! lexical mode mid-expression (`<item name="{$k}">{$b/location/text()}`
+//! mixes XML text, attribute-value templates and nested expressions); with
+//! character-level parsing the mode switch is just a different production.
+
+use crate::ast::*;
+
+/// Parse errors, with byte offsets into the query text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the problem was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a complete query (function declarations + body).
+pub fn parse_query(input: &str) -> PResult<Query> {
+    let mut p = Parser { input, pos: 0 };
+    let mut functions = Vec::new();
+    loop {
+        p.ws();
+        if p.peek_kw("declare") {
+            functions.push(p.parse_function_decl()?);
+        } else {
+            break;
+        }
+    }
+    let body = p.parse_expr()?;
+    p.ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing input after query body"));
+    }
+    Ok(Query { functions, body })
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':' | b'.')
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes().get(self.pos + ahead).copied()
+    }
+
+    fn ws(&mut self) {
+        let b = self.bytes();
+        while self.pos < b.len() {
+            if b[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            } else if self.input[self.pos..].starts_with("(:") {
+                // XQuery comment.
+                match self.input[self.pos..].find(":)") {
+                    Some(rel) => self.pos += rel + 2,
+                    None => {
+                        self.pos = b.len();
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Does a keyword (with a word boundary) start here? Does not consume.
+    fn peek_kw(&self, kw: &str) -> bool {
+        let rest = &self.input[self.pos..];
+        rest.starts_with(kw)
+            && !rest[kw.len()..]
+                .bytes()
+                .next()
+                .is_some_and(is_name_char)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> PResult<()> {
+        self.ws();
+        if self.peek_kw(kw) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> PResult<()> {
+        self.ws();
+        if self.input[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn try_eat(&mut self, s: &str) -> bool {
+        self.ws();
+        if self.input[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_name(&mut self) -> PResult<String> {
+        self.ws();
+        let start = self.pos;
+        let b = self.bytes();
+        if self.pos >= b.len() || !is_name_start(b[self.pos]) {
+            return Err(self.err("expected a name"));
+        }
+        while self.pos < b.len() && is_name_char(b[self.pos]) {
+            self.pos += 1;
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_var_name(&mut self) -> PResult<String> {
+        self.eat("$")?;
+        // No whitespace between `$` and the name.
+        let b = self.bytes();
+        let start = self.pos;
+        if self.pos >= b.len() || !is_name_start(b[self.pos]) {
+            return Err(self.err("expected a variable name after `$`"));
+        }
+        while self.pos < b.len() && is_name_char(b[self.pos]) {
+            self.pos += 1;
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_string_literal(&mut self) -> PResult<String> {
+        self.ws();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a string literal")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        let b = self.bytes();
+        while self.pos < b.len() && b[self.pos] != quote {
+            self.pos += 1;
+        }
+        if self.pos >= b.len() {
+            return Err(self.err("unterminated string literal"));
+        }
+        let s = self.input[start..self.pos].to_string();
+        self.pos += 1;
+        Ok(s)
+    }
+
+    fn parse_number(&mut self) -> PResult<f64> {
+        self.ws();
+        let start = self.pos;
+        let b = self.bytes();
+        while self.pos < b.len() && b[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self.pos < self.bytes().len() && self.bytes()[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        self.input[start..self.pos]
+            .parse::<f64>()
+            .map_err(|e| self.err(format!("bad numeric literal: {e}")))
+    }
+
+    // ---- declarations ----------------------------------------------------
+
+    fn parse_function_decl(&mut self) -> PResult<FunctionDecl> {
+        self.eat_kw("declare")?;
+        self.eat_kw("function")?;
+        let name = self.parse_name()?;
+        self.eat("(")?;
+        let mut params = Vec::new();
+        self.ws();
+        if self.peek() != Some(b')') {
+            loop {
+                params.push(self.parse_var_name()?);
+                if !self.try_eat(",") {
+                    break;
+                }
+            }
+        }
+        self.eat(")")?;
+        self.eat("{")?;
+        let body = self.parse_expr()?;
+        self.eat("}")?;
+        self.eat(";")?;
+        Ok(FunctionDecl { name, params, body })
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        self.ws();
+        if self.peek_kw("for") || self.peek_kw("let") {
+            return self.parse_flwor();
+        }
+        if self.peek_kw("some") {
+            return self.parse_quantified();
+        }
+        self.parse_or()
+    }
+
+    fn parse_flwor(&mut self) -> PResult<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            self.ws();
+            if self.peek_kw("for") {
+                self.eat_kw("for")?;
+                loop {
+                    let var = self.parse_var_name()?;
+                    self.eat_kw("in")?;
+                    let expr = self.parse_expr()?;
+                    clauses.push(Clause::For(var, expr));
+                    if !self.try_eat(",") {
+                        break;
+                    }
+                }
+            } else if self.peek_kw("let") {
+                self.eat_kw("let")?;
+                loop {
+                    let var = self.parse_var_name()?;
+                    self.eat(":=")?;
+                    let expr = self.parse_expr()?;
+                    clauses.push(Clause::Let(var, expr));
+                    if !self.try_eat(",") {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        self.ws();
+        let where_clause = if self.peek_kw("where") {
+            self.eat_kw("where")?;
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.ws();
+        let order_by = if self.peek_kw("order") {
+            self.eat_kw("order")?;
+            self.eat_kw("by")?;
+            let key = self.parse_or()?;
+            self.ws();
+            let ascending = if self.peek_kw("descending") {
+                self.eat_kw("descending")?;
+                false
+            } else {
+                if self.peek_kw("ascending") {
+                    self.eat_kw("ascending")?;
+                }
+                true
+            };
+            Some((key, ascending))
+        } else {
+            None
+        };
+        self.eat_kw("return")?;
+        let ret = self.parse_expr()?;
+        Ok(Expr::Flwor(Box::new(Flwor {
+            clauses,
+            where_clause,
+            order_by,
+            ret,
+        })))
+    }
+
+    fn parse_quantified(&mut self) -> PResult<Expr> {
+        self.eat_kw("some")?;
+        let mut bindings = Vec::new();
+        loop {
+            let var = self.parse_var_name()?;
+            self.eat_kw("in")?;
+            // Bindings bind tighter than `satisfies`.
+            let expr = self.parse_or()?;
+            bindings.push((var, expr));
+            if !self.try_eat(",") {
+                break;
+            }
+        }
+        self.eat_kw("satisfies")?;
+        let satisfies = self.parse_expr()?;
+        Ok(Expr::Some {
+            bindings,
+            satisfies: Box::new(satisfies),
+        })
+    }
+
+    fn parse_or(&mut self) -> PResult<Expr> {
+        let first = self.parse_and()?;
+        let mut parts = vec![first];
+        loop {
+            self.ws();
+            if self.peek_kw("or") {
+                self.eat_kw("or")?;
+                parts.push(self.parse_and()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Expr::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> PResult<Expr> {
+        let first = self.parse_cmp()?;
+        let mut parts = vec![first];
+        loop {
+            self.ws();
+            if self.peek_kw("and") {
+                self.eat_kw("and")?;
+                parts.push(self.parse_cmp()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Expr::And(parts)
+        })
+    }
+
+    fn parse_cmp(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_add()?;
+        self.ws();
+        let rest = &self.input[self.pos..];
+        let (op, len) = if rest.starts_with("<<") {
+            let rhs_start = self.pos + 2;
+            self.pos = rhs_start;
+            let rhs = self.parse_add()?;
+            return Ok(Expr::Before(Box::new(lhs), Box::new(rhs)));
+        } else if rest.starts_with("<=") {
+            (CmpOp::Le, 2)
+        } else if rest.starts_with(">=") {
+            (CmpOp::Ge, 2)
+        } else if rest.starts_with("!=") {
+            (CmpOp::Ne, 2)
+        } else if rest.starts_with('<') {
+            (CmpOp::Lt, 1)
+        } else if rest.starts_with('>') {
+            (CmpOp::Gt, 1)
+        } else if rest.starts_with('=') {
+            (CmpOp::Eq, 1)
+        } else {
+            return Ok(lhs);
+        };
+        self.pos += len;
+        let rhs = self.parse_add()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_add(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            self.ws();
+            let op = match self.peek() {
+                Some(b'+') => ArithOp::Add,
+                Some(b'-') => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            self.ws();
+            let op = if self.peek() == Some(b'*') {
+                self.pos += 1;
+                ArithOp::Mul
+            } else if self.peek_kw("div") {
+                self.eat_kw("div")?;
+                ArithOp::Div
+            } else if self.peek_kw("mod") {
+                self.eat_kw("mod")?;
+                ArithOp::Mod
+            } else {
+                break;
+            };
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        self.ws();
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.parse_path_expr()
+    }
+
+    /// A primary expression possibly extended with `/step` navigation.
+    fn parse_path_expr(&mut self) -> PResult<Expr> {
+        self.ws();
+        // Rooted path.
+        if self.peek() == Some(b'/') {
+            let steps = self.parse_steps()?;
+            return Ok(Expr::Path {
+                base: PathBase::Root,
+                steps,
+            });
+        }
+        let primary = self.parse_primary()?;
+        self.ws();
+        if self.peek() == Some(b'/') {
+            let steps = self.parse_steps()?;
+            let base = match primary {
+                Expr::Var(name) => PathBase::Var(name),
+                Expr::Path {
+                    base,
+                    steps: existing,
+                } if existing.is_empty() => base,
+                Expr::Path {
+                    base,
+                    steps: mut existing,
+                } => {
+                    existing.extend(steps);
+                    return Ok(Expr::Path {
+                        base,
+                        steps: existing,
+                    });
+                }
+                other => PathBase::Expr(Box::new(other)),
+            };
+            return Ok(Expr::Path { base, steps });
+        }
+        Ok(primary)
+    }
+
+    /// Parse one or more `/step` / `//step` sequences.
+    fn parse_steps(&mut self) -> PResult<Vec<Step>> {
+        let mut steps = Vec::new();
+        loop {
+            self.ws();
+            if self.peek() != Some(b'/') {
+                break;
+            }
+            self.pos += 1;
+            let axis = if self.peek() == Some(b'/') {
+                self.pos += 1;
+                Axis::Descendant
+            } else {
+                Axis::Child
+            };
+            steps.push(self.parse_step(axis)?);
+        }
+        Ok(steps)
+    }
+
+    fn parse_step(&mut self, axis: Axis) -> PResult<Step> {
+        self.ws();
+        let (axis, test) = match self.peek() {
+            Some(b'@') => {
+                self.pos += 1;
+                let name = self.parse_name()?;
+                (Axis::Attribute, NodeTest::Tag(name))
+            }
+            Some(b'*') => {
+                self.pos += 1;
+                (axis, NodeTest::Wildcard)
+            }
+            _ => {
+                let name = self.parse_name()?;
+                if name == "text" && self.try_eat("(") {
+                    self.eat(")")?;
+                    (axis, NodeTest::Text)
+                } else {
+                    (axis, NodeTest::Tag(name))
+                }
+            }
+        };
+        let mut preds = Vec::new();
+        loop {
+            self.ws();
+            if self.peek() != Some(b'[') {
+                break;
+            }
+            self.pos += 1;
+            preds.push(self.parse_predicate()?);
+            self.eat("]")?;
+        }
+        Ok(Step { axis, test, preds })
+    }
+
+    fn parse_predicate(&mut self) -> PResult<Pred> {
+        self.ws();
+        // `[3]` and `[last()]` get dedicated forms so backends can use
+        // positional indexes (paper Q2/Q3).
+        let snapshot = self.pos;
+        if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            let n = self.parse_number()?;
+            self.ws();
+            if self.peek() == Some(b']') && n.fract() == 0.0 && n >= 1.0 {
+                return Ok(Pred::Position(n as usize));
+            }
+            self.pos = snapshot;
+        }
+        if self.peek_kw("last") {
+            let before = self.pos;
+            let _ = self.parse_name();
+            if self.try_eat("(") && self.try_eat(")") {
+                self.ws();
+                if self.peek() == Some(b']') {
+                    return Ok(Pred::Last);
+                }
+            }
+            self.pos = before;
+        }
+        Ok(Pred::Expr(self.parse_expr()?))
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        self.ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                self.ws();
+                if self.peek() == Some(b')') {
+                    self.pos += 1;
+                    return Ok(Expr::Empty);
+                }
+                let mut parts = vec![self.parse_expr()?];
+                while self.try_eat(",") {
+                    parts.push(self.parse_expr()?);
+                }
+                self.eat(")")?;
+                Ok(if parts.len() == 1 {
+                    parts.pop().expect("one element")
+                } else {
+                    Expr::Sequence(parts)
+                })
+            }
+            Some(b'"' | b'\'') => Ok(Expr::Str(self.parse_string_literal()?)),
+            Some(b) if b.is_ascii_digit() => Ok(Expr::Num(self.parse_number()?)),
+            Some(b'$') => {
+                let name = self.parse_var_name()?;
+                Ok(Expr::Var(name))
+            }
+            Some(b'<') => {
+                let ctor = self.parse_element_ctor()?;
+                Ok(Expr::Element(Box::new(ctor)))
+            }
+            Some(b'@') => {
+                // Relative attribute path: `[@id = "person0"]`.
+                self.pos += 1;
+                let name = self.parse_name()?;
+                Ok(Expr::Path {
+                    base: PathBase::Context,
+                    steps: vec![Step {
+                        axis: Axis::Attribute,
+                        test: NodeTest::Tag(name),
+                        preds: Vec::new(),
+                    }],
+                })
+            }
+            Some(b) if is_name_start(b) => {
+                let name = self.parse_name()?;
+                self.ws();
+                if self.peek() == Some(b'(') {
+                    // Function call — `document("…")` resolves to the root.
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    self.ws();
+                    if self.peek() != Some(b')') {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.try_eat(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(")")?;
+                    if name == "document" || name == "doc" || name == "fn:doc" {
+                        return Ok(Expr::Path {
+                            base: PathBase::Root,
+                            steps: Vec::new(),
+                        });
+                    }
+                    let canonical = name.strip_prefix("fn:").unwrap_or(&name).to_string();
+                    Ok(Expr::Call(canonical, args))
+                } else {
+                    // Relative child path: `price > 40` inside a predicate,
+                    // or Q19's original `site/regions//item`.
+                    let mut preds = Vec::new();
+                    loop {
+                        self.ws();
+                        if self.peek() != Some(b'[') {
+                            break;
+                        }
+                        self.pos += 1;
+                        preds.push(self.parse_predicate()?);
+                        self.eat("]")?;
+                    }
+                    let first = if name == "text" {
+                        // Not reachable for `text()` (handled as a call),
+                        // but a plain `text` child test is legal.
+                        Step {
+                            axis: Axis::Child,
+                            test: NodeTest::Tag(name),
+                            preds,
+                        }
+                    } else {
+                        Step {
+                            axis: Axis::Child,
+                            test: NodeTest::Tag(name),
+                            preds,
+                        }
+                    };
+                    Ok(Expr::Path {
+                        base: PathBase::Context,
+                        steps: vec![first],
+                    })
+                }
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+
+    // ---- element constructors --------------------------------------------
+
+    fn parse_element_ctor(&mut self) -> PResult<ElementCtor> {
+        self.eat("<")?;
+        // No whitespace skipping: `<` must be directly followed by the tag.
+        let tag = self.parse_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.eat("/>")?;
+                    return Ok(ElementCtor {
+                        tag,
+                        attrs,
+                        content: Vec::new(),
+                    });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    let content = self.parse_ctor_content(&tag)?;
+                    return Ok(ElementCtor {
+                        tag,
+                        attrs,
+                        content,
+                    });
+                }
+                Some(b) if is_name_start(b) => {
+                    let attr_name = self.parse_name()?;
+                    self.eat("=")?;
+                    self.ws();
+                    let parts = self.parse_attr_value_template()?;
+                    attrs.push((attr_name, parts));
+                }
+                _ => return Err(self.err("malformed element constructor")),
+            }
+        }
+    }
+
+    fn parse_attr_value_template(&mut self) -> PResult<Vec<AttrPart>> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted attribute value")),
+        };
+        self.pos += 1;
+        let mut parts = Vec::new();
+        let mut lit = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(q) if q == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'{') => {
+                    if !lit.is_empty() {
+                        parts.push(AttrPart::Lit(std::mem::take(&mut lit)));
+                    }
+                    self.pos += 1;
+                    let expr = self.parse_expr()?;
+                    self.eat("}")?;
+                    parts.push(AttrPart::Expr(expr));
+                }
+                Some(c) => {
+                    lit.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        if !lit.is_empty() {
+            parts.push(AttrPart::Lit(lit));
+        }
+        Ok(parts)
+    }
+
+    fn parse_ctor_content(&mut self, open_tag: &str) -> PResult<Vec<Content>> {
+        let mut content = Vec::new();
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(format!("unterminated <{open_tag}> constructor"))),
+                Some(b'<') => {
+                    if !text.trim().is_empty() {
+                        content.push(Content::Text(std::mem::take(&mut text)));
+                    } else {
+                        text.clear();
+                    }
+                    if self.peek_at(1) == Some(b'/') {
+                        self.pos += 2;
+                        let close = self.parse_name()?;
+                        if close != open_tag {
+                            return Err(self.err(format!(
+                                "mismatched constructor: <{open_tag}> closed by </{close}>"
+                            )));
+                        }
+                        self.eat(">")?;
+                        return Ok(content);
+                    }
+                    let nested = self.parse_element_ctor()?;
+                    content.push(Content::Element(nested));
+                }
+                Some(b'{') => {
+                    if !text.trim().is_empty() {
+                        content.push(Content::Text(std::mem::take(&mut text)));
+                    } else {
+                        text.clear();
+                    }
+                    self.pos += 1;
+                    let mut parts = vec![self.parse_expr()?];
+                    while self.try_eat(",") {
+                        parts.push(self.parse_expr()?);
+                    }
+                    self.eat("}")?;
+                    let expr = if parts.len() == 1 {
+                        parts.pop().expect("one element")
+                    } else {
+                        Expr::Sequence(parts)
+                    };
+                    content.push(Content::Expr(expr));
+                }
+                Some(c) => {
+                    text.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Query {
+        parse_query(s).unwrap_or_else(|e| panic!("{e}\nquery: {s}"))
+    }
+
+    #[test]
+    fn parses_q1_shape() {
+        let q = parse(
+            r#"for $b in document("auction.xml")/site/people/person[@id = "person0"] return $b/name/text()"#,
+        );
+        let Expr::Flwor(f) = &q.body else {
+            panic!("expected FLWOR");
+        };
+        assert_eq!(f.clauses.len(), 1);
+        let Clause::For(var, Expr::Path { base, steps }) = &f.clauses[0] else {
+            panic!("expected for-path");
+        };
+        assert_eq!(var, "b");
+        assert_eq!(*base, PathBase::Root);
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[2].preds.len(), 1);
+    }
+
+    #[test]
+    fn parses_positional_and_last_predicates() {
+        let q = parse("for $b in /site/x return $b/bidder[1]/increase[last()]");
+        let Expr::Flwor(f) = &q.body else { panic!() };
+        let Expr::Path { steps, .. } = &f.ret else {
+            panic!("expected path return")
+        };
+        assert_eq!(steps[0].preds, vec![Pred::Position(1)]);
+        assert_eq!(steps[1].preds, vec![Pred::Last]);
+    }
+
+    #[test]
+    fn parses_before_operator() {
+        let q = parse("for $b in /a where some $x in $b/c, $y in $b/d satisfies $x << $y return $b");
+        let Expr::Flwor(f) = &q.body else { panic!() };
+        let Some(Expr::Some { bindings, satisfies }) = &f.where_clause else {
+            panic!("expected quantifier");
+        };
+        assert_eq!(bindings.len(), 2);
+        assert!(matches!(**satisfies, Expr::Before(..)));
+    }
+
+    #[test]
+    fn parses_descendant_axis() {
+        let q = parse("count(/site/regions//item)");
+        let Expr::Call(name, args) = &q.body else { panic!() };
+        assert_eq!(name, "count");
+        let Expr::Path { steps, .. } = &args[0] else { panic!() };
+        assert_eq!(steps[2].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn parses_constructor_with_templates() {
+        let q = parse(r#"for $b in /a return <item name="{$b/name/text()}" kind="x{1}y">{$b/location/text()} fixed</item>"#);
+        let Expr::Flwor(f) = &q.body else { panic!() };
+        let Expr::Element(ctor) = &f.ret else { panic!() };
+        assert_eq!(ctor.tag, "item");
+        assert_eq!(ctor.attrs.len(), 2);
+        assert_eq!(ctor.attrs[1].1.len(), 3); // "x", {1}, "y"
+        assert_eq!(ctor.content.len(), 2);
+    }
+
+    #[test]
+    fn parses_nested_constructors_and_sequences() {
+        let q = parse(r#"for $i in /a return <categorie>{<id>{$i}</id>, $i}</categorie>"#);
+        let Expr::Flwor(f) = &q.body else { panic!() };
+        let Expr::Element(ctor) = &f.ret else { panic!() };
+        let Content::Expr(Expr::Sequence(parts)) = &ctor.content[0] else {
+            panic!("expected sequence content");
+        };
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn parses_function_declarations() {
+        let q = parse("declare function local:convert($v) { 2.20371 * $v }; for $i in /a return local:convert($i)");
+        assert_eq!(q.functions.len(), 1);
+        assert_eq!(q.functions[0].name, "local:convert");
+        assert_eq!(q.functions[0].params, vec!["v"]);
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let q = parse("1 + 2 * 3");
+        let Expr::Arith(ArithOp::Add, _, rhs) = &q.body else { panic!() };
+        assert!(matches!(**rhs, Expr::Arith(ArithOp::Mul, ..)));
+    }
+
+    #[test]
+    fn parses_where_with_and() {
+        let q = parse(
+            "for $t in /a, $e in /b where $t/x = $e/y and $t/z = 3 return $t",
+        );
+        let Expr::Flwor(f) = &q.body else { panic!() };
+        assert_eq!(f.clauses.len(), 2);
+        assert!(matches!(f.where_clause, Some(Expr::And(_))));
+    }
+
+    #[test]
+    fn parses_order_by() {
+        let q = parse("for $b in /a order by zero-or-one($b/location) ascending return $b");
+        let Expr::Flwor(f) = &q.body else { panic!() };
+        let Some((Expr::Call(name, _), true)) = &f.order_by else {
+            panic!("expected ascending call key");
+        };
+        assert_eq!(name, "zero-or-one");
+    }
+
+    #[test]
+    fn parses_relative_paths_in_predicates() {
+        let q = parse(r#"count(/site/people/person/profile[@income >= 100000 and @income < 200000])"#);
+        let Expr::Call(_, args) = &q.body else { panic!() };
+        let Expr::Path { steps, .. } = &args[0] else { panic!() };
+        assert_eq!(steps[3].preds.len(), 1);
+    }
+
+    #[test]
+    fn parses_comments() {
+        let q = parse("(: baseline :) count(/site)");
+        assert!(matches!(q.body, Expr::Call(..)));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("count(/a) nonsense").is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_constructor() {
+        assert!(parse_query("<a>{1}</b>").is_err());
+    }
+
+    #[test]
+    fn empty_parens_parse() {
+        let q = parse("count(())");
+        let Expr::Call(_, args) = &q.body else { panic!() };
+        assert_eq!(args[0], Expr::Empty);
+    }
+}

@@ -1,0 +1,272 @@
+//! The query result model: items, sequences, serialization and
+//! canonicalization.
+//!
+//! §1 of the paper: "Our experience suggests that the problem of deciding
+//! when to regard the output of XML query processors as equivalent still
+//! requires research." Our answer, for the benchmark's own verification
+//! suite, is [`canonicalize`]: serialize every item, with constructed
+//! elements' attributes sorted, and join with newlines — two engines (or
+//! two storage backends) agree iff their canonical outputs are equal.
+
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use xmark_store::{Node, XmlStore};
+
+/// A constructed element (the output of a direct element constructor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CElem {
+    /// Tag name.
+    pub tag: String,
+    /// Attributes in construction order.
+    pub attrs: Vec<(String, String)>,
+    /// Children: copied store nodes, atomics, nested constructions.
+    pub children: Vec<Item>,
+}
+
+/// One item of a result sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A node of the queried store.
+    Node(Node),
+    /// A string.
+    Str(Rc<str>),
+    /// A number (XQuery `double`).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A constructed element.
+    Elem(Rc<CElem>),
+}
+
+impl Item {
+    /// Build a string item.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Item::Str(Rc::from(s.as_ref()))
+    }
+}
+
+/// A sequence of items — every expression evaluates to one.
+pub type Sequence = Vec<Item>;
+
+/// Format a number the XQuery way: integral values print without a
+/// fractional part.
+pub fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// The atomized (string) value of an item.
+pub fn atomize(store: &dyn XmlStore, item: &Item) -> String {
+    match item {
+        Item::Node(n) => store.string_value(*n),
+        Item::Str(s) => s.to_string(),
+        Item::Num(n) => format_number(*n),
+        Item::Bool(b) => b.to_string(),
+        Item::Elem(e) => {
+            let mut out = String::new();
+            elem_string_value(store, e, &mut out);
+            out
+        }
+    }
+}
+
+fn elem_string_value(store: &dyn XmlStore, elem: &CElem, out: &mut String) {
+    for child in &elem.children {
+        match child {
+            Item::Node(n) => store.string_value_into(*n, out),
+            Item::Str(s) => out.push_str(s),
+            Item::Num(n) => out.push_str(&format_number(*n)),
+            Item::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Item::Elem(e) => elem_string_value(store, e, out),
+        }
+    }
+}
+
+/// The numeric value of an item, if it has one.
+pub fn number(store: &dyn XmlStore, item: &Item) -> Option<f64> {
+    match item {
+        Item::Num(n) => Some(*n),
+        Item::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        _ => atomize(store, item).trim().parse::<f64>().ok(),
+    }
+}
+
+/// Serialize one item as XML text (store nodes reconstruct through the
+/// store — the cost Q13 measures).
+pub fn serialize_item(store: &dyn XmlStore, item: &Item, out: &mut String) {
+    serialize_opts(store, item, out, false)
+}
+
+fn serialize_opts(store: &dyn XmlStore, item: &Item, out: &mut String, canonical: bool) {
+    match item {
+        Item::Node(n) => store.serialize_node(*n, out),
+        Item::Str(s) => xmark_xml::escape::escape_text_into(s, out),
+        Item::Num(n) => out.push_str(&format_number(*n)),
+        Item::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Item::Elem(e) => {
+            out.push('<');
+            out.push_str(&e.tag);
+            if canonical {
+                let mut sorted: Vec<_> = e.attrs.iter().collect();
+                sorted.sort();
+                for (name, value) in sorted {
+                    write_attr(name, value, out);
+                }
+            } else {
+                for (name, value) in &e.attrs {
+                    write_attr(name, value, out);
+                }
+            }
+            if e.children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            for (i, child) in e.children.iter().enumerate() {
+                // Adjacent atomic items are separated by a space, per the
+                // XQuery serialization rules.
+                if i > 0
+                    && matches!(child, Item::Str(_) | Item::Num(_) | Item::Bool(_))
+                    && matches!(
+                        e.children[i - 1],
+                        Item::Str(_) | Item::Num(_) | Item::Bool(_)
+                    )
+                {
+                    out.push(' ');
+                }
+                serialize_opts(store, child, out, canonical);
+            }
+            out.push_str("</");
+            out.push_str(&e.tag);
+            out.push('>');
+        }
+    }
+}
+
+fn write_attr(name: &str, value: &str, out: &mut String) {
+    out.push(' ');
+    out.push_str(name);
+    out.push_str("=\"");
+    xmark_xml::escape::escape_attr_into(value, out);
+    out.push('"');
+}
+
+/// Serialize a whole sequence, one item per line.
+pub fn serialize_sequence(store: &dyn XmlStore, seq: &[Item]) -> String {
+    let mut out = String::new();
+    for (i, item) in seq.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        serialize_item(store, item, &mut out);
+    }
+    out
+}
+
+/// Canonical serialization for output-equivalence checking.
+pub fn canonicalize(store: &dyn XmlStore, seq: &[Item]) -> String {
+    let mut out = String::new();
+    for (i, item) in seq.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        serialize_opts(store, item, &mut out, true);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmark_store::NaiveStore;
+
+    fn store() -> NaiveStore {
+        NaiveStore::load(r#"<site><name>Alice</name></site>"#).unwrap()
+    }
+
+    #[test]
+    fn number_formatting_trims_integers() {
+        assert_eq!(format_number(2.0), "2");
+        assert_eq!(format_number(2.5), "2.5");
+        assert_eq!(format_number(-3.0), "-3");
+    }
+
+    #[test]
+    fn atomize_handles_every_item_kind() {
+        let s = store();
+        let names = s.descendants_named(s.root(), "name");
+        assert_eq!(atomize(&s, &Item::Node(names[0])), "Alice");
+        assert_eq!(atomize(&s, &Item::str("x")), "x");
+        assert_eq!(atomize(&s, &Item::Num(4.0)), "4");
+        assert_eq!(atomize(&s, &Item::Bool(true)), "true");
+        let elem = Item::Elem(Rc::new(CElem {
+            tag: "t".into(),
+            attrs: vec![],
+            children: vec![Item::str("a"), Item::Node(names[0])],
+        }));
+        assert_eq!(atomize(&s, &elem), "aAlice");
+    }
+
+    #[test]
+    fn serialization_escapes_and_nests() {
+        let s = store();
+        let elem = Item::Elem(Rc::new(CElem {
+            tag: "increase".into(),
+            attrs: vec![("first".into(), "1<2".into())],
+            children: vec![Item::str("a&b")],
+        }));
+        let mut out = String::new();
+        serialize_item(&s, &elem, &mut out);
+        assert_eq!(out, r#"<increase first="1&lt;2">a&amp;b</increase>"#);
+    }
+
+    #[test]
+    fn canonicalize_sorts_constructed_attributes() {
+        let s = store();
+        let elem = Item::Elem(Rc::new(CElem {
+            tag: "e".into(),
+            attrs: vec![("z".into(), "1".into()), ("a".into(), "2".into())],
+            children: vec![],
+        }));
+        assert_eq!(canonicalize(&s, std::slice::from_ref(&elem)), r#"<e a="2" z="1"/>"#);
+        let mut plain = String::new();
+        serialize_item(&s, &elem, &mut plain);
+        assert_eq!(plain, r#"<e z="1" a="2"/>"#);
+    }
+
+    #[test]
+    fn adjacent_atomics_get_space_separated() {
+        let s = store();
+        let elem = Item::Elem(Rc::new(CElem {
+            tag: "t".into(),
+            attrs: vec![],
+            children: vec![Item::Num(1.0), Item::Num(2.0)],
+        }));
+        let mut out = String::new();
+        serialize_item(&s, &elem, &mut out);
+        assert_eq!(out, "<t>1 2</t>");
+    }
+
+    #[test]
+    fn sequence_serialization_is_line_separated() {
+        let s = store();
+        let seq = vec![Item::Num(1.0), Item::str("two")];
+        assert_eq!(serialize_sequence(&s, &seq), "1\ntwo");
+    }
+
+    #[test]
+    fn number_parses_node_text() {
+        let s = NaiveStore::load("<a><price>40.5</price></a>").unwrap();
+        let price = s.descendants_named(s.root(), "price")[0];
+        assert_eq!(number(&s, &Item::Node(price)), Some(40.5));
+        assert_eq!(number(&s, &Item::str("x")), None);
+    }
+}

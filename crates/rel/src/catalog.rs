@@ -1,0 +1,158 @@
+//! The catalog: named tables, named indexes, and metadata accounting.
+//!
+//! Table 2 of the paper shows that System A (one big heap relation) spends
+//! *half* as much time compiling Q1 as System B (a highly fragmenting
+//! mapping) because "System A has to access fewer metadata to compile a
+//! query". To reproduce that effect honestly, every catalog lookup during
+//! query compilation goes through [`Catalog::lookup_table`] /
+//! [`Catalog::lookup_hash_index`], which count accesses; the fragmented store
+//! has hundreds of tables and pays proportionally.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use crate::index::{BTreeIndex, HashIndex};
+use crate::table::Table;
+
+/// A named collection of tables and secondary indexes.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    hash_indexes: HashMap<String, HashIndex>,
+    btree_indexes: HashMap<String, BTreeIndex>,
+    metadata_accesses: Cell<u64>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `table` under its own name.
+    ///
+    /// # Panics
+    /// Panics on duplicate registration — a store-construction bug.
+    pub fn register_table(&mut self, table: Table) {
+        let name = table.name.clone();
+        let previous = self.tables.insert(name.clone(), table);
+        assert!(previous.is_none(), "table {name} registered twice");
+    }
+
+    /// Register a hash index under `name`.
+    pub fn register_hash_index(&mut self, name: impl Into<String>, index: HashIndex) {
+        let name = name.into();
+        let previous = self.hash_indexes.insert(name.clone(), index);
+        assert!(previous.is_none(), "hash index {name} registered twice");
+    }
+
+    /// Register a B-tree index under `name`.
+    pub fn register_btree_index(&mut self, name: impl Into<String>, index: BTreeIndex) {
+        let name = name.into();
+        let previous = self.btree_indexes.insert(name.clone(), index);
+        assert!(previous.is_none(), "btree index {name} registered twice");
+    }
+
+    /// Look up a table, **counting the access** (compile-time metadata
+    /// cost).
+    pub fn lookup_table(&self, name: &str) -> Option<&Table> {
+        self.metadata_accesses.set(self.metadata_accesses.get() + 1);
+        self.tables.get(name)
+    }
+
+    /// Look up a hash index, counting the access.
+    pub fn lookup_hash_index(&self, name: &str) -> Option<&HashIndex> {
+        self.metadata_accesses.set(self.metadata_accesses.get() + 1);
+        self.hash_indexes.get(name)
+    }
+
+    /// Look up a B-tree index, counting the access.
+    pub fn lookup_btree_index(&self, name: &str) -> Option<&BTreeIndex> {
+        self.metadata_accesses.set(self.metadata_accesses.get() + 1);
+        self.btree_indexes.get(name)
+    }
+
+    /// Number of registered tables ("breadth" of the physical mapping).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Names of all tables (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Metadata accesses since the last [`Catalog::reset_metadata_counter`].
+    pub fn metadata_accesses(&self) -> u64 {
+        self.metadata_accesses.get()
+    }
+
+    /// Reset the access counter (the harness does this per query).
+    pub fn reset_metadata_counter(&self) {
+        self.metadata_accesses.set(0);
+    }
+
+    /// Total resident bytes of tables and indexes — Table 1's "Size".
+    pub fn heap_size_bytes(&self) -> usize {
+        self.tables.values().map(Table::heap_size_bytes).sum::<usize>()
+            + self
+                .hash_indexes
+                .values()
+                .map(HashIndex::heap_size_bytes)
+                .sum::<usize>()
+            + self
+                .btree_indexes
+                .values()
+                .map(BTreeIndex::heap_size_bytes)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut t = Table::new("node", &["id", "tag"]);
+        t.insert(vec![Value::Int(0), Value::str("site")]);
+        let idx = HashIndex::build(&t, 1);
+        c.register_table(t);
+        c.register_hash_index("node.tag", idx);
+        c
+    }
+
+    #[test]
+    fn lookups_count_metadata_accesses() {
+        let c = catalog();
+        assert_eq!(c.metadata_accesses(), 0);
+        let _ = c.lookup_table("node");
+        let _ = c.lookup_table("node");
+        let _ = c.lookup_hash_index("node.tag");
+        assert_eq!(c.metadata_accesses(), 3);
+        c.reset_metadata_counter();
+        assert_eq!(c.metadata_accesses(), 0);
+    }
+
+    #[test]
+    fn missing_lookups_still_count() {
+        let c = catalog();
+        assert!(c.lookup_table("nope").is_none());
+        assert_eq!(c.metadata_accesses(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_table_panics() {
+        let mut c = catalog();
+        c.register_table(Table::new("node", &["id"]));
+    }
+
+    #[test]
+    fn sizes_aggregate_tables_and_indexes() {
+        let c = catalog();
+        assert!(c.heap_size_bytes() > 0);
+        assert_eq!(c.table_count(), 1);
+    }
+}

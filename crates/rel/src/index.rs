@@ -1,0 +1,179 @@
+//! Hash and B-tree indexes over table columns.
+//!
+//! The relational stores build these during bulkload (their cost is part of
+//! the Table 1 load times) and the query compiler chooses between an index
+//! lookup and a scan — the difference the paper's Q1 baseline measures.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::table::{RowId, Table};
+use crate::value::{OrdValue, Value};
+
+/// Equality index: value → row ids.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<OrdValue, Vec<RowId>>,
+}
+
+impl HashIndex {
+    /// Build over one column of `table`.
+    pub fn build(table: &Table, column: usize) -> Self {
+        let mut map: HashMap<OrdValue, Vec<RowId>> = HashMap::with_capacity(table.len());
+        for (rid, row) in table.scan() {
+            if row[column].is_null() {
+                continue; // NULLs are not indexed, matching SQL semantics.
+            }
+            map.entry(OrdValue(row[column].clone())).or_default().push(rid);
+        }
+        HashIndex { map }
+    }
+
+    /// Rows with exactly this key.
+    pub fn get(&self, key: &Value) -> &[RowId] {
+        self.map
+            .get(&OrdValue(key.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Approximate resident bytes.
+    pub fn heap_size_bytes(&self) -> usize {
+        let mut total = self.map.capacity()
+            * (std::mem::size_of::<OrdValue>() + std::mem::size_of::<Vec<RowId>>());
+        for (k, v) in &self.map {
+            total += v.capacity() * std::mem::size_of::<RowId>();
+            if let Value::Str(s) = &k.0 {
+                total += s.capacity();
+            }
+        }
+        total
+    }
+}
+
+/// Ordered index: value → row ids, supporting range scans.
+#[derive(Debug, Clone, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<OrdValue, Vec<RowId>>,
+}
+
+impl BTreeIndex {
+    /// Build over one column of `table`.
+    pub fn build(table: &Table, column: usize) -> Self {
+        let mut map: BTreeMap<OrdValue, Vec<RowId>> = BTreeMap::new();
+        for (rid, row) in table.scan() {
+            if row[column].is_null() {
+                continue;
+            }
+            map.entry(OrdValue(row[column].clone())).or_default().push(rid);
+        }
+        BTreeIndex { map }
+    }
+
+    /// Rows with exactly this key.
+    pub fn get(&self, key: &Value) -> &[RowId] {
+        self.map
+            .get(&OrdValue(key.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Rows whose key is `>= lo` (when given) and `<= hi` (when given).
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
+        use std::ops::Bound::*;
+        let lo_bound = lo.map_or(Unbounded, |v| Included(OrdValue(v.clone())));
+        let hi_bound = hi.map_or(Unbounded, |v| Included(OrdValue(v.clone())));
+        let mut out = Vec::new();
+        for (_, rows) in self.map.range((lo_bound, hi_bound)) {
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+
+    /// Keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &Value> {
+        self.map.keys().map(|k| &k.0)
+    }
+
+    /// Approximate resident bytes.
+    pub fn heap_size_bytes(&self) -> usize {
+        let mut total = 0;
+        for (k, v) in &self.map {
+            total += std::mem::size_of::<OrdValue>()
+                + std::mem::size_of::<Vec<RowId>>()
+                + v.capacity() * std::mem::size_of::<RowId>();
+            if let Value::Str(s) = &k.0 {
+                total += s.capacity();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("t", &["k", "v"]);
+        t.insert(vec![Value::str("a"), Value::Int(1)]);
+        t.insert(vec![Value::str("b"), Value::Int(2)]);
+        t.insert(vec![Value::str("a"), Value::Int(3)]);
+        t.insert(vec![Value::Null, Value::Int(4)]);
+        t
+    }
+
+    #[test]
+    fn hash_index_finds_duplicates() {
+        let t = table();
+        let idx = HashIndex::build(&t, 0);
+        assert_eq!(idx.get(&Value::str("a")), &[0, 2]);
+        assert_eq!(idx.get(&Value::str("z")), &[] as &[RowId]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let t = table();
+        let idx = HashIndex::build(&t, 0);
+        assert_eq!(idx.get(&Value::Null), &[] as &[RowId]);
+    }
+
+    #[test]
+    fn btree_point_and_range() {
+        let mut t = Table::new("n", &["x"]);
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i)]);
+        }
+        let idx = BTreeIndex::build(&t, 0);
+        assert_eq!(idx.get(&Value::Int(7)), &[7]);
+        let mid = idx.range(Some(&Value::Int(3)), Some(&Value::Int(5)));
+        assert_eq!(mid, vec![3, 4, 5]);
+        let tail = idx.range(Some(&Value::Int(8)), None);
+        assert_eq!(tail, vec![8, 9]);
+        let head = idx.range(None, Some(&Value::Int(1)));
+        assert_eq!(head, vec![0, 1]);
+    }
+
+    #[test]
+    fn btree_orders_mixed_numeric_keys() {
+        let mut t = Table::new("n", &["x"]);
+        t.insert(vec![Value::Float(2.5)]);
+        t.insert(vec![Value::Int(2)]);
+        t.insert(vec![Value::Int(3)]);
+        let idx = BTreeIndex::build(&t, 0);
+        let keys: Vec<String> = idx.keys().map(|k| k.to_string()).collect();
+        assert_eq!(keys, vec!["2", "2.5", "3"]);
+    }
+
+    #[test]
+    fn index_sizes_are_positive() {
+        let t = table();
+        assert!(HashIndex::build(&t, 0).heap_size_bytes() > 0);
+        assert!(BTreeIndex::build(&t, 0).heap_size_bytes() > 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Physical operators.
+//!
+//! The paper observes (§7) that the XMark queries compile to "quite complex
+//! TPC/H-like aggregations", equi-joins on strings (Q8/Q9), theta-joins
+//! with 12-million-tuple intermediates (Q11/Q12), sorts (Q19) and grouped
+//! aggregation (Q20). These are the corresponding physical operators,
+//! written as plain functions over materialized row sets — the style of a
+//! block-oriented executor.
+
+use std::collections::HashMap;
+
+use crate::value::{OrdValue, Value};
+
+/// A materialized row.
+pub type Row = Vec<Value>;
+
+/// Filter: keep the rows satisfying `pred`.
+pub fn filter<F: FnMut(&[Value]) -> bool>(rows: Vec<Row>, mut pred: F) -> Vec<Row> {
+    rows.into_iter().filter(|r| pred(r)).collect()
+}
+
+/// Project: map each row through `f`.
+pub fn project<F: FnMut(&[Value]) -> Row>(rows: &[Row], mut f: F) -> Vec<Row> {
+    rows.iter().map(|r| f(r)).collect()
+}
+
+/// Hash equi-join: pairs of rows with `left[left_key] == right[right_key]`
+/// (SQL semantics: NULL keys never join). Output rows are the
+/// concatenation left ++ right.
+pub fn hash_join(
+    left: &[Row],
+    left_key: usize,
+    right: &[Row],
+    right_key: usize,
+) -> Vec<Row> {
+    // Build on the smaller side, as a cost-based optimizer would.
+    if left.len() <= right.len() {
+        hash_join_impl(left, left_key, right, right_key, false)
+    } else {
+        hash_join_impl(right, right_key, left, left_key, true)
+    }
+}
+
+fn hash_join_impl(
+    build: &[Row],
+    build_key: usize,
+    probe: &[Row],
+    probe_key: usize,
+    swapped: bool,
+) -> Vec<Row> {
+    let mut table: HashMap<OrdValue, Vec<usize>> = HashMap::with_capacity(build.len());
+    for (i, row) in build.iter().enumerate() {
+        if row[build_key].is_null() {
+            continue;
+        }
+        table
+            .entry(OrdValue(row[build_key].clone()))
+            .or_default()
+            .push(i);
+    }
+    let mut out = Vec::new();
+    for probe_row in probe {
+        if probe_row[probe_key].is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&OrdValue(probe_row[probe_key].clone())) {
+            for &bi in matches {
+                let mut joined;
+                if swapped {
+                    joined = probe_row.clone();
+                    joined.extend(build[bi].iter().cloned());
+                } else {
+                    joined = build[bi].clone();
+                    joined.extend(probe_row.iter().cloned());
+                }
+                out.push(joined);
+            }
+        }
+    }
+    out
+}
+
+/// Left outer hash join: every left row appears at least once; unmatched
+/// rows are padded with NULLs. Q8 ("persons and the number of items they
+/// bought") needs the outer flavour so buyers of nothing still count 0.
+pub fn left_outer_hash_join(
+    left: &[Row],
+    left_key: usize,
+    right: &[Row],
+    right_key: usize,
+    right_arity: usize,
+) -> Vec<Row> {
+    let mut table: HashMap<OrdValue, Vec<usize>> = HashMap::with_capacity(right.len());
+    for (i, row) in right.iter().enumerate() {
+        if row[right_key].is_null() {
+            continue;
+        }
+        table
+            .entry(OrdValue(row[right_key].clone()))
+            .or_default()
+            .push(i);
+    }
+    let mut out = Vec::new();
+    for lrow in left {
+        let matches = if lrow[left_key].is_null() {
+            None
+        } else {
+            table.get(&OrdValue(lrow[left_key].clone()))
+        };
+        match matches {
+            Some(idxs) if !idxs.is_empty() => {
+                for &ri in idxs {
+                    let mut joined = lrow.clone();
+                    joined.extend(right[ri].iter().cloned());
+                    out.push(joined);
+                }
+            }
+            _ => {
+                let mut joined = lrow.clone();
+                joined.extend(std::iter::repeat_n(Value::Null, right_arity));
+                out.push(joined);
+            }
+        }
+    }
+    out
+}
+
+/// Nested-loop theta-join: all pairs satisfying `theta`. This is the
+/// operator behind Q11/Q12's ">12 million tuples" intermediate.
+pub fn theta_join<F: FnMut(&[Value], &[Value]) -> bool>(
+    left: &[Row],
+    right: &[Row],
+    mut theta: F,
+) -> Vec<Row> {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            if theta(l, r) {
+                let mut joined = l.clone();
+                joined.extend(r.iter().cloned());
+                out.push(joined);
+            }
+        }
+    }
+    out
+}
+
+/// Sort rows by the given key column, NULLs first (the order of
+/// [`OrdValue`]). Stable, like the `SORTBY` of the paper's Q19.
+pub fn sort_by_column(mut rows: Vec<Row>, key: usize) -> Vec<Row> {
+    rows.sort_by_key(|r| OrdValue(r[key].clone()));
+    rows
+}
+
+/// Group rows by a key column and count group members — Q20's shape.
+/// Returns `(key, count)` pairs in ascending key order.
+pub fn group_count(rows: &[Row], key: usize) -> Vec<(Value, usize)> {
+    let mut groups: HashMap<OrdValue, usize> = HashMap::new();
+    for row in rows {
+        *groups.entry(OrdValue(row[key].clone())).or_default() += 1;
+    }
+    let mut out: Vec<(OrdValue, usize)> = groups.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out.into_iter().map(|(k, c)| (k.0, c)).collect()
+}
+
+/// Deduplicate rows (set semantics), preserving first occurrence order.
+pub fn distinct(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen: std::collections::HashSet<Vec<OrdValue>> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for row in rows {
+        let key: Vec<OrdValue> = row.iter().cloned().map(OrdValue).collect();
+        if seen.insert(key) {
+            out.push(row);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(vals: &[&[i64]]) -> Vec<Row> {
+        vals.iter()
+            .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn hash_join_matches_pairs() {
+        let left = rows(&[&[1, 10], &[2, 20], &[3, 30]]);
+        let right = rows(&[&[2, 200], &[3, 300], &[3, 301]]);
+        let mut joined = hash_join(&left, 0, &right, 0);
+        joined.sort_by_key(|r| (r[0].as_i64(), r[3].as_i64()));
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined[0], rows(&[&[2, 20, 2, 200]])[0]);
+        assert_eq!(joined[2], rows(&[&[3, 30, 3, 301]])[0]);
+    }
+
+    #[test]
+    fn hash_join_ignores_null_keys() {
+        let left = vec![vec![Value::Null, Value::Int(1)]];
+        let right = vec![vec![Value::Null, Value::Int(2)]];
+        assert!(hash_join(&left, 0, &right, 0).is_empty());
+    }
+
+    #[test]
+    fn hash_join_column_order_is_stable_under_side_swap() {
+        // Left bigger than right triggers the swapped build side; the
+        // output must still be left ++ right.
+        let left = rows(&[&[1, 10], &[2, 20], &[3, 30]]);
+        let right = rows(&[&[2, 200]]);
+        let joined = hash_join(&left, 0, &right, 0);
+        assert_eq!(joined, rows(&[&[2, 20, 2, 200]]));
+    }
+
+    #[test]
+    fn outer_join_pads_unmatched() {
+        let left = rows(&[&[1], &[2]]);
+        let right = rows(&[&[2, 99]]);
+        let joined = left_outer_hash_join(&left, 0, &right, 0, 2);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined[0], vec![Value::Int(1), Value::Null, Value::Null]);
+        assert_eq!(joined[1], rows(&[&[2, 2, 99]])[0]);
+    }
+
+    #[test]
+    fn theta_join_enumerates_pairs() {
+        let left = rows(&[&[1], &[5]]);
+        let right = rows(&[&[2], &[6]]);
+        let joined = theta_join(&left, &right, |l, r| {
+            l[0].as_i64().unwrap() < r[0].as_i64().unwrap()
+        });
+        assert_eq!(joined.len(), 3); // (1,2), (1,6), (5,6)
+    }
+
+    #[test]
+    fn sort_is_stable_and_null_first() {
+        let input = vec![
+            vec![Value::str("b"), Value::Int(0)],
+            vec![Value::Null, Value::Int(1)],
+            vec![Value::str("a"), Value::Int(2)],
+            vec![Value::str("a"), Value::Int(3)],
+        ];
+        let sorted = sort_by_column(input, 0);
+        let order: Vec<Option<i64>> = sorted.iter().map(|r| r[1].as_i64()).collect();
+        assert_eq!(order, vec![Some(1), Some(2), Some(3), Some(0)]);
+    }
+
+    #[test]
+    fn group_count_counts() {
+        let input = rows(&[&[1], &[2], &[1], &[1]]);
+        let groups = group_count(&input, 0);
+        assert_eq!(
+            groups,
+            vec![(Value::Int(1), 3), (Value::Int(2), 1)]
+        );
+    }
+
+    #[test]
+    fn distinct_preserves_first_occurrence() {
+        let input = rows(&[&[2], &[1], &[2], &[3]]);
+        assert_eq!(distinct(input), rows(&[&[2], &[1], &[3]]));
+    }
+
+    #[test]
+    fn filter_and_project_compose() {
+        let input = rows(&[&[1, 2], &[3, 4]]);
+        let big = filter(input, |r| r[0].as_i64().unwrap() > 1);
+        let projected = project(&big, |r| vec![r[1].clone()]);
+        assert_eq!(projected, rows(&[&[4]]));
+    }
+}

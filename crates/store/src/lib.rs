@@ -1,0 +1,70 @@
+//! XML storage backends for the XMark benchmark — one per architecture
+//! family the paper evaluates (§7).
+//!
+//! | Backend | Paper system | Architecture |
+//! |---------|--------------|--------------|
+//! | [`EdgeStore`] | A | relational, monolithic edge table |
+//! | [`FragmentedStore`] | B | relational, one relation per tag |
+//! | [`InlinedStore`] | C | relational, DTD-inlined entity tables |
+//! | [`SummaryStore`] | D | main-memory, structural summary |
+//! | [`IntervalStore`] (indexed) | E | native containment intervals + tag indexes |
+//! | [`IntervalStore`] (scan) | F | native containment intervals, scans |
+//! | [`NaiveStore`] | G | embedded interpretive DOM walker |
+//!
+//! All backends implement [`XmlStore`]; the query engine in `xmark-query`
+//! is backend-agnostic, so a query's cost profile on a backend is decided
+//! by the access paths that backend provides — the paper's central claim:
+//! "The physical XML mapping has a far-reaching influence on the complexity
+//! of query plans."
+
+pub mod edge;
+pub mod fragmented;
+pub mod inlined;
+pub mod interval;
+pub mod loader;
+pub mod naive;
+pub mod summary;
+pub mod traits;
+
+pub use edge::EdgeStore;
+pub use fragmented::FragmentedStore;
+pub use inlined::InlinedStore;
+pub use interval::IntervalStore;
+pub use naive::NaiveStore;
+pub use summary::SummaryStore;
+pub use traits::{Node, PositionSpec, SystemId, XmlStore};
+
+/// Bulkload `xml` into the store modeling `system`.
+///
+/// # Errors
+/// Propagates XML parse errors.
+pub fn build_store(
+    system: SystemId,
+    xml: &str,
+) -> Result<Box<dyn XmlStore>, xmark_xml::Error> {
+    Ok(match system {
+        SystemId::A => Box::new(EdgeStore::load(xml)?),
+        SystemId::B => Box::new(FragmentedStore::load(xml)?),
+        SystemId::C => Box::new(InlinedStore::load(xml)?),
+        SystemId::D => Box::new(SummaryStore::load(xml)?),
+        SystemId::E => Box::new(IntervalStore::load_indexed(xml)?),
+        SystemId::F => Box::new(IntervalStore::load_scan(xml)?),
+        SystemId::G => Box::new(NaiveStore::load(xml)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_system() {
+        let xml = r#"<site><people><person id="person0"><name>A</name></person></people></site>"#;
+        for system in SystemId::ALL {
+            let store = build_store(system, xml).unwrap();
+            assert_eq!(store.system(), system);
+            assert_eq!(store.tag_of(store.root()), Some("site"));
+            assert!(store.size_bytes() > 0);
+        }
+    }
+}

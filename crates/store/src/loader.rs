@@ -1,0 +1,82 @@
+//! Shared bulkload helpers.
+//!
+//! Every store builds from a parsed [`Document`] whose node ids are
+//! document (pre-)order; the helpers here compute the derived structure
+//! several backends need.
+
+use xmark_xml::{Document, NodeId};
+
+/// Sentinel for "no node" in packed `u32` arrays.
+pub const NONE: u32 = u32::MAX;
+
+/// For every node, the largest node id in its subtree (itself for leaves).
+/// Descendants of `n` are exactly the ids in `(n, ends[n]]` — the
+/// containment-interval encoding of \[26\] (Zhang et al.), which Systems E/F
+/// store directly and System D uses to range-filter summary extents.
+pub fn subtree_ends(doc: &Document) -> Vec<u32> {
+    let n = doc.node_count();
+    let mut ends = vec![0u32; n];
+    // Node ids are pre-order, so processing in reverse id order guarantees
+    // children are finished before their parent.
+    for id in (0..n as u32).rev() {
+        let node = NodeId(id);
+        let mut end = id;
+        let mut child = doc.first_child(node);
+        while let Some(c) = child {
+            end = end.max(ends[c.0 as usize]);
+            child = doc.next_sibling(c);
+        }
+        ends[id as usize] = end;
+    }
+    ends
+}
+
+/// Per-node parent array (`NONE` for the root and unattached nodes).
+pub fn parent_array(doc: &Document) -> Vec<u32> {
+    (0..doc.node_count() as u32)
+        .map(|id| doc.parent(NodeId(id)).map_or(NONE, |p| p.0))
+        .collect()
+}
+
+/// Per-node depth (root = 0).
+pub fn level_array(doc: &Document) -> Vec<u16> {
+    let parents = parent_array(doc);
+    let mut levels = vec![0u16; doc.node_count()];
+    // Ids are pre-order, so a parent's level is computed before its child's.
+    for id in 0..doc.node_count() {
+        let p = parents[id];
+        if p != NONE {
+            levels[id] = levels[p as usize] + 1;
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        // ids: site=0 a=1 t(x)=2 b=3 c=4
+        xmark_xml::parse_document("<site><a>x<b/></a><c/></site>").unwrap()
+    }
+
+    #[test]
+    fn subtree_ends_bound_descendants() {
+        let d = doc();
+        let ends = subtree_ends(&d);
+        assert_eq!(ends, vec![4, 3, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parent_array_matches_dom() {
+        let d = doc();
+        assert_eq!(parent_array(&d), vec![NONE, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn levels_count_depth() {
+        let d = doc();
+        assert_eq!(level_array(&d), vec![0, 1, 2, 2, 1]);
+    }
+}

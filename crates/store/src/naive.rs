@@ -1,0 +1,127 @@
+//! System G — the embedded, interpretive DOM walker.
+//!
+//! §7: "Query processors that are intended to serve as embedded query
+//! processors in programming languages and aim at small to medium sized
+//! documents." System G failed at scaling factor 1.0 and was measured at
+//! 100 kB and 1 MB (Fig. 4). Its architecture: keep the parsed tree, build
+//! **no** secondary structures, and answer every query by interpretive
+//! traversal — even the Q1 ID lookup is a full scan.
+
+use xmark_xml::Document;
+
+use crate::traits::{Node, SystemId, XmlStore};
+
+/// The naive DOM store.
+pub struct NaiveStore {
+    doc: Document,
+}
+
+impl NaiveStore {
+    /// Bulkload: parse and keep the DOM; nothing else is built.
+    pub fn load(xml: &str) -> Result<Self, xmark_xml::Error> {
+        Ok(NaiveStore {
+            doc: xmark_xml::parse_document(xml)?,
+        })
+    }
+
+    /// Access to the underlying document (used by tests).
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+}
+
+impl XmlStore for NaiveStore {
+    fn system(&self) -> SystemId {
+        SystemId::G
+    }
+
+    fn root(&self) -> Node {
+        Node(self.doc.root_element().0)
+    }
+
+    fn node_count(&self) -> usize {
+        self.doc.node_count()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.doc.heap_size_bytes()
+    }
+
+    fn tag_of(&self, n: Node) -> Option<&str> {
+        let id = xmark_xml::NodeId(n.0);
+        self.doc.tag(id).map(|sym| self.doc.interner().resolve(sym))
+    }
+
+    fn parent(&self, n: Node) -> Option<Node> {
+        self.doc.parent(xmark_xml::NodeId(n.0)).map(|p| Node(p.0))
+    }
+
+    fn children(&self, n: Node) -> Vec<Node> {
+        self.doc
+            .children(xmark_xml::NodeId(n.0))
+            .map(|c| Node(c.0))
+            .collect()
+    }
+
+    fn text(&self, n: Node) -> Option<&str> {
+        self.doc.text(xmark_xml::NodeId(n.0))
+    }
+
+    fn attribute(&self, n: Node, name: &str) -> Option<String> {
+        self.doc
+            .attribute(xmark_xml::NodeId(n.0), name)
+            .map(str::to_string)
+    }
+
+    fn attributes(&self, n: Node) -> Vec<(String, String)> {
+        self.doc
+            .attributes(xmark_xml::NodeId(n.0))
+            .iter()
+            .map(|(sym, v)| (self.doc.interner().resolve(*sym).to_string(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<site><people><person id="person0"><name>Alice</name></person><person id="person1"><name>Bob</name></person></people></site>"#;
+
+    #[test]
+    fn navigates_like_the_dom() {
+        let store = NaiveStore::load(SAMPLE).unwrap();
+        let root = store.root();
+        assert_eq!(store.tag_of(root), Some("site"));
+        let people = store.children_named(root, "people");
+        assert_eq!(people.len(), 1);
+        let persons = store.children_named(people[0], "person");
+        assert_eq!(persons.len(), 2);
+        assert_eq!(store.attribute(persons[0], "id").as_deref(), Some("person0"));
+        assert_eq!(store.string_value(persons[1]), "Bob");
+    }
+
+    #[test]
+    fn has_no_id_index() {
+        let store = NaiveStore::load(SAMPLE).unwrap();
+        assert!(store.lookup_id("person0").is_none());
+    }
+
+    #[test]
+    fn descendants_walk_the_tree() {
+        let store = NaiveStore::load(SAMPLE).unwrap();
+        let names = store.descendants_named(store.root(), "name");
+        assert_eq!(names.len(), 2);
+        // Document order.
+        assert!(names[0] < names[1]);
+    }
+
+    #[test]
+    fn serializes_subtrees() {
+        let store = NaiveStore::load(SAMPLE).unwrap();
+        let persons = store.descendants_named(store.root(), "person");
+        let mut out = String::new();
+        store.serialize_node(persons[0], &mut out);
+        assert_eq!(out, r#"<person id="person0"><name>Alice</name></person>"#);
+    }
+}

@@ -1,0 +1,382 @@
+//! System D — main-memory columnar tree with a structural summary.
+//!
+//! §7: "System D keeps a detailed structural summary of the database and
+//! can exploit it to optimize traversal-intensive queries; this actually
+//! makes Q6 and Q7 surprisingly fast … The problem that Q7 actually looks
+//! for non-existing paths is efficiently solved by exploiting the
+//! structural summary."
+//!
+//! The summary is a DataGuide: one summary node per distinct root-to-node
+//! tag path, each holding the *extent* (all instance nodes on that path,
+//! sorted in document order). Because instance ids are pre-order, the
+//! descendants of any node form a contiguous id interval, so
+//! `descendants_named` is a walk over the (tiny) summary subtree plus one
+//! binary-searched range per extent — and counting requires no node access
+//! at all.
+
+use std::collections::HashMap;
+
+use xmark_xml::{Document, NodeId};
+
+use crate::loader::{parent_array, subtree_ends, NONE};
+use crate::traits::{Node, SystemId, XmlStore};
+
+/// One node of the structural summary (DataGuide).
+#[derive(Debug)]
+struct SummaryNode {
+    /// Tag of this path step (text nodes do not get summary nodes).
+    tag: String,
+    /// Child summary nodes by tag.
+    children: HashMap<String, u32>,
+    /// Instance nodes on this path, ascending (= document order).
+    extent: Vec<u32>,
+}
+
+/// The System D store.
+pub struct SummaryStore {
+    // Columnar tree skeleton.
+    parent: Vec<u32>,
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    subtree_end: Vec<u32>,
+    /// Summary node per instance node; `NONE` for text nodes.
+    path_id: Vec<u32>,
+    /// Text content per node (empty for elements; XMark text is dense
+    /// enough that an Option-free representation is simplest).
+    text: Vec<Box<str>>,
+    is_text: Vec<bool>,
+    attrs: HashMap<u32, Vec<(String, String)>>,
+    summary: Vec<SummaryNode>,
+    root_summary: u32,
+    root: u32,
+    id_index: HashMap<String, u32>,
+}
+
+impl SummaryStore {
+    /// Bulkload: parse, build the columnar skeleton, the structural
+    /// summary, and the ID index.
+    pub fn load(xml: &str) -> Result<Self, xmark_xml::Error> {
+        let doc = xmark_xml::parse_document(xml)?;
+        Ok(Self::from_document(&doc))
+    }
+
+    /// Build from an already-parsed document.
+    pub fn from_document(doc: &Document) -> Self {
+        let n = doc.node_count();
+        let parent = parent_array(doc);
+        let subtree_end = subtree_ends(doc);
+        let mut first_child = vec![NONE; n];
+        let mut next_sibling = vec![NONE; n];
+        let mut text: Vec<Box<str>> = vec![Box::from(""); n];
+        let mut is_text = vec![false; n];
+        let mut attrs: HashMap<u32, Vec<(String, String)>> = HashMap::new();
+        let mut id_index = HashMap::new();
+
+        let mut summary: Vec<SummaryNode> = Vec::new();
+        let mut path_id = vec![NONE; n];
+
+        let root = doc.root_element();
+        summary.push(SummaryNode {
+            tag: doc.tag_name(root).to_string(),
+            children: HashMap::new(),
+            extent: vec![root.0],
+        });
+        path_id[root.index()] = 0;
+
+        for id in 0..n as u32 {
+            let node = NodeId(id);
+            first_child[id as usize] = doc.first_child(node).map_or(NONE, |c| c.0);
+            next_sibling[id as usize] = doc.next_sibling(node).map_or(NONE, |s| s.0);
+            if let Some(t) = doc.text(node) {
+                text[id as usize] = Box::from(t);
+                is_text[id as usize] = true;
+                continue;
+            }
+            let node_attrs: Vec<(String, String)> = doc
+                .attributes(node)
+                .iter()
+                .map(|(sym, v)| (doc.interner().resolve(*sym).to_string(), v.clone()))
+                .collect();
+            for (name, value) in &node_attrs {
+                if name == "id" {
+                    id_index.insert(value.clone(), id);
+                }
+            }
+            if !node_attrs.is_empty() {
+                attrs.insert(id, node_attrs);
+            }
+            // Assign the summary node (parent processed first: pre-order).
+            if id != root.0 {
+                let p = parent[id as usize];
+                let parent_path = path_id[p as usize];
+                debug_assert_ne!(parent_path, NONE, "parent must be an element");
+                let tag = doc.tag_name(node);
+                let child_path = match summary[parent_path as usize].children.get(tag) {
+                    Some(&existing) => existing,
+                    None => {
+                        let new_id = summary.len() as u32;
+                        summary.push(SummaryNode {
+                            tag: tag.to_string(),
+                            children: HashMap::new(),
+                            extent: Vec::new(),
+                        });
+                        summary[parent_path as usize]
+                            .children
+                            .insert(tag.to_string(), new_id);
+                        new_id
+                    }
+                };
+                summary[child_path as usize].extent.push(id);
+                path_id[id as usize] = child_path;
+            }
+        }
+
+        SummaryStore {
+            parent,
+            first_child,
+            next_sibling,
+            subtree_end,
+            path_id,
+            text,
+            is_text,
+            attrs,
+            summary,
+            root_summary: 0,
+            root: root.0,
+            id_index,
+        }
+    }
+
+    /// Number of distinct paths in the summary (exposed for tests and the
+    /// ablation bench).
+    pub fn summary_size(&self) -> usize {
+        self.summary.len()
+    }
+
+    /// Summary nodes with `tag` inside the summary subtree rooted at the
+    /// path of `n`, including that path itself.
+    fn matching_summary_nodes(&self, n: Node, tag: &str) -> Vec<u32> {
+        let start = self.path_id[n.index()];
+        if start == NONE {
+            return Vec::new();
+        }
+        let mut matches = Vec::new();
+        let mut stack = vec![start];
+        let mut first = true;
+        while let Some(s) = stack.pop() {
+            let node = &self.summary[s as usize];
+            if !first && node.tag == tag {
+                matches.push(s);
+            }
+            first = false;
+            stack.extend(node.children.values().copied());
+        }
+        matches
+    }
+
+    /// Slice of an extent falling inside `n`'s subtree interval.
+    fn extent_range(&self, summary_id: u32, n: Node) -> (usize, usize) {
+        let extent = &self.summary[summary_id as usize].extent;
+        let lo = extent.partition_point(|&x| x <= n.0);
+        let hi = extent.partition_point(|&x| x <= self.subtree_end[n.index()]);
+        (lo, hi)
+    }
+}
+
+impl XmlStore for SummaryStore {
+    fn system(&self) -> SystemId {
+        SystemId::D
+    }
+
+    fn root(&self) -> Node {
+        Node(self.root)
+    }
+
+    fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn size_bytes(&self) -> usize {
+        let n = self.parent.len();
+        let mut total = n * (4 * std::mem::size_of::<u32>() + 1 + std::mem::size_of::<Box<str>>());
+        total += self.text.iter().map(|t| t.len()).sum::<usize>();
+        for list in self.attrs.values() {
+            total += list
+                .iter()
+                .map(|(k, v)| k.capacity() + v.capacity() + 48)
+                .sum::<usize>();
+        }
+        for s in &self.summary {
+            total += s.tag.capacity() + s.extent.capacity() * 4 + 64;
+        }
+        for k in self.id_index.keys() {
+            total += k.capacity() + 12;
+        }
+        total
+    }
+
+    fn tag_of(&self, n: Node) -> Option<&str> {
+        let p = self.path_id[n.index()];
+        if p == NONE {
+            None
+        } else {
+            Some(&self.summary[p as usize].tag)
+        }
+    }
+
+    fn parent(&self, n: Node) -> Option<Node> {
+        match self.parent[n.index()] {
+            NONE => None,
+            p => Some(Node(p)),
+        }
+    }
+
+    fn children(&self, n: Node) -> Vec<Node> {
+        let mut out = Vec::new();
+        let mut cur = self.first_child[n.index()];
+        while cur != NONE {
+            out.push(Node(cur));
+            cur = self.next_sibling[cur as usize];
+        }
+        out
+    }
+
+    fn text(&self, n: Node) -> Option<&str> {
+        if self.is_text[n.index()] {
+            Some(&self.text[n.index()])
+        } else {
+            None
+        }
+    }
+
+    fn attribute(&self, n: Node, name: &str) -> Option<String> {
+        self.attrs
+            .get(&n.0)?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn attributes(&self, n: Node) -> Vec<(String, String)> {
+        self.attrs.get(&n.0).cloned().unwrap_or_default()
+    }
+
+    fn descendants_named(&self, n: Node, tag: &str) -> Vec<Node> {
+        let mut out = Vec::new();
+        for s in self.matching_summary_nodes(n, tag) {
+            let (lo, hi) = self.extent_range(s, n);
+            out.extend(
+                self.summary[s as usize].extent[lo..hi]
+                    .iter()
+                    .map(|&id| Node(id)),
+            );
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn count_descendants_named(&self, n: Node, tag: &str) -> usize {
+        // The paper's Q6/Q7 trick: pure summary arithmetic, no node access.
+        self.matching_summary_nodes(n, tag)
+            .into_iter()
+            .map(|s| {
+                let (lo, hi) = self.extent_range(s, n);
+                hi - lo
+            })
+            .sum()
+    }
+
+    fn lookup_id(&self, id: &str) -> Option<Option<Node>> {
+        Some(self.id_index.get(id).map(|&n| Node(n)))
+    }
+
+    fn begin_compile(&self) {}
+
+    fn compile_step(&self, tag: &str) -> usize {
+        // Metadata = the summary itself; one traversal, extents give exact
+        // cardinalities (a "perfect statistics" optimizer).
+        let mut stack = vec![self.root_summary];
+        let mut total = 0;
+        while let Some(s) = stack.pop() {
+            let node = &self.summary[s as usize];
+            if node.tag == tag {
+                total += node.extent.len();
+            }
+            stack.extend(node.children.values().copied());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<site><regions><africa><item id="item0"><name>sword</name></item></africa><europe><item id="item1"><name>gold ring</name></item><item id="item2"><name>cup</name></item></europe></regions><people><person id="person0"><name>Alice</name></person></people></site>"#;
+
+    fn store() -> SummaryStore {
+        SummaryStore::load(SAMPLE).unwrap()
+    }
+
+    #[test]
+    fn summary_collapses_identical_paths() {
+        let s = store();
+        // Distinct paths: site, regions, africa, item(africa), name,
+        // text… — text nodes are not summarized; europe/item/name adds 3.
+        assert!(s.summary_size() >= 8);
+        assert!(s.summary_size() < s.node_count());
+    }
+
+    #[test]
+    fn descendants_via_summary_match_naive_walk() {
+        let s = store();
+        let naive = crate::naive::NaiveStore::load(SAMPLE).unwrap();
+        for tag in ["item", "name", "person", "nonexistent"] {
+            let via_summary: Vec<u32> =
+                s.descendants_named(s.root(), tag).iter().map(|n| n.0).collect();
+            let via_walk: Vec<u32> = naive
+                .descendants_named(naive.root(), tag)
+                .iter()
+                .map(|n| n.0)
+                .collect();
+            assert_eq!(via_summary, via_walk, "tag {tag}");
+        }
+    }
+
+    #[test]
+    fn counts_without_materializing() {
+        let s = store();
+        assert_eq!(s.count_descendants_named(s.root(), "item"), 3);
+        assert_eq!(s.count_descendants_named(s.root(), "email"), 0);
+        // Scoped to a subtree: europe holds two items.
+        let regions = s.children_named(s.root(), "regions");
+        let europe = s.children_named(regions[0], "europe");
+        assert_eq!(s.count_descendants_named(europe[0], "item"), 2);
+    }
+
+    #[test]
+    fn id_index_answers_q1_shape() {
+        let s = store();
+        let hit = s.lookup_id("person0").unwrap().unwrap();
+        assert_eq!(s.tag_of(hit), Some("person"));
+        assert_eq!(s.lookup_id("ghost").unwrap(), None);
+    }
+
+    #[test]
+    fn navigation_matches_dom_semantics() {
+        let s = store();
+        let root = s.root();
+        assert_eq!(s.tag_of(root), Some("site"));
+        let items = s.descendants_named(root, "item");
+        assert_eq!(s.attribute(items[1], "id").as_deref(), Some("item1"));
+        assert_eq!(s.string_value(items[1]), "gold ring");
+        assert_eq!(s.parent(items[0]).and_then(|p| s.tag_of(p).map(str::to_string)).as_deref(), Some("africa"));
+    }
+
+    #[test]
+    fn compile_step_returns_exact_cardinalities() {
+        let s = store();
+        assert_eq!(s.compile_step("item"), 3);
+        assert_eq!(s.compile_step("missing"), 0);
+    }
+}

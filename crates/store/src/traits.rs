@@ -1,0 +1,261 @@
+//! The backend-neutral storage interface.
+//!
+//! §7 of the paper evaluates seven anonymized systems whose differences are
+//! entirely *architectural*: what the physical mapping looks like and which
+//! access paths it affords. [`XmlStore`] captures the contract the query
+//! evaluator needs; each backend implements the navigation primitives with
+//! the data structures its architecture would really use, and overrides the
+//! optional accelerated access paths its architecture can offer. Default
+//! method bodies are deliberately the *naive* strategy, so a backend's
+//! performance profile emerges from what it overrides — exactly how the
+//! paper explains its Table 3 ("each mapping favors certain types of
+//! queries by enabling efficient execution plans for them").
+
+use std::fmt;
+
+/// A node handle. All stores number nodes in document (pre-)order during
+/// bulkload, so comparing handles compares document order — the `BEFORE`
+/// operator of Q4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub u32);
+
+impl Node {
+    /// Arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Which of the paper's anonymized systems a backend models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SystemId {
+    /// Monolithic edge store (relational, one big heap relation).
+    A,
+    /// Fragmented binary store (relational, one relation per tag).
+    B,
+    /// DTD-inlined schema store (relational, entity tables).
+    C,
+    /// Main-memory store with a structural summary.
+    D,
+    /// Native interval store with per-tag start indexes.
+    E,
+    /// Native interval store without secondary indexes (scan-based).
+    F,
+    /// Embedded naive DOM walker.
+    G,
+}
+
+impl SystemId {
+    /// All mass-storage systems (Table 1 / Table 3 of the paper).
+    pub const MASS_STORAGE: [SystemId; 6] = [
+        SystemId::A,
+        SystemId::B,
+        SystemId::C,
+        SystemId::D,
+        SystemId::E,
+        SystemId::F,
+    ];
+
+    /// All seven systems.
+    pub const ALL: [SystemId; 7] = [
+        SystemId::A,
+        SystemId::B,
+        SystemId::C,
+        SystemId::D,
+        SystemId::E,
+        SystemId::F,
+        SystemId::G,
+    ];
+
+    /// Short architecture description (used in reports).
+    pub fn architecture(self) -> &'static str {
+        match self {
+            SystemId::A => "relational: monolithic edge table",
+            SystemId::B => "relational: fragmented per-tag tables",
+            SystemId::C => "relational: DTD-inlined entity tables",
+            SystemId::D => "native: structural summary + columnar tree",
+            SystemId::E => "native: containment intervals, tag-indexed",
+            SystemId::F => "native: containment intervals, scan-based",
+            SystemId::G => "embedded: interpretive DOM walker",
+        }
+    }
+}
+
+impl fmt::Display for SystemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "System {:?}", self)
+    }
+}
+
+/// Positional access requested through [`XmlStore::positional_child`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PositionSpec {
+    /// 1-based index from the front (`bidder[1]`).
+    First(usize),
+    /// `bidder[last()]`.
+    Last,
+}
+
+/// The storage contract. Handles are only meaningful within the store that
+/// produced them.
+pub trait XmlStore {
+    /// Which paper system this store models.
+    fn system(&self) -> SystemId;
+
+    /// Root element.
+    fn root(&self) -> Node;
+
+    /// Total stored nodes (elements + text nodes).
+    fn node_count(&self) -> usize;
+
+    /// Resident bytes of the store's data structures (Table 1 "Size").
+    fn size_bytes(&self) -> usize;
+
+    /// Tag name for elements, `None` for text nodes.
+    fn tag_of(&self, n: Node) -> Option<&str>;
+
+    /// Parent node.
+    fn parent(&self, n: Node) -> Option<Node>;
+
+    /// All children (elements and text nodes) in document order.
+    fn children(&self, n: Node) -> Vec<Node>;
+
+    /// Text content of a *text node* (`None` for elements).
+    fn text(&self, n: Node) -> Option<&str>;
+
+    /// Attribute value.
+    fn attribute(&self, n: Node, name: &str) -> Option<String>;
+
+    /// All attributes in document order.
+    fn attributes(&self, n: Node) -> Vec<(String, String)>;
+
+    // ---- derived / accelerated access paths -----------------------------
+
+    /// Element children with the given tag.
+    fn children_named(&self, n: Node, tag: &str) -> Vec<Node> {
+        self.children(n)
+            .into_iter()
+            .filter(|&c| self.tag_of(c) == Some(tag))
+            .collect()
+    }
+
+    /// Descendant elements with the given tag, in document order.
+    fn descendants_named(&self, n: Node, tag: &str) -> Vec<Node> {
+        let mut out = Vec::new();
+        let mut stack: Vec<Node> = self.children(n);
+        stack.reverse();
+        while let Some(cur) = stack.pop() {
+            if self.tag_of(cur) == Some(tag) {
+                out.push(cur);
+            }
+            let mut kids = self.children(cur);
+            kids.reverse();
+            stack.extend(kids);
+        }
+        out
+    }
+
+    /// Count of descendant elements with the given tag. Backends with
+    /// structural summaries (System D) answer this without touching nodes —
+    /// the paper's Q6/Q7 observation.
+    fn count_descendants_named(&self, n: Node, tag: &str) -> usize {
+        self.descendants_named(n, tag).len()
+    }
+
+    /// Look up an element by its `id` attribute (DTD `ID`). `None` means
+    /// the store has no ID index and the evaluator must scan (System G on
+    /// Q1).
+    fn lookup_id(&self, _id: &str) -> Option<Option<Node>> {
+        None
+    }
+
+    /// Inlined scalar access: the string value of the unique `tag` child of
+    /// `n`, *if* this store inlines that value (System C's entity tables).
+    /// Outer `None` = not inlined here; inner `None` = inlined but NULL.
+    fn typed_child_value(&self, _n: Node, _tag: &str) -> Option<Option<String>> {
+        None
+    }
+
+    /// Positional child access (`bidder[1]`, `bidder[last()]`) if the store
+    /// maintains a positional index (System C). Outer `None` = unsupported.
+    fn positional_child(&self, _n: Node, _tag: &str, _pos: PositionSpec) -> Option<Option<Node>> {
+        None
+    }
+
+    /// The concatenated text of the subtree ("string value").
+    fn string_value(&self, n: Node) -> String {
+        let mut out = String::new();
+        self.string_value_into(n, &mut out);
+        out
+    }
+
+    /// Append the string value of `n` to `out`.
+    fn string_value_into(&self, n: Node, out: &mut String) {
+        if let Some(t) = self.text(n) {
+            out.push_str(t);
+            return;
+        }
+        for child in self.children(n) {
+            self.string_value_into(child, out);
+        }
+    }
+
+    /// Serialize the subtree rooted at `n` as XML text (Q13
+    /// "reconstruction"). The default reconstructs through navigation —
+    /// which is precisely the cost the paper says Q13 measures.
+    fn serialize_node(&self, n: Node, out: &mut String) {
+        if let Some(t) = self.text(n) {
+            xmark_xml::escape::escape_text_into(t, out);
+            return;
+        }
+        let tag = self.tag_of(n).expect("serialize of non-node");
+        out.push('<');
+        out.push_str(tag);
+        for (name, value) in self.attributes(n) {
+            out.push(' ');
+            out.push_str(&name);
+            out.push_str("=\"");
+            xmark_xml::escape::escape_attr_into(&value, out);
+            out.push('"');
+        }
+        let children = self.children(n);
+        if children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for child in children {
+            self.serialize_node(child, out);
+        }
+        out.push_str("</");
+        out.push_str(tag);
+        out.push('>');
+    }
+
+    // ---- compile-phase hooks (Table 2) -----------------------------------
+
+    /// Called by the compiler once per query before lowering; resets the
+    /// metadata-access counter.
+    fn begin_compile(&self) {}
+
+    /// Called by the compiler for every path step with the step's tag. The
+    /// backend resolves whatever catalog metadata its architecture needs —
+    /// one heap-relation descriptor for System A, a per-tag table for
+    /// System B — and returns an estimated extent cardinality for the
+    /// optimizer.
+    fn compile_step(&self, _tag: &str) -> usize {
+        0
+    }
+
+    /// Metadata accesses since [`XmlStore::begin_compile`].
+    fn metadata_accesses(&self) -> u64 {
+        0
+    }
+}

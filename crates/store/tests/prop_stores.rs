@@ -1,0 +1,167 @@
+//! Property tests: all seven storage architectures are *navigationally
+//! equivalent* on arbitrary documents — same children, descendants,
+//! attributes, string values and serializations. The query layer's
+//! cross-backend equivalence rests on exactly these primitives.
+
+use proptest::prelude::*;
+
+use xmark_store::{build_store, SystemId, XmlStore};
+
+const TAGS: [&str; 6] = ["site", "a", "b", "c", "item", "person"];
+
+/// Generate a random well-formed XML document string by construction.
+fn arb_document() -> impl Strategy<Value = String> {
+    arb_elem(3).prop_map(|body| format!("<site>{body}</site>"))
+}
+
+fn arb_elem(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        "[a-z ]{1,12}".prop_filter("non-blank", |s| !s.trim().is_empty()),
+        (0..TAGS.len(), proptest::option::of("[a-z0-9]{1,6}")).prop_map(|(t, attr)| {
+            let tag = TAGS[t];
+            match attr {
+                Some(v) => format!("<{tag} id=\"{v}\"/>"),
+                None => format!("<{tag}/>"),
+            }
+        }),
+    ];
+    leaf.prop_recursive(depth, 32, 4, |inner| {
+        (0..TAGS.len(), prop::collection::vec(inner, 0..4)).prop_map(|(t, children)| {
+            let tag = TAGS[t];
+            format!("<{tag}>{}</{tag}>", children.concat())
+        })
+    })
+    .boxed()
+}
+
+fn stores(xml: &str) -> Vec<Box<dyn XmlStore>> {
+    SystemId::ALL
+        .iter()
+        .map(|&s| build_store(s, xml).expect("document parses"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_stores_agree_on_descendants(xml in arb_document(), tag in 0..TAGS.len()) {
+        let all = stores(&xml);
+        let reference: Vec<u32> = all[0]
+            .descendants_named(all[0].root(), TAGS[tag])
+            .iter()
+            .map(|n| n.0)
+            .collect();
+        for store in &all[1..] {
+            let got: Vec<u32> = store
+                .descendants_named(store.root(), TAGS[tag])
+                .iter()
+                .map(|n| n.0)
+                .collect();
+            prop_assert_eq!(&got, &reference, "{} disagrees", store.system());
+        }
+    }
+
+    #[test]
+    fn all_stores_agree_on_counts(xml in arb_document(), tag in 0..TAGS.len()) {
+        let all = stores(&xml);
+        let reference = all[0].count_descendants_named(all[0].root(), TAGS[tag]);
+        for store in &all[1..] {
+            prop_assert_eq!(
+                store.count_descendants_named(store.root(), TAGS[tag]),
+                reference,
+                "{} disagrees",
+                store.system()
+            );
+        }
+    }
+
+    #[test]
+    fn all_stores_agree_on_serialization(xml in arb_document()) {
+        let all = stores(&xml);
+        let mut reference = String::new();
+        all[0].serialize_node(all[0].root(), &mut reference);
+        for store in &all[1..] {
+            let mut got = String::new();
+            store.serialize_node(store.root(), &mut got);
+            prop_assert_eq!(&got, &reference, "{} disagrees", store.system());
+        }
+        // And the serialization parses back to the same node count.
+        let reparsed = xmark_xml::parse_document(&reference).unwrap();
+        prop_assert_eq!(reparsed.node_count(), all[0].node_count());
+    }
+
+    #[test]
+    fn all_stores_agree_on_string_values(xml in arb_document()) {
+        let all = stores(&xml);
+        let reference = all[0].string_value(all[0].root());
+        for store in &all[1..] {
+            prop_assert_eq!(
+                store.string_value(store.root()),
+                reference.clone(),
+                "{} disagrees",
+                store.system()
+            );
+        }
+    }
+
+    #[test]
+    fn children_partition_matches_navigation(xml in arb_document()) {
+        // children() of every element equals the concatenation of its
+        // element and text children in document order, on every backend.
+        let all = stores(&xml);
+        let reference = &all[0];
+        let ref_children: Vec<Vec<u32>> = reference
+            .descendants_named(reference.root(), "a")
+            .iter()
+            .map(|&n| reference.children(n).iter().map(|c| c.0).collect())
+            .collect();
+        for store in &all[1..] {
+            let got: Vec<Vec<u32>> = store
+                .descendants_named(store.root(), "a")
+                .iter()
+                .map(|&n| store.children(n).iter().map(|c| c.0).collect())
+                .collect();
+            prop_assert_eq!(&got, &ref_children, "{} disagrees", store.system());
+        }
+    }
+
+    #[test]
+    fn parent_of_child_is_self(xml in arb_document()) {
+        for store in stores(&xml) {
+            let root = store.root();
+            let mut stack = vec![root];
+            while let Some(n) = stack.pop() {
+                for c in store.children(n) {
+                    prop_assert_eq!(store.parent(c), Some(n), "{}", store.system());
+                    stack.push(c);
+                }
+            }
+            prop_assert_eq!(store.parent(root), None);
+        }
+    }
+
+    #[test]
+    fn id_lookups_agree_where_supported(xml in arb_document(), probe in "[a-z0-9]{1,6}") {
+        let all = stores(&xml);
+        // Ground truth from a walk.
+        let reference = &all[0];
+        let mut truth = None;
+        let mut stack = vec![reference.root()];
+        while let Some(n) = stack.pop() {
+            if reference.attribute(n, "id").as_deref() == Some(probe.as_str()) {
+                // Random docs may repeat ids; only check single-match docs.
+                if truth.is_some() {
+                    return Ok(());
+                }
+                truth = Some(n.0);
+            }
+            stack.extend(reference.children(n));
+        }
+        for store in &all {
+            if let Some(hit) = store.lookup_id(&probe) {
+                prop_assert_eq!(hit.map(|n| n.0), truth, "{} disagrees", store.system());
+            }
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! A DTD (document type definition) parser.
+//!
+//! §4.4 of the paper: "A DTD and schema information are provided to allow
+//! for more efficient mappings. However, we stress that this is additional
+//! information that may be exploited." System C is the store that exploits
+//! it — it "reads in a DTD and lets the user generate an optimized database
+//! schema" (§7). This module parses the subset of DTD syntax the XMark
+//! `auction.dtd` uses: `<!ELEMENT …>` with sequence, choice, mixed and
+//! EMPTY content, and `<!ATTLIST …>` with CDATA/ID/IDREF attributes.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+
+/// How often a child may occur in a sequence content model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurrence {
+    /// Exactly once.
+    One,
+    /// `?` — at most once.
+    Optional,
+    /// `*` — any number.
+    Star,
+    /// `+` — at least once.
+    Plus,
+}
+
+impl Occurrence {
+    /// True if the child appears at most once — the inlining precondition.
+    pub fn at_most_once(self) -> bool {
+        matches!(self, Occurrence::One | Occurrence::Optional)
+    }
+}
+
+/// One child reference in a sequence model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildSpec {
+    /// Child element name.
+    pub name: String,
+    /// Occurrence modifier.
+    pub occurrence: Occurrence,
+}
+
+/// An element's content model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// `EMPTY`.
+    Empty,
+    /// `(#PCDATA)` — text only.
+    PcdataOnly,
+    /// `(#PCDATA | a | b)*` — mixed content.
+    Mixed(Vec<String>),
+    /// `(a, b?, c*)` — a sequence of children.
+    Sequence(Vec<ChildSpec>),
+    /// `(a | b)` with an optional occurrence on the whole group.
+    Choice(Vec<String>, Occurrence),
+    /// `ANY`.
+    Any,
+}
+
+/// Attribute types the benchmark DTD uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrType {
+    /// Free text.
+    Cdata,
+    /// Unique identifier.
+    Id,
+    /// Reference to an ID.
+    Idref,
+}
+
+/// One declared attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+    /// `#REQUIRED` (true) vs `#IMPLIED` (false).
+    pub required: bool,
+}
+
+/// A parsed DTD.
+#[derive(Debug, Clone, Default)]
+pub struct Dtd {
+    elements: HashMap<String, ContentModel>,
+    attributes: HashMap<String, Vec<AttrDecl>>,
+    /// Declaration order of elements (deterministic schema derivation).
+    order: Vec<String>,
+}
+
+impl Dtd {
+    /// Parse DTD text (internal-subset syntax, comments allowed).
+    pub fn parse(text: &str) -> Result<Dtd> {
+        let mut dtd = Dtd::default();
+        let mut rest = text;
+        while let Some(start) = rest.find("<!") {
+            rest = &rest[start..];
+            if let Some(comment) = rest.strip_prefix("<!--") {
+                let end = comment.find("-->").ok_or(Error::UnexpectedEof {
+                    context: "DTD comment",
+                })?;
+                rest = &comment[end + 3..];
+                continue;
+            }
+            let end = rest.find('>').ok_or(Error::UnexpectedEof {
+                context: "DTD declaration",
+            })?;
+            let decl = &rest[2..end];
+            rest = &rest[end + 1..];
+            if let Some(body) = decl.strip_prefix("ELEMENT") {
+                let (name, model) = parse_element_decl(body.trim())?;
+                if !dtd.elements.contains_key(&name) {
+                    dtd.order.push(name.clone());
+                }
+                dtd.elements.insert(name, model);
+            } else if let Some(body) = decl.strip_prefix("ATTLIST") {
+                let (name, attrs) = parse_attlist_decl(body.trim())?;
+                dtd.attributes.entry(name).or_default().extend(attrs);
+            }
+            // Other declaration kinds (ENTITY, NOTATION) are outside the
+            // benchmark's restricted XML subset (§4.4) and are skipped.
+        }
+        Ok(dtd)
+    }
+
+    /// Content model of an element.
+    pub fn element(&self, name: &str) -> Option<&ContentModel> {
+        self.elements.get(name)
+    }
+
+    /// Declared attributes of an element.
+    pub fn attributes(&self, name: &str) -> &[AttrDecl] {
+        self.attributes.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Element names in declaration order.
+    pub fn element_names(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(String::as_str)
+    }
+
+    /// Number of declared elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether no elements are declared.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Is `name` a text-only element (`(#PCDATA)`)?
+    pub fn is_pcdata_only(&self, name: &str) -> bool {
+        matches!(self.element(name), Some(ContentModel::PcdataOnly))
+    }
+
+    /// The **shared-inlining derivation** (Shanmugasundaram et al. \[23\],
+    /// which the paper credits for System C's mapping): for every element
+    /// with a sequence content model, the children that are text-only and
+    /// occur at most once can be inlined as columns of the parent's
+    /// relation. Returns `(parent, inlined children)` pairs in declaration
+    /// order, parents without inlinable children omitted.
+    pub fn derive_inlined_schema(&self) -> Vec<(String, Vec<String>)> {
+        let mut out = Vec::new();
+        for name in &self.order {
+            let Some(ContentModel::Sequence(children)) = self.elements.get(name) else {
+                continue;
+            };
+            let inlined: Vec<String> = children
+                .iter()
+                .filter(|c| c.occurrence.at_most_once() && self.is_pcdata_only(&c.name))
+                .map(|c| c.name.clone())
+                .collect();
+            if !inlined.is_empty() {
+                out.push((name.clone(), inlined));
+            }
+        }
+        out
+    }
+}
+
+fn parse_name(s: &str) -> Result<(&str, &str)> {
+    let s = s.trim_start();
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == ':'))
+        .unwrap_or(s.len());
+    if end == 0 {
+        return Err(Error::Syntax {
+            offset: 0,
+            message: format!("expected a name in DTD declaration near `{}`", truncate(s)),
+        });
+    }
+    Ok((&s[..end], &s[end..]))
+}
+
+fn truncate(s: &str) -> &str {
+    &s[..s.len().min(24)]
+}
+
+fn parse_element_decl(body: &str) -> Result<(String, ContentModel)> {
+    let (name, rest) = parse_name(body)?;
+    let spec = rest.trim();
+    let model = if spec == "EMPTY" {
+        ContentModel::Empty
+    } else if spec == "ANY" {
+        ContentModel::Any
+    } else if spec.starts_with('(') {
+        parse_content_group(spec)?
+    } else {
+        return Err(Error::Syntax {
+            offset: 0,
+            message: format!("unrecognized content model `{}` for <!ELEMENT {name}>", truncate(spec)),
+        });
+    };
+    Ok((name.to_string(), model))
+}
+
+fn parse_content_group(spec: &str) -> Result<ContentModel> {
+    // Find the matching close paren of the leading open paren.
+    let bytes = spec.as_bytes();
+    debug_assert_eq!(bytes[0], b'(');
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let close = close.ok_or(Error::UnexpectedEof {
+        context: "DTD content model",
+    })?;
+    let inner = &spec[1..close];
+    let suffix = spec[close + 1..].trim();
+    let group_occurrence = match suffix {
+        "" => Occurrence::One,
+        "?" => Occurrence::Optional,
+        "*" => Occurrence::Star,
+        "+" => Occurrence::Plus,
+        other => {
+            return Err(Error::Syntax {
+                offset: 0,
+                message: format!("unexpected trailing `{}` after content model", truncate(other)),
+            })
+        }
+    };
+
+    let normalized: String = inner.split_whitespace().collect::<Vec<_>>().join(" ");
+    if normalized == "#PCDATA" {
+        return Ok(ContentModel::PcdataOnly);
+    }
+    if normalized.starts_with("#PCDATA") {
+        // Mixed content: (#PCDATA | a | b)*
+        let names = normalized
+            .split('|')
+            .skip(1)
+            .map(|p| p.trim().to_string())
+            .collect();
+        return Ok(ContentModel::Mixed(names));
+    }
+    if normalized.contains('|') {
+        let names = normalized
+            .split('|')
+            .map(|p| p.trim().trim_end_matches(['?', '*', '+']).to_string())
+            .collect();
+        return Ok(ContentModel::Choice(names, group_occurrence));
+    }
+    // Sequence (the auction DTD has no nested groups).
+    let mut children = Vec::new();
+    for part in normalized.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, occurrence) = match part.as_bytes().last() {
+            Some(b'?') => (&part[..part.len() - 1], Occurrence::Optional),
+            Some(b'*') => (&part[..part.len() - 1], Occurrence::Star),
+            Some(b'+') => (&part[..part.len() - 1], Occurrence::Plus),
+            _ => (part, Occurrence::One),
+        };
+        children.push(ChildSpec {
+            name: name.trim().to_string(),
+            occurrence,
+        });
+    }
+    Ok(ContentModel::Sequence(children))
+}
+
+fn parse_attlist_decl(body: &str) -> Result<(String, Vec<AttrDecl>)> {
+    let (element, mut rest) = parse_name(body)?;
+    let mut attrs = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        let (attr_name, after_name) = parse_name(rest)?;
+        let after_name = after_name.trim_start();
+        let (ty, after_ty) = if let Some(r) = after_name.strip_prefix("IDREFS") {
+            (AttrType::Idref, r)
+        } else if let Some(r) = after_name.strip_prefix("IDREF") {
+            (AttrType::Idref, r)
+        } else if let Some(r) = after_name.strip_prefix("ID") {
+            (AttrType::Id, r)
+        } else if let Some(r) = after_name.strip_prefix("CDATA") {
+            (AttrType::Cdata, r)
+        } else {
+            return Err(Error::Syntax {
+                offset: 0,
+                message: format!("unsupported attribute type near `{}`", truncate(after_name)),
+            });
+        };
+        let after_ty = after_ty.trim_start();
+        let (required, after_default) = if let Some(r) = after_ty.strip_prefix("#REQUIRED") {
+            (true, r)
+        } else if let Some(r) = after_ty.strip_prefix("#IMPLIED") {
+            (false, r)
+        } else {
+            return Err(Error::Syntax {
+                offset: 0,
+                message: format!("unsupported attribute default near `{}`", truncate(after_ty)),
+            });
+        };
+        attrs.push(AttrDecl {
+            name: attr_name.to_string(),
+            ty,
+            required,
+        });
+        rest = after_default;
+    }
+    Ok((element.to_string(), attrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+        <!-- test dtd -->
+        <!ELEMENT site (people, items?)>
+        <!ELEMENT people (person*)>
+        <!ELEMENT person (name, emailaddress, phone?, watches?)>
+        <!ATTLIST person id ID #REQUIRED>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT emailaddress (#PCDATA)>
+        <!ELEMENT phone (#PCDATA)>
+        <!ELEMENT watches (watch*)>
+        <!ELEMENT watch EMPTY>
+        <!ATTLIST watch open_auction IDREF #REQUIRED>
+        <!ELEMENT items (#PCDATA | bold | emph)*>
+    "#;
+
+    #[test]
+    fn parses_element_declarations() {
+        let dtd = Dtd::parse(MINI).unwrap();
+        assert_eq!(dtd.len(), 9);
+        assert_eq!(dtd.element("watch"), Some(&ContentModel::Empty));
+        assert!(dtd.is_pcdata_only("name"));
+        assert!(!dtd.is_pcdata_only("watches"));
+        match dtd.element("person") {
+            Some(ContentModel::Sequence(children)) => {
+                assert_eq!(children.len(), 4);
+                assert_eq!(children[2].name, "phone");
+                assert_eq!(children[2].occurrence, Occurrence::Optional);
+                assert_eq!(children[3].occurrence, Occurrence::Optional);
+            }
+            other => panic!("unexpected model {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mixed_content() {
+        let dtd = Dtd::parse(MINI).unwrap();
+        match dtd.element("items") {
+            Some(ContentModel::Mixed(names)) => {
+                assert_eq!(names, &["bold", "emph"]);
+            }
+            other => panic!("unexpected model {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let dtd = Dtd::parse(MINI).unwrap();
+        let person_attrs = dtd.attributes("person");
+        assert_eq!(person_attrs.len(), 1);
+        assert_eq!(person_attrs[0].name, "id");
+        assert_eq!(person_attrs[0].ty, AttrType::Id);
+        assert!(person_attrs[0].required);
+        let watch_attrs = dtd.attributes("watch");
+        assert_eq!(watch_attrs[0].ty, AttrType::Idref);
+    }
+
+    #[test]
+    fn derives_inlined_schema() {
+        let dtd = Dtd::parse(MINI).unwrap();
+        let schema = dtd.derive_inlined_schema();
+        // person inlines name, emailaddress, phone (at-most-once PCDATA
+        // children); watches (element content) is excluded.
+        let person = schema.iter().find(|(p, _)| p == "person").unwrap();
+        assert_eq!(person.1, vec!["name", "emailaddress", "phone"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Dtd::parse("<!ELEMENT broken").is_err());
+        assert!(Dtd::parse("<!ELEMENT x WEIRD>").is_err());
+        assert!(Dtd::parse("<!ATTLIST x a UNKNOWNTYPE #REQUIRED>").is_err());
+    }
+
+    #[test]
+    fn declaration_order_is_preserved() {
+        let dtd = Dtd::parse(MINI).unwrap();
+        let names: Vec<&str> = dtd.element_names().collect();
+        assert_eq!(names[0], "site");
+        assert_eq!(names[1], "people");
+    }
+}

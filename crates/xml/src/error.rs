@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Errors produced while lexing or parsing XML input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the lexer was in the middle of reading.
+        context: &'static str,
+    },
+    /// A syntactic error at a byte offset.
+    Syntax {
+        /// Byte offset into the input where the problem was detected.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An end tag did not match the innermost open start tag.
+    MismatchedTag {
+        /// Tag that was open.
+        expected: String,
+        /// Tag that was found.
+        found: String,
+        /// Byte offset of the offending end tag.
+        offset: usize,
+    },
+    /// Document contained no root element, or content after the root.
+    StructureViolation(String),
+    /// A character or entity reference could not be resolved.
+    BadReference {
+        /// Byte offset of the reference.
+        offset: usize,
+        /// The raw reference text (without `&`/`;`).
+        reference: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            Error::Syntax { offset, message } => {
+                write!(f, "syntax error at byte {offset}: {message}")
+            }
+            Error::MismatchedTag {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "mismatched end tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            Error::StructureViolation(msg) => write!(f, "document structure violation: {msg}"),
+            Error::BadReference { offset, reference } => {
+                write!(f, "unresolvable reference `&{reference};` at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,164 @@
+//! Escaping and unescaping of XML character data and attribute values.
+//!
+//! XMark documents are plain 7-bit ASCII (§4.4 of the paper) and use only
+//! the five predefined entities, so this module deliberately implements just
+//! `&lt; &gt; &amp; &apos; &quot;` plus decimal/hex character references.
+
+use crate::error::{Error, Result};
+
+/// Append `text` to `out`, escaping the characters that are unsafe in
+/// element content (`<`, `>`, `&`).
+pub fn escape_text_into(text: &str, out: &mut String) {
+    for ch in text.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Append `value` to `out`, escaping the characters that are unsafe inside
+/// a double-quoted attribute value.
+pub fn escape_attr_into(value: &str, out: &mut String) {
+    for ch in value.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Escape element content, returning a new string.
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    escape_text_into(text, &mut out);
+    out
+}
+
+/// Resolve a single reference body (the part between `&` and `;`).
+///
+/// `offset` is only used for error reporting.
+pub fn resolve_reference(body: &str, offset: usize) -> Result<char> {
+    match body {
+        "lt" => Ok('<'),
+        "gt" => Ok('>'),
+        "amp" => Ok('&'),
+        "apos" => Ok('\''),
+        "quot" => Ok('"'),
+        _ => {
+            let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16).ok()
+            } else if let Some(dec) = body.strip_prefix('#') {
+                dec.parse::<u32>().ok()
+            } else {
+                None
+            };
+            code.and_then(char::from_u32).ok_or(Error::BadReference {
+                offset,
+                reference: body.to_string(),
+            })
+        }
+    }
+}
+
+/// Unescape a slice of raw character data into `out`.
+///
+/// Returns an error for malformed or unknown references; the XMark
+/// generator never emits such data, but hand-written inputs might.
+pub fn unescape_into(raw: &str, base_offset: usize, out: &mut String) -> Result<()> {
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            let rest = &raw[i + 1..];
+            let end = rest.find(';').ok_or(Error::UnexpectedEof {
+                context: "entity reference",
+            })?;
+            let body = &rest[..end];
+            out.push(resolve_reference(body, base_offset + i)?);
+            i += end + 2;
+        } else {
+            // Advance over one UTF-8 character (ASCII fast path: one byte).
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&raw[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Ok(())
+}
+
+#[inline]
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Unescape raw character data, returning a new string.
+pub fn unescape(raw: &str) -> Result<String> {
+    let mut out = String::with_capacity(raw.len());
+    unescape_into(raw, 0, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_the_three_text_metacharacters() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn escapes_quotes_in_attributes() {
+        let mut s = String::new();
+        escape_attr_into("say \"hi\"", &mut s);
+        assert_eq!(s, "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn unescapes_predefined_entities() {
+        assert_eq!(unescape("&lt;&gt;&amp;&apos;&quot;").unwrap(), "<>&'\"");
+    }
+
+    #[test]
+    fn unescapes_numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;").unwrap(), "AB");
+    }
+
+    #[test]
+    fn roundtrips_arbitrary_ascii() {
+        let original = "price > 40 & cost < 100";
+        assert_eq!(unescape(&escape_text(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert!(matches!(
+            unescape("&nbsp;"),
+            Err(Error::BadReference { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unterminated_reference() {
+        assert!(matches!(
+            unescape("&amp"),
+            Err(Error::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn passes_multibyte_utf8_through() {
+        assert_eq!(unescape("caf\u{e9}").unwrap(), "caf\u{e9}");
+    }
+}

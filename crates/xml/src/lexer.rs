@@ -1,0 +1,377 @@
+//! A pull-based, zero-copy XML tokenizer.
+//!
+//! The tokenizer plays the role that expat plays in the paper's experiments
+//! (§7 quotes 4.9 s to scan the 100 MB benchmark document): it performs
+//! tokenization and the normalizations required by the XML standard but no
+//! semantic actions. Character data and attribute values are returned as
+//! *raw* slices of the input; callers decide when to pay for unescaping via
+//! [`crate::escape::unescape`].
+//!
+//! Supported constructs are exactly those the XMark generator emits plus the
+//! usual prolog miscellanea: the XML declaration, `<!DOCTYPE …>` (including
+//! an internal DTD subset, which is skipped), comments, processing
+//! instructions, CDATA sections, start/empty/end tags and character data.
+
+use crate::error::{Error, Result};
+
+/// A single token pulled from the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token<'a> {
+    /// `<name attr="v" …>` or `<name …/>`; attribute values are raw
+    /// (not yet unescaped) slices.
+    StartTag {
+        /// Element name.
+        name: &'a str,
+        /// Attribute name/value pairs in document order.
+        attrs: Vec<(&'a str, &'a str)>,
+        /// Whether the tag was self-closing (`<a/>`).
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Element name.
+        name: &'a str,
+    },
+    /// Raw character data between tags (entities unresolved). CDATA
+    /// sections are delivered as already-literal text.
+    Text {
+        /// The raw slice.
+        raw: &'a str,
+        /// Whether the slice came from a CDATA section (then it needs no
+        /// unescaping).
+        cdata: bool,
+    },
+    /// `<!-- … -->` contents.
+    Comment(&'a str),
+    /// `<?target data?>` (including the XML declaration).
+    ProcessingInstruction(&'a str),
+    /// `<!DOCTYPE …>`; the raw contents are provided for DTD-aware callers.
+    DocType(&'a str),
+}
+
+/// Pull tokenizer over a UTF-8 input string.
+pub struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a tokenizer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    /// Current byte offset (useful for error reporting and progress).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    #[inline]
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        let bytes = self.bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, expected: u8, context: &'static str) -> Result<()> {
+        match self.peek() {
+            Some(b) if b == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(Error::Syntax {
+                offset: self.pos,
+                message: format!("expected `{}`, found `{}` in {context}", expected as char, b as char),
+            }),
+            None => Err(Error::UnexpectedEof { context }),
+        }
+    }
+
+    /// Scan an XML Name starting at the current position.
+    fn scan_name(&mut self, context: &'static str) -> Result<&'a str> {
+        let start = self.pos;
+        let bytes = self.bytes();
+        while self.pos < bytes.len() {
+            let b = bytes[self.pos];
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::Syntax {
+                offset: start,
+                message: format!("expected a name in {context}"),
+            });
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Pull the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token<'a>>> {
+        if self.pos >= self.input.len() {
+            return Ok(None);
+        }
+        if self.peek() == Some(b'<') {
+            self.lex_markup().map(Some)
+        } else {
+            self.lex_text().map(Some)
+        }
+    }
+
+    fn lex_text(&mut self) -> Result<Token<'a>> {
+        let start = self.pos;
+        let bytes = self.bytes();
+        while self.pos < bytes.len() && bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        Ok(Token::Text {
+            raw: &self.input[start..self.pos],
+            cdata: false,
+        })
+    }
+
+    fn lex_markup(&mut self) -> Result<Token<'a>> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.pos += 1;
+        match self.peek() {
+            Some(b'/') => {
+                self.pos += 1;
+                let name = self.scan_name("end tag")?;
+                self.skip_whitespace();
+                self.expect_byte(b'>', "end tag")?;
+                Ok(Token::EndTag { name })
+            }
+            Some(b'?') => {
+                self.pos += 1;
+                let body = self.take_until("?>", "processing instruction")?;
+                Ok(Token::ProcessingInstruction(body))
+            }
+            Some(b'!') => {
+                self.pos += 1;
+                if self.input[self.pos..].starts_with("--") {
+                    self.pos += 2;
+                    let body = self.take_until("-->", "comment")?;
+                    Ok(Token::Comment(body))
+                } else if self.input[self.pos..].starts_with("[CDATA[") {
+                    self.pos += 7;
+                    let body = self.take_until("]]>", "CDATA section")?;
+                    Ok(Token::Text {
+                        raw: body,
+                        cdata: true,
+                    })
+                } else if self.input[self.pos..].starts_with("DOCTYPE") {
+                    self.pos += 7;
+                    let body = self.take_doctype()?;
+                    Ok(Token::DocType(body))
+                } else {
+                    Err(Error::Syntax {
+                        offset: self.pos,
+                        message: "unrecognized `<!` construct".to_string(),
+                    })
+                }
+            }
+            Some(_) => self.lex_start_tag(),
+            None => Err(Error::UnexpectedEof { context: "markup" }),
+        }
+    }
+
+    fn take_until(&mut self, terminator: &str, context: &'static str) -> Result<&'a str> {
+        match self.input[self.pos..].find(terminator) {
+            Some(rel) => {
+                let body = &self.input[self.pos..self.pos + rel];
+                self.pos += rel + terminator.len();
+                Ok(body)
+            }
+            None => Err(Error::UnexpectedEof { context }),
+        }
+    }
+
+    /// Consume a DOCTYPE declaration, honoring a bracketed internal subset.
+    fn take_doctype(&mut self) -> Result<&'a str> {
+        let start = self.pos;
+        let bytes = self.bytes();
+        let mut depth = 0usize;
+        while self.pos < bytes.len() {
+            match bytes[self.pos] {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => {
+                    let body = &self.input[start..self.pos];
+                    self.pos += 1;
+                    return Ok(body.trim());
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(Error::UnexpectedEof {
+            context: "DOCTYPE declaration",
+        })
+    }
+
+    fn lex_start_tag(&mut self) -> Result<Token<'a>> {
+        let name = self.scan_name("start tag")?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing: false,
+                    });
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect_byte(b'>', "empty-element tag")?;
+                    return Ok(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing: true,
+                    });
+                }
+                Some(_) => {
+                    let attr_name = self.scan_name("attribute")?;
+                    self.skip_whitespace();
+                    self.expect_byte(b'=', "attribute")?;
+                    self.skip_whitespace();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => {
+                            self.pos += 1;
+                            q
+                        }
+                        _ => {
+                            return Err(Error::Syntax {
+                                offset: self.pos,
+                                message: "attribute value must be quoted".to_string(),
+                            })
+                        }
+                    };
+                    let vstart = self.pos;
+                    let bytes = self.bytes();
+                    while self.pos < bytes.len() && bytes[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= bytes.len() {
+                        return Err(Error::UnexpectedEof {
+                            context: "attribute value",
+                        });
+                    }
+                    let value = &self.input[vstart..self.pos];
+                    self.pos += 1; // closing quote
+                    attrs.push((attr_name, value));
+                }
+                None => {
+                    return Err(Error::UnexpectedEof {
+                        context: "start tag",
+                    })
+                }
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for Lexer<'a> {
+    type Item = Result<Token<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_token().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tokens(input: &str) -> Vec<Token<'_>> {
+        Lexer::new(input).collect::<Result<Vec<_>>>().unwrap()
+    }
+
+    #[test]
+    fn lexes_simple_element() {
+        let toks = all_tokens("<a>hi</a>");
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(toks[0], Token::StartTag { name: "a", self_closing: false, .. }));
+        assert!(matches!(toks[1], Token::Text { raw: "hi", .. }));
+        assert!(matches!(toks[2], Token::EndTag { name: "a" }));
+    }
+
+    #[test]
+    fn lexes_attributes_in_order() {
+        let toks = all_tokens(r#"<person id="person0" featured="yes"/>"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, self_closing } => {
+                assert_eq!(*name, "person");
+                assert!(*self_closing);
+                assert_eq!(attrs, &[("id", "person0"), ("featured", "yes")]);
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexes_single_quoted_attributes() {
+        let toks = all_tokens("<a x='1'/>");
+        match &toks[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs, &[("x", "1")]),
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexes_prolog_comment_and_doctype() {
+        let toks = all_tokens("<?xml version=\"1.0\"?><!-- c --><!DOCTYPE site SYSTEM \"auction.dtd\"><site/>");
+        assert!(matches!(toks[0], Token::ProcessingInstruction(_)));
+        assert!(matches!(toks[1], Token::Comment(" c ")));
+        assert!(matches!(toks[2], Token::DocType(_)));
+        assert!(matches!(toks[3], Token::StartTag { name: "site", .. }));
+    }
+
+    #[test]
+    fn lexes_doctype_with_internal_subset() {
+        let toks = all_tokens("<!DOCTYPE site [ <!ELEMENT site (x)> ]><site/>");
+        match &toks[0] {
+            Token::DocType(body) => assert!(body.contains("<!ELEMENT site (x)>")),
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexes_cdata_as_literal_text() {
+        let toks = all_tokens("<a><![CDATA[1 < 2 & 3]]></a>");
+        assert!(matches!(toks[1], Token::Text { raw: "1 < 2 & 3", cdata: true }));
+    }
+
+    #[test]
+    fn reports_eof_in_tag() {
+        let err = Lexer::new("<open").collect::<Result<Vec<_>>>().unwrap_err();
+        assert!(matches!(err, Error::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn reports_unquoted_attribute() {
+        let err = Lexer::new("<a x=1/>").collect::<Result<Vec<_>>>().unwrap_err();
+        assert!(matches!(err, Error::Syntax { .. }));
+    }
+
+    #[test]
+    fn whitespace_inside_tags_is_tolerated() {
+        let toks = all_tokens("<a  x = \"1\"  ></a >");
+        assert!(matches!(toks[0], Token::StartTag { .. }));
+        assert!(matches!(toks[1], Token::EndTag { name: "a" }));
+    }
+}

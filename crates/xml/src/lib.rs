@@ -1,0 +1,45 @@
+//! XML infrastructure for the XMark benchmark suite.
+//!
+//! This crate provides everything the benchmark needs to get an XML document
+//! from bytes into a queryable in-memory form and back:
+//!
+//! * [`lexer`] — a zero-copy, pull-based tokenizer in the spirit of expat
+//!   (the parser the paper uses for its 4.9 s/100 MB scan baseline),
+//! * [`dom`] — an arena-allocated document object model whose node ids
+//!   *are* document order, which the query layer exploits for the
+//!   `BEFORE`/`<<` operator of XMark query Q4,
+//! * [`parser`] — glue that builds a [`dom::Document`] from the token
+//!   stream,
+//! * [`serialize`](mod@serialize) — configurable serialization including a canonical form
+//!   used by the cross-backend output-equivalence tests (§1 of the paper
+//!   discusses why deciding result equivalence is hard; canonicalization is
+//!   our answer),
+//! * [`escape`] — the five predefined entities plus numeric character
+//!   references, the only escaping XMark documents require (§4.4 restricts
+//!   the generator to 7-bit ASCII and forbids user-defined entities).
+//!
+//! # Quick example
+//!
+//! ```
+//! use xmark_xml::parse_document;
+//!
+//! let doc = parse_document("<site><people><person id=\"person0\"/></people></site>").unwrap();
+//! let root = doc.root_element();
+//! assert_eq!(doc.tag_name(root), "site");
+//! ```
+
+pub mod dom;
+pub mod dtd;
+pub mod escape;
+pub mod lexer;
+pub mod parser;
+pub mod serialize;
+
+mod error;
+
+pub use dom::{Document, NodeId, NodeKind};
+pub use dtd::Dtd;
+pub use error::{Error, Result};
+pub use lexer::{Lexer, Token};
+pub use parser::parse_document;
+pub use serialize::{serialize, serialize_canonical, SerializeOptions};

@@ -1,0 +1,197 @@
+//! Serialization of DOM (sub)trees back to XML text.
+//!
+//! Two modes matter to the benchmark:
+//!
+//! * **plain** — used by Q13 ("reconstruction") and by result construction:
+//!   attributes keep document order, no indentation (the paper's Q10 output
+//!   size of "more than 10 MB of (unindented) XML text" assumes this),
+//! * **canonical** — attributes sorted by name, text normalized; used by the
+//!   cross-backend output-equivalence tests, our answer to the paper's §1
+//!   observation that deciding query-output equivalence is an open problem.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::escape;
+
+/// Options controlling serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SerializeOptions {
+    /// Sort attributes lexicographically by name (canonical form).
+    pub sort_attributes: bool,
+    /// Indent output with two spaces per level and newlines between
+    /// element children. Mixed content is never re-indented.
+    pub indent: bool,
+}
+
+/// Serialize the subtree rooted at `node` with `options`.
+pub fn serialize_with(doc: &Document, node: NodeId, options: SerializeOptions) -> String {
+    let mut out = String::new();
+    write_node(doc, node, options, 0, &mut out);
+    out
+}
+
+/// Serialize the subtree rooted at `node` in plain (document-order) form.
+pub fn serialize_node(doc: &Document, node: NodeId) -> String {
+    serialize_with(doc, node, SerializeOptions::default())
+}
+
+/// Serialize the whole document in plain form.
+pub fn serialize(doc: &Document) -> String {
+    serialize_node(doc, doc.root_element())
+}
+
+/// Serialize the subtree rooted at `node` canonically (sorted attributes).
+pub fn serialize_canonical(doc: &Document, node: NodeId) -> String {
+    serialize_with(
+        doc,
+        node,
+        SerializeOptions {
+            sort_attributes: true,
+            indent: false,
+        },
+    )
+}
+
+fn write_node(
+    doc: &Document,
+    node: NodeId,
+    options: SerializeOptions,
+    level: usize,
+    out: &mut String,
+) {
+    match doc.kind(node) {
+        NodeKind::Text { text } => escape::escape_text_into(text, out),
+        NodeKind::Element { .. } => {
+            let tag = doc.tag_name(node);
+            out.push('<');
+            out.push_str(tag);
+            let attrs = doc.attributes(node);
+            if options.sort_attributes {
+                let mut sorted: Vec<_> = attrs.iter().collect();
+                sorted.sort_by_key(|(sym, _)| doc.interner().resolve(*sym));
+                for (sym, value) in sorted {
+                    write_attr(doc.interner().resolve(*sym), value, out);
+                }
+            } else {
+                for (sym, value) in attrs {
+                    write_attr(doc.interner().resolve(*sym), value, out);
+                }
+            }
+            let mut children = doc.children(node).peekable();
+            if children.peek().is_none() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            // Only indent when all children are elements — re-indenting
+            // mixed content would alter string values.
+            let all_elements = doc.children(node).all(|c| doc.is_element(c));
+            for child in children {
+                if options.indent && all_elements {
+                    out.push('\n');
+                    for _ in 0..(level + 1) {
+                        out.push_str("  ");
+                    }
+                }
+                write_node(doc, child, options, level + 1, out);
+            }
+            if options.indent && all_elements {
+                out.push('\n');
+                for _ in 0..level {
+                    out.push_str("  ");
+                }
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+fn write_attr(name: &str, value: &str, out: &mut String) {
+    out.push(' ');
+    out.push_str(name);
+    out.push_str("=\"");
+    escape::escape_attr_into(value, out);
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn roundtrips_simple_document() {
+        let src = r#"<site><person id="person0"><name>Alice</name></person></site>"#;
+        let doc = parse_document(src).unwrap();
+        assert_eq!(serialize(&doc), src);
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let doc = parse_document("<a><b></b></a>").unwrap();
+        assert_eq!(serialize(&doc), "<a><b/></a>");
+    }
+
+    #[test]
+    fn escapes_on_output() {
+        let mut doc = Document::new();
+        let root = doc.create_element("a");
+        doc.set_attribute(root, "q", "x\"y<z");
+        let t = doc.create_text("1 < 2 & 3");
+        doc.append_child(root, t);
+        doc.set_root(root);
+        assert_eq!(
+            serialize(&doc),
+            "<a q=\"x&quot;y&lt;z\">1 &lt; 2 &amp; 3</a>"
+        );
+    }
+
+    #[test]
+    fn canonical_sorts_attributes() {
+        let doc = parse_document(r#"<a zeta="1" alpha="2"/>"#).unwrap();
+        assert_eq!(
+            serialize_canonical(&doc, doc.root_element()),
+            r#"<a alpha="2" zeta="1"/>"#
+        );
+        // Plain form preserves document order.
+        assert_eq!(serialize(&doc), r#"<a zeta="1" alpha="2"/>"#);
+    }
+
+    #[test]
+    fn indent_mode_preserves_mixed_content() {
+        let doc = parse_document("<t>one <b>two</b> three</t>").unwrap();
+        let pretty = serialize_with(
+            &doc,
+            doc.root_element(),
+            SerializeOptions {
+                sort_attributes: false,
+                indent: true,
+            },
+        );
+        assert_eq!(pretty, "<t>one <b>two</b> three</t>");
+    }
+
+    #[test]
+    fn indent_mode_indents_element_only_content() {
+        let doc = parse_document("<a><b/><c/></a>").unwrap();
+        let pretty = serialize_with(
+            &doc,
+            doc.root_element(),
+            SerializeOptions {
+                sort_attributes: false,
+                indent: true,
+            },
+        );
+        assert_eq!(pretty, "<a>\n  <b/>\n  <c/>\n</a>");
+    }
+
+    #[test]
+    fn parse_serialize_parse_is_stable() {
+        let src = r#"<x a="1"><y>t&amp;t</y><z/></x>"#;
+        let doc1 = parse_document(src).unwrap();
+        let out1 = serialize(&doc1);
+        let doc2 = parse_document(&out1).unwrap();
+        assert_eq!(out1, serialize(&doc2));
+    }
+}

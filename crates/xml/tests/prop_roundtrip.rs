@@ -1,0 +1,164 @@
+//! Property tests for the XML layer: parse/serialize round-trips over
+//! arbitrary generated trees, and escape/unescape inverses over arbitrary
+//! strings.
+
+use proptest::prelude::*;
+
+use xmark_xml::{dom::Document, parse_document, serialize};
+
+// ---- escaping -------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn escape_then_unescape_is_identity(s in "\\PC{0,200}") {
+        let escaped = xmark_xml::escape::escape_text(&s);
+        let back = xmark_xml::escape::unescape(&escaped).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn escaped_text_never_contains_raw_metacharacters(s in "\\PC{0,200}") {
+        let escaped = xmark_xml::escape::escape_text(&s);
+        prop_assert!(!escaped.contains('<'));
+        // `&` may only appear as the start of an entity.
+        for (i, c) in escaped.char_indices() {
+            if c == '&' {
+                prop_assert!(escaped[i..].find(';').is_some());
+            }
+        }
+    }
+}
+
+// ---- random document trees -------------------------------------------------
+
+/// A recursive tree model that we can lower into a DOM.
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Element {
+        tag: usize,
+        attrs: Vec<(usize, String)>,
+        children: Vec<TreeNode>,
+    },
+    Text(String),
+}
+
+const TAGS: [&str; 8] = [
+    "site", "item", "person", "name", "description", "text", "keyword", "bold",
+];
+const ATTR_NAMES: [&str; 4] = ["id", "category", "person", "featured"];
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Printable, non-empty after trim so the parser keeps it.
+    "[ -~]{1,30}".prop_filter("non-blank", |s| !s.trim().is_empty())
+}
+
+fn arb_tree(depth: u32) -> impl Strategy<Value = TreeNode> {
+    let leaf = prop_oneof![
+        arb_text().prop_map(TreeNode::Text),
+        (0..TAGS.len(), prop::collection::vec((0..ATTR_NAMES.len(), "[ -~]{0,10}"), 0..3))
+            .prop_map(|(tag, attrs)| TreeNode::Element {
+                tag,
+                attrs,
+                children: Vec::new()
+            }),
+    ];
+    leaf.prop_recursive(depth, 64, 5, |inner| {
+        (
+            0..TAGS.len(),
+            prop::collection::vec((0..ATTR_NAMES.len(), "[ -~]{0,10}"), 0..3),
+            prop::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(tag, attrs, children)| TreeNode::Element {
+                tag,
+                attrs,
+                children,
+            })
+    })
+}
+
+fn lower(doc: &mut Document, node: &TreeNode) -> xmark_xml::NodeId {
+    match node {
+        TreeNode::Text(t) => doc.create_text(t.clone()),
+        TreeNode::Element {
+            tag,
+            attrs,
+            children,
+        } => {
+            let e = doc.create_element(TAGS[*tag]);
+            let mut seen = std::collections::HashSet::new();
+            for (name, value) in attrs {
+                // XML forbids duplicate attribute names.
+                if seen.insert(*name) {
+                    doc.set_attribute(e, ATTR_NAMES[*name], value.clone());
+                }
+            }
+            for child in children {
+                let c = lower(doc, child);
+                doc.append_child(e, c);
+            }
+            e
+        }
+    }
+}
+
+fn build_document(root: &TreeNode) -> Document {
+    let mut doc = Document::new();
+    // Force an element at the root.
+    let root_node = match root {
+        TreeNode::Text(t) => {
+            let e = doc.create_element("site");
+            let c = doc.create_text(t.clone());
+            doc.append_child(e, c);
+            e
+        }
+        elem => lower(&mut doc, elem),
+    };
+    doc.set_root(root_node);
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_parse_serialize_is_stable(tree in arb_tree(4)) {
+        let doc = build_document(&tree);
+        let first = serialize(&doc);
+        let reparsed = parse_document(&first).unwrap();
+        let second = serialize(&reparsed);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn parse_preserves_string_values(tree in arb_tree(4)) {
+        let doc = build_document(&tree);
+        let serialized = serialize(&doc);
+        let reparsed = parse_document(&serialized).unwrap();
+        // String values survive the round trip, modulo the whitespace-only
+        // text nodes the parser legitimately drops; comparing serialized
+        // forms (above) is the strict check, this one targets text content.
+        let original = doc.string_value(doc.root_element());
+        let roundtrip = reparsed.string_value(reparsed.root_element());
+        if original.trim().is_empty() {
+            prop_assert!(roundtrip.trim().is_empty());
+        } else {
+            prop_assert_eq!(original, roundtrip);
+        }
+    }
+
+    #[test]
+    fn node_ids_stay_preorder(tree in arb_tree(4)) {
+        let doc = build_document(&tree);
+        let reparsed = parse_document(&serialize(&doc)).unwrap();
+        let ids: Vec<_> = reparsed.descendants(reparsed.root_element()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        prop_assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_input(s in "\\PC{0,300}") {
+        // Errors are fine; panics are not.
+        let _ = parse_document(&s);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: generate a benchmark document, load it into a store, and
+//! run the first benchmark query.
+//!
+//! ```text
+//! cargo run --release --example quickstart [factor]
+//! ```
+
+use xmark::prelude::*;
+
+fn main() {
+    let factor: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.005);
+
+    println!("== XMark quickstart ==");
+    println!("generating benchmark document at scaling factor {factor} …");
+    let doc = generate_document(factor);
+    println!(
+        "  {} bytes, {} items, {} persons, {} open + {} closed auctions ({:?})",
+        doc.stats.bytes,
+        doc.stats.cardinalities.items,
+        doc.stats.cardinalities.persons,
+        doc.stats.cardinalities.open_auctions,
+        doc.stats.cardinalities.closed_auctions,
+        doc.elapsed,
+    );
+
+    println!("\nbulkloading into System D (structural summary store) …");
+    let loaded = load_system(SystemId::D, &doc.xml);
+    println!(
+        "  {} nodes, {:.1} kB resident, loaded in {:?}",
+        loaded.store.node_count(),
+        loaded.size_bytes as f64 / 1024.0,
+        loaded.load_time,
+    );
+
+    println!("\nrunning Q1 (exact-match baseline):");
+    println!("{}", query(1).text.trim());
+    let m = measure_query(&loaded, 1);
+    println!(
+        "\n  -> {} item(s) in {:?} compile + {:?} execute",
+        m.result_items, m.compile_time, m.execute_time,
+    );
+
+    let out = run_query(query(1).text, loaded.store.as_ref()).expect("Q1 runs");
+    println!(
+        "  result: {}",
+        serialize_sequence(loaded.store.as_ref(), &out)
+    );
+
+    println!("\nall twenty queries:");
+    for q in &ALL_QUERIES {
+        let m = measure_query(&loaded, q.number);
+        println!(
+            "  Q{:>2} {:<62} {:>6} items {:>10.3?}",
+            q.number,
+            q.title,
+            m.result_items,
+            m.total(),
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Cross-backend output equivalence.
+//!
+//! §1 of the paper: "the benchmark document and the queries can aid in the
+//! verification of query processors … the problem of deciding when to
+//! regard the output of XML query processors as equivalent still requires
+//! research." This suite is that verification: every one of the twenty
+//! queries must produce the *same canonical output* on all seven storage
+//! architectures. A divergence means one backend's navigation or access
+//! path is wrong.
+
+use xmark::prelude::*;
+
+fn canonical_all_systems(factor: f64, query_no: usize) -> Vec<(SystemId, String)> {
+    let doc = generate_document(factor);
+    SystemId::ALL
+        .iter()
+        .map(|&system| {
+            let loaded = load_system(system, &doc.xml);
+            (system, canonical_output(loaded.store.as_ref(), query_no))
+        })
+        .collect()
+}
+
+fn assert_equivalent(query_no: usize) {
+    let outputs = canonical_all_systems(0.002, query_no);
+    let (ref_system, reference) = &outputs[0];
+    for (system, output) in &outputs[1..] {
+        assert_eq!(
+            output, reference,
+            "Q{query_no}: {system} disagrees with {ref_system}"
+        );
+    }
+}
+
+macro_rules! equivalence_test {
+    ($name:ident, $n:expr) => {
+        #[test]
+        fn $name() {
+            assert_equivalent($n);
+        }
+    };
+}
+
+equivalence_test!(q1_exact_match, 1);
+equivalence_test!(q2_ordered_access, 2);
+equivalence_test!(q3_array_lookup, 3);
+equivalence_test!(q4_before_operator, 4);
+equivalence_test!(q5_casting, 5);
+equivalence_test!(q6_regular_paths, 6);
+equivalence_test!(q7_count_nonexistent, 7);
+equivalence_test!(q8_reference_join, 8);
+equivalence_test!(q9_three_way_join, 9);
+equivalence_test!(q10_construction, 10);
+equivalence_test!(q11_value_join, 11);
+equivalence_test!(q12_selective_value_join, 12);
+equivalence_test!(q13_reconstruction, 13);
+equivalence_test!(q14_fulltext, 14);
+equivalence_test!(q15_deep_path, 15);
+equivalence_test!(q16_path_with_ascent, 16);
+equivalence_test!(q17_missing_elements, 17);
+equivalence_test!(q18_udf, 18);
+equivalence_test!(q19_sorting, 19);
+equivalence_test!(q20_aggregation, 20);
+
+/// The equivalence property also holds at a different scale and seed, so
+/// it is not an artifact of one particular document instance.
+#[test]
+fn equivalence_is_scale_independent() {
+    let config = xmark::gen::GeneratorConfig {
+        factor: 0.004,
+        seed: 7,
+    };
+    let xml = xmark::gen::generate_string(&config);
+    let reference = {
+        let store = build_store(SystemId::G, &xml).unwrap();
+        (1..=20)
+            .map(|q| canonical_output(store.as_ref(), q))
+            .collect::<Vec<_>>()
+    };
+    for system in [SystemId::A, SystemId::C, SystemId::D, SystemId::E] {
+        let store = build_store(system, &xml).unwrap();
+        for (i, expected) in reference.iter().enumerate() {
+            let got = canonical_output(store.as_ref(), i + 1);
+            assert_eq!(&got, expected, "Q{} differs on {system} (seed 7)", i + 1);
+        }
+    }
+}

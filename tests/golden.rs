@@ -1,0 +1,269 @@
+//! Golden results on the canonical benchmark document (factor 0.002,
+//! seed 0).
+//!
+//! These tests pin the *semantics* of the twenty queries to concrete
+//! values, so a regression in the generator, the stores, or the evaluator
+//! shows up as a changed number, not just as cross-backend disagreement.
+
+use xmark::prelude::*;
+use xmark::query::Item;
+
+fn loaded() -> LoadedStore {
+    let doc = generate_document(0.002);
+    load_system(SystemId::D, &doc.xml)
+}
+
+fn run(loaded: &LoadedStore, n: usize) -> Vec<Item> {
+    run_query(query(n).text, loaded.store.as_ref()).unwrap_or_else(|e| panic!("Q{n}: {e}"))
+}
+
+fn as_number(loaded: &LoadedStore, items: &[Item]) -> f64 {
+    assert_eq!(items.len(), 1, "expected a single number");
+    xmark::query::atomize(loaded.store.as_ref(), &items[0])
+        .parse()
+        .expect("numeric result")
+}
+
+#[test]
+fn q1_returns_exactly_one_name() {
+    let l = loaded();
+    let out = run(&l, 1);
+    assert_eq!(out.len(), 1);
+    let name = xmark::query::atomize(l.store.as_ref(), &out[0]);
+    assert!(name.contains(' '), "person names are 'Given Family': {name}");
+}
+
+#[test]
+fn q2_emits_one_increase_per_auction() {
+    let l = loaded();
+    let out = run(&l, 2);
+    let auctions = run_query(
+        r#"count(document("x")/site/open_auctions/open_auction)"#,
+        l.store.as_ref(),
+    )
+    .unwrap();
+    let total = as_number(&l, &auctions) as usize;
+    // Q2 constructs one <increase> per auction; auctions without bidders
+    // yield an empty element.
+    assert_eq!(out.len(), total);
+}
+
+#[test]
+fn q3_selects_a_nonempty_strict_subset() {
+    let l = loaded();
+    let q2 = run(&l, 2).len();
+    let q3 = run(&l, 3).len();
+    assert!(q3 > 0, "Q3 must have matches (doubled increases exist)");
+    assert!(q3 < q2, "Q3 is a filtered subset of the auctions");
+}
+
+#[test]
+fn q5_counts_expensive_sales() {
+    let l = loaded();
+    let count = as_number(&l, &run(&l, 5)) as usize;
+    let closed = generate_document(0.002).stats.cardinalities.closed_auctions;
+    assert!(count > 0 && count <= closed);
+    // Prices are 1.5 + Exp(mean 100): P(price >= 40) ≈ 0.68. Allow slack
+    // for the small sample.
+    let fraction = count as f64 / closed as f64;
+    assert!(
+        (0.4..0.95).contains(&fraction),
+        "Q5 selectivity {fraction} out of expected band"
+    );
+}
+
+#[test]
+fn q6_counts_items_on_all_continents() {
+    let l = loaded();
+    let out = run(&l, 6);
+    // `$b` binds to the single <regions> element, so Q6 returns one count:
+    // the items across all continents.
+    assert_eq!(out.len(), 1);
+    let cards = generate_document(0.002).stats.cardinalities;
+    assert_eq!(as_number(&l, &out) as usize, cards.items);
+}
+
+#[test]
+fn q7_counts_prose_with_nonexistent_email_tag() {
+    let l = loaded();
+    let count = as_number(&l, &run(&l, 7)) as usize;
+    assert!(count > 0);
+    // //email never exists; the count equals descriptions + annotations.
+    let descriptions = as_number(
+        &l,
+        &run_query(r#"count(document("x")/site//description)"#, l.store.as_ref()).unwrap(),
+    ) as usize;
+    let annotations = as_number(
+        &l,
+        &run_query(r#"count(document("x")/site//annotation)"#, l.store.as_ref()).unwrap(),
+    ) as usize;
+    assert_eq!(count, descriptions + annotations);
+}
+
+#[test]
+fn q8_covers_every_person_and_counts_all_sales() {
+    let l = loaded();
+    let out = run(&l, 8);
+    let cards = generate_document(0.002).stats.cardinalities;
+    assert_eq!(out.len(), cards.persons, "one row per person");
+    let bought: usize = out
+        .iter()
+        .map(|item| match item {
+            Item::Elem(e) => match e.children.first() {
+                Some(Item::Num(n)) => *n as usize,
+                _ => 0,
+            },
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(
+        bought, cards.closed_auctions,
+        "every closed auction has exactly one buyer"
+    );
+}
+
+#[test]
+fn q10_builds_french_markup() {
+    let l = loaded();
+    let out = run(&l, 10);
+    assert!(!out.is_empty());
+    let rendered = serialize_sequence(l.store.as_ref(), &out);
+    for tag in ["<categorie>", "<personne>", "<statistiques>", "<revenu>", "<pagePerso>"] {
+        assert!(rendered.contains(tag), "missing {tag}");
+    }
+    assert!(!rendered.contains("<person "), "markup must be translated");
+}
+
+#[test]
+fn q11_dominates_q12() {
+    let l = loaded();
+    let q11 = run(&l, 11).len();
+    let q12 = run(&l, 12).len();
+    let cards = generate_document(0.002).stats.cardinalities;
+    assert_eq!(q11, cards.persons, "Q11 outputs one row per person");
+    assert!(q12 < q11, "Q12 restricts to income > 50000");
+    assert!(q12 > 0, "some persons earn above 50000");
+}
+
+#[test]
+fn q13_reconstructs_australia() {
+    let l = loaded();
+    let out = run(&l, 13);
+    let rendered = serialize_sequence(l.store.as_ref(), &out);
+    assert!(rendered.contains("<description>"));
+    // Reconstruction must be parseable XML.
+    for line in rendered.lines() {
+        xmark::xml::parse_document(line).expect("Q13 output is well-formed");
+    }
+}
+
+#[test]
+fn q14_finds_gold() {
+    let l = loaded();
+    let out = run(&l, 14);
+    assert!(!out.is_empty(), "the Zipf anchor 'gold' must appear");
+    let items = as_number(
+        &l,
+        &run_query(r#"count(document("x")/site//item)"#, l.store.as_ref()).unwrap(),
+    ) as usize;
+    assert!(out.len() < items, "not every description mentions gold");
+}
+
+#[test]
+fn q15_and_q16_agree_on_the_deep_path() {
+    let l = loaded();
+    let q15 = run(&l, 15);
+    let q16 = run(&l, 16);
+    assert!(!q15.is_empty(), "deep keyword path must exist");
+    // Every Q16 seller corresponds to at least one Q15 keyword, and there
+    // can be no more sellers than keywords.
+    assert!(q16.len() <= q15.len());
+    assert!(!q16.is_empty());
+}
+
+#[test]
+fn q17_matches_homepage_complement() {
+    let l = loaded();
+    let out = run(&l, 17);
+    let cards = generate_document(0.002).stats.cardinalities;
+    let with_homepage = as_number(
+        &l,
+        &run_query(
+            r#"count(for $p in document("x")/site/people/person where not(empty($p/homepage/text())) return $p)"#,
+            l.store.as_ref(),
+        )
+        .unwrap(),
+    ) as usize;
+    assert_eq!(out.len() + with_homepage, cards.persons);
+    assert!(out.len() > cards.persons / 4, "paper: fraction without homepage is high");
+}
+
+#[test]
+fn q18_converts_only_existing_reserves() {
+    let l = loaded();
+    let out = run(&l, 18);
+    let reserves = as_number(
+        &l,
+        &run_query(
+            r#"count(document("x")/site/open_auctions/open_auction/reserve)"#,
+            l.store.as_ref(),
+        )
+        .unwrap(),
+    ) as usize;
+    assert_eq!(out.len(), reserves);
+    for item in &out {
+        let v: f64 = xmark::query::atomize(l.store.as_ref(), item).parse().unwrap();
+        assert!(v > 0.0, "converted currency must be positive");
+    }
+}
+
+#[test]
+fn q19_is_sorted_by_location() {
+    let l = loaded();
+    let out = run(&l, 19);
+    let cards = generate_document(0.002).stats.cardinalities;
+    assert_eq!(out.len(), cards.items);
+    let keys: Vec<String> = out
+        .iter()
+        .map(|item| match item {
+            Item::Elem(e) => e
+                .children
+                .iter()
+                .map(|c| xmark::query::atomize(l.store.as_ref(), c))
+                .collect::<String>(),
+            _ => String::new(),
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "Q19 output must be location-sorted");
+}
+
+#[test]
+fn q20_groups_partition_the_population() {
+    let l = loaded();
+    let out = run(&l, 20);
+    assert_eq!(out.len(), 1);
+    let rendered = serialize_sequence(l.store.as_ref(), &out);
+    let grab = |tag: &str| -> usize {
+        let open = format!("<{tag}>");
+        let close = format!("</{tag}>");
+        let s = rendered.find(&open).expect("group present") + open.len();
+        let e = rendered.find(&close).expect("group closed");
+        rendered[s..e].parse().expect("numeric group count")
+    };
+    let cards = generate_document(0.002).stats.cardinalities;
+    let total = grab("preferred") + grab("standard") + grab("challenge") + grab("na");
+    assert_eq!(total, cards.persons, "income groups must partition persons");
+    assert!(grab("na") > 0, "some persons lack income data");
+    assert!(grab("standard") > grab("preferred"), "income is centred at 45k");
+}
+
+#[test]
+fn generator_output_is_bit_stable() {
+    // §4.5: "deterministic, that is, the output should only depend on the
+    // input parameters."
+    let a = generate_document(0.002);
+    let b = generate_document(0.002);
+    assert_eq!(a.xml, b.xml);
+}

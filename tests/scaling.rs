@@ -1,0 +1,169 @@
+//! Scaling behaviour of the generator (paper §4.5 and Fig. 3).
+//!
+//! The generator must be: accurately scalable (linear in the factor),
+//! deterministic, reference-consistent at every scale, and constant-memory
+//! (checked structurally here: the streaming writer holds only the open
+//! tag stack; the memory claim is *measured* by the `fig3_scaling` bench).
+
+use xmark::gen::{generate_split, generate_string, Cardinalities, Generator, GeneratorConfig};
+use xmark::prelude::*;
+
+#[test]
+fn document_size_is_linear_in_the_factor() {
+    let sizes: Vec<usize> = [0.001, 0.002, 0.004, 0.008]
+        .iter()
+        .map(|&f| generate_string(&GeneratorConfig::at_factor(f)).len())
+        .collect();
+    for w in sizes.windows(2) {
+        let ratio = w[1] as f64 / w[0] as f64;
+        assert!(
+            (1.6..2.5).contains(&ratio),
+            "doubling the factor must roughly double the size, got ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn factor_001_hits_the_figure3_calibration() {
+    // Fig. 3 row "tiny": factor 0.1 → 10 MB, i.e. factor 0.01 → ~1 MB.
+    let bytes = generate_string(&GeneratorConfig::at_factor(0.01)).len();
+    assert!(
+        (800_000..1_400_000).contains(&bytes),
+        "factor 0.01 gave {bytes} bytes"
+    );
+}
+
+#[test]
+fn all_references_resolve_at_multiple_scales() {
+    for &factor in &[0.0005, 0.002] {
+        let xml = generate_string(&GeneratorConfig::at_factor(factor));
+        let doc = xmark::xml::parse_document(&xml).expect("well-formed");
+        let root = doc.root_element();
+
+        // Collect declared ids.
+        let mut ids = std::collections::HashSet::new();
+        for n in doc.descendants(root) {
+            if doc.is_element(n) {
+                if let Some(id) = doc.attribute(n, "id") {
+                    assert!(ids.insert(id.to_string()), "duplicate id {id}");
+                }
+            }
+        }
+        // Every IDREF attribute must point at a declared id (§4.5: "we
+        // have to abide by the integrity constraint that every reference
+        // points to a valid identifier").
+        let mut checked = 0usize;
+        for n in doc.descendants(root) {
+            if !doc.is_element(n) {
+                continue;
+            }
+            for (attr, target) in [
+                ("person", "person"),
+                ("item", "item"),
+                ("category", "category"),
+                ("open_auction", "open_auction"),
+                ("from", "category"),
+                ("to", "category"),
+            ] {
+                if let Some(value) = doc.attribute(n, attr) {
+                    assert!(
+                        value.starts_with(target),
+                        "{attr}={value} should reference a {target}"
+                    );
+                    assert!(ids.contains(value), "dangling reference {attr}={value}");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 50, "reference check must actually cover references");
+    }
+}
+
+#[test]
+fn open_plus_closed_equals_items_in_the_document() {
+    let xml = generate_string(&GeneratorConfig::at_factor(0.002));
+    let store = build_store(SystemId::D, &xml).unwrap();
+    let count = |q: &str| -> usize {
+        let out = run_query(q, store.as_ref()).unwrap();
+        xmark::query::atomize(store.as_ref(), &out[0])
+            .parse::<f64>()
+            .unwrap() as usize
+    };
+    let items = count(r#"count(document("x")/site/regions//item)"#);
+    let open = count(r#"count(document("x")/site/open_auctions/open_auction)"#);
+    let closed = count(r#"count(document("x")/site/closed_auctions/closed_auction)"#);
+    assert_eq!(items, open + closed, "paper §4.5 integrity constraint");
+}
+
+#[test]
+fn cardinality_model_matches_generated_document() {
+    let factor = 0.003;
+    let cards = Cardinalities::for_factor(factor);
+    let xml = generate_string(&GeneratorConfig::at_factor(factor));
+    let store = build_store(SystemId::E, &xml).unwrap();
+    let count = |tag: &str| store.count_descendants_named(store.root(), tag);
+    assert_eq!(count("item"), cards.items);
+    assert_eq!(count("person"), cards.persons);
+    assert_eq!(count("open_auction"), cards.open_auctions);
+    assert_eq!(count("closed_auction"), cards.closed_auctions);
+    assert_eq!(count("category"), cards.categories);
+    assert_eq!(count("edge"), cards.catgraph_edges);
+}
+
+#[test]
+fn split_mode_covers_all_entities() {
+    let config = GeneratorConfig::at_factor(0.001);
+    let cards = Generator::new(config.clone()).cardinalities().clone();
+    let files = generate_split(&config, 10);
+    let mut persons = 0usize;
+    let mut items = 0usize;
+    for f in &files {
+        let doc = xmark::xml::parse_document(&f.content).unwrap();
+        let root = doc.root_element();
+        for n in doc.descendants(root) {
+            if doc.is_element(n) {
+                match doc.tag_name(n) {
+                    "person" => persons += 1,
+                    "item" => items += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert_eq!(persons, cards.persons);
+    assert_eq!(items, cards.items);
+}
+
+#[test]
+fn different_seeds_differ_but_share_cardinalities() {
+    let a = generate_string(&GeneratorConfig { factor: 0.001, seed: 0 });
+    let b = generate_string(&GeneratorConfig { factor: 0.001, seed: 42 });
+    assert_ne!(a, b);
+    for xml in [&a, &b] {
+        let store = build_store(SystemId::E, xml).unwrap();
+        assert_eq!(
+            store.count_descendants_named(store.root(), "person"),
+            Cardinalities::for_factor(0.001).persons
+        );
+    }
+}
+
+#[test]
+fn generation_into_sink_reports_accurate_bytes() {
+    let config = GeneratorConfig::at_factor(0.001);
+    let generator = Generator::new(config.clone());
+    let mut counted = 0u64;
+    struct Counting<'a>(&'a mut u64);
+    impl std::io::Write for Counting<'_> {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            *self.0 += buf.len() as u64;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let stats = generator.write(Counting(&mut counted)).unwrap();
+    assert_eq!(stats.bytes, counted);
+    assert_eq!(counted as usize, generate_string(&config).len());
+}
