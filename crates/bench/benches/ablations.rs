@@ -39,10 +39,17 @@ fn bench_interval_descendants(c: &mut Criterion) {
     let scan = IntervalStore::load_scan(&doc.xml).unwrap();
     let mut group = c.benchmark_group("interval_descendants");
     group.bench_function("indexed_stab_join", |b| {
-        b.iter(|| indexed.descendants_named(indexed.root(), black_box("keyword")).len())
+        b.iter(|| {
+            indexed
+                .descendants_named(indexed.root(), black_box("keyword"))
+                .len()
+        })
     });
     group.bench_function("interval_scan", |b| {
-        b.iter(|| scan.descendants_named(scan.root(), black_box("keyword")).len())
+        b.iter(|| {
+            scan.descendants_named(scan.root(), black_box("keyword"))
+                .len()
+        })
     });
     group.finish();
 }

@@ -16,14 +16,22 @@ fn bench_bulkload(c: &mut Criterion) {
         b.iter(|| xmark::xml::parser::scan_only(black_box(&doc.xml)).unwrap())
     });
     group.bench_function("parse_dom", |b| {
-        b.iter(|| xmark::xml::parse_document(black_box(&doc.xml)).unwrap().node_count())
+        b.iter(|| {
+            xmark::xml::parse_document(black_box(&doc.xml))
+                .unwrap()
+                .node_count()
+        })
     });
     for system in SystemId::MASS_STORAGE {
         group.bench_with_input(
             BenchmarkId::new("system", format!("{system:?}")),
             &system,
             |b, &system| {
-                b.iter(|| build_store(system, black_box(&doc.xml)).unwrap().node_count())
+                b.iter(|| {
+                    build_store(system, black_box(&doc.xml))
+                        .unwrap()
+                        .node_count()
+                })
             },
         );
     }

@@ -1,0 +1,141 @@
+//! Streaming vs materialized axis traversal — the microbench behind the
+//! cursor redesign.
+//!
+//! For each of the three fastest architectures (D: structural summary,
+//! E: tag-indexed intervals, G: embedded DOM) at the `mini` scale, compare
+//! walking descendant/child axes through the zero-allocation cursors
+//! (`descendants_named_iter`, `children_iter`) against the seed's
+//! materializing strategy (collect every step into a fresh `Vec<Node>`),
+//! plus the end-to-end effect on a descendant-heavy query (Q14's
+//! `//item` scan shape).
+//!
+//! The interesting number is the ratio within each `materialized` /
+//! `streaming` pair: the work is identical, the delta is pure
+//! allocator + copy traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xmark::prelude::*;
+use xmark::store::{Node, XmlStore};
+
+/// The seed's strategy, reconstructed: materialize every axis step.
+fn descendants_materialized(store: &dyn XmlStore, n: Node, tag: &str) -> Vec<Node> {
+    store.descendants_named_iter(n, tag).collect()
+}
+
+/// Walk every subtree child-by-child, materializing (seed) vs streaming
+/// (cursor) — the Q13/serialization access pattern.
+fn walk_children_materialized(store: &dyn XmlStore, n: Node) -> usize {
+    let mut visited = 1usize;
+    for c in store.children(n) {
+        visited += walk_children_materialized(store, c);
+    }
+    visited
+}
+
+fn walk_children_streaming(store: &dyn XmlStore, n: Node) -> usize {
+    let mut visited = 1usize;
+    for c in store.children_iter(n) {
+        visited += walk_children_streaming(store, c);
+    }
+    visited
+}
+
+fn bench_descendant_axis(c: &mut Criterion) {
+    let session = Benchmark::at_scale("mini")
+        .systems(&[SystemId::D, SystemId::E, SystemId::G])
+        .generate();
+    let loaded = session.load_all();
+
+    let mut group = c.benchmark_group("descendant_axis");
+    for l in &loaded {
+        let store = l.store.as_ref();
+        let root = store.root();
+        group.bench_with_input(
+            BenchmarkId::new("materialized", format!("{:?}", l.system)),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    // One Vec<Node> per step — the seed contract.
+                    let items = descendants_materialized(store, root, black_box("item"));
+                    let descriptions =
+                        descendants_materialized(store, root, black_box("description"));
+                    let keywords = descendants_materialized(store, root, black_box("keyword"));
+                    items.len() + descriptions.len() + keywords.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming", format!("{:?}", l.system)),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    // Zero-allocation cursors.
+                    store
+                        .descendants_named_iter(root, black_box("item"))
+                        .count()
+                        + store
+                            .descendants_named_iter(root, black_box("description"))
+                            .count()
+                        + store
+                            .descendants_named_iter(root, black_box("keyword"))
+                            .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_subtree_walk(c: &mut Criterion) {
+    let session = Benchmark::at_scale("mini")
+        .systems(&[SystemId::D, SystemId::E, SystemId::G])
+        .generate();
+    let loaded = session.load_all();
+
+    let mut group = c.benchmark_group("subtree_walk");
+    for l in &loaded {
+        let store = l.store.as_ref();
+        let root = store.root();
+        group.bench_with_input(
+            BenchmarkId::new("materialized", format!("{:?}", l.system)),
+            &(),
+            |b, ()| b.iter(|| walk_children_materialized(store, black_box(root))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming", format!("{:?}", l.system)),
+            &(),
+            |b, ()| b.iter(|| walk_children_streaming(store, black_box(root))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_query_effect(c: &mut Criterion) {
+    // End-to-end: a descendant-heavy query through the evaluator, which
+    // now streams predicate-free steps straight into the output sequence.
+    let session = Benchmark::at_scale("mini")
+        .systems(&[SystemId::D, SystemId::E, SystemId::G])
+        .generate();
+    let loaded = session.load_all();
+
+    let mut group = c.benchmark_group("q14_fulltext_scan");
+    for l in &loaded {
+        let store = l.store.as_ref();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:?}", l.system)),
+            &(),
+            |b, ()| b.iter(|| run_query(query(14).text, store).expect("Q14 runs").len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_descendant_axis,
+    bench_subtree_walk,
+    bench_query_effect
+);
+criterion_main!(benches);

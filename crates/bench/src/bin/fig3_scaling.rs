@@ -11,6 +11,7 @@
 use std::io::Write;
 
 use xmark::gen::{Generator, GeneratorConfig};
+use xmark::prelude::SCALES;
 use xmark_bench::TextTable;
 
 /// An `io::Write` sink that counts bytes — generation is measured without
@@ -33,19 +34,12 @@ fn main() {
     println!("(paper: tiny 0.1 -> 10 MB, standard 1.0 -> 100 MB, large 10 -> 1 GB)\n");
 
     let mut table = TextTable::new(&[
-        "Name", "Factor", "Bytes", "Size", "Elements", "Gen time", "MB/s",
+        "Name", "Factor", "Nominal", "Bytes", "Size", "Elements", "Gen time", "MB/s",
     ]);
-    let presets: Vec<(&str, f64)> = vec![
-        ("micro", 0.0001),
-        ("mini", 0.001),
-        ("small", 0.01),
-        ("tiny", 0.1),
-        ("standard", 1.0),
-        ("large", 10.0),
-    ];
 
     let mut sizes: Vec<(f64, u64)> = Vec::new();
-    for (name, factor) in presets {
+    for preset in SCALES {
+        let (name, factor) = (preset.name, preset.factor);
         if factor > max_factor {
             continue;
         }
@@ -58,6 +52,7 @@ fn main() {
         table.row(vec![
             name.to_string(),
             format!("{factor}"),
+            preset.nominal.to_string(),
             stats.bytes.to_string(),
             xmark_bench::human_bytes(stats.bytes as usize),
             stats.elements.to_string(),

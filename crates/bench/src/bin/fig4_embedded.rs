@@ -17,25 +17,33 @@ use xmark_bench::TextTable;
 fn main() {
     let large_factor = xmark_bench::factor_from_args(0.01);
     let small_factor = large_factor / 10.0;
+
+    let small = Benchmark::at_factor(small_factor)
+        .systems(&[SystemId::G])
+        .queries(1..=20)
+        .run();
+    let large = Benchmark::at_factor(large_factor)
+        .systems(&[SystemId::G])
+        .queries(1..=20)
+        .run();
     println!(
         "== Fig. 4: embedded System G at {} (factor {small_factor}) and {} (factor {large_factor}) ==\n",
-        xmark_bench::human_bytes(generate_document(small_factor).xml.len()),
-        xmark_bench::human_bytes(generate_document(large_factor).xml.len()),
+        xmark_bench::human_bytes(small.document.xml.len()),
+        xmark_bench::human_bytes(large.document.xml.len()),
     );
 
-    let small = generate_document(small_factor);
-    let large = generate_document(large_factor);
-    let g_small = load_system(SystemId::G, &small.xml);
-    let g_large = load_system(SystemId::G, &large.xml);
-
     let mut table = TextTable::new(&[
-        "Query", "small doc (ms)", "large doc (ms)", "ratio", "items (large)",
+        "Query",
+        "small doc (ms)",
+        "large doc (ms)",
+        "ratio",
+        "items (large)",
     ]);
     let mut series_small = Vec::new();
     let mut series_large = Vec::new();
     for q in 1..=20 {
-        let ms_ = measure_query(&g_small, q);
-        let ml = measure_query(&g_large, q);
+        let ms_ = small.measurement(SystemId::G, q).expect("measured");
+        let ml = large.measurement(SystemId::G, q).expect("measured");
         let ratio = ml.total().as_secs_f64() / ms_.total().as_secs_f64().max(1e-9);
         table.row(vec![
             format!("Q{q}"),

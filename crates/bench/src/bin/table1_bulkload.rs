@@ -12,36 +12,44 @@ fn main() {
     let factor = xmark_bench::factor_from_args(0.1);
     println!("== Table 1: database sizes and bulkload times (factor {factor}) ==\n");
 
-    let doc = generate_document(factor);
+    let session = Benchmark::at_factor(factor)
+        .systems(&SystemId::MASS_STORAGE)
+        .generate();
     println!(
-        "benchmark document: {} ({} bytes), generated in {:?}",
-        xmark_bench::human_bytes(doc.xml.len()),
-        doc.xml.len(),
-        doc.elapsed
+        "benchmark document: {} ({} bytes, {} elements, depth {}), generated in {:?}",
+        xmark_bench::human_bytes(session.xml().len()),
+        session.stats().bytes,
+        session.stats().elements,
+        session.stats().max_depth,
+        session.generation_time()
     );
 
     // §7's parse baseline: "it took the XML parser expat 4.9 seconds to
     // scan the benchmark document".
     let (scan_time, tokens) = xmark_bench::best_of(3, || {
-        xmark::xml::parser::scan_only(&doc.xml).expect("document scans")
+        xmark::xml::parser::scan_only(session.xml()).expect("document scans")
     });
-    println!(
-        "tokenizer scan baseline: {tokens} tokens in {scan_time:.2?} (no semantic actions)\n",
-    );
+    println!("tokenizer scan baseline: {tokens} tokens in {scan_time:.2?} (no semantic actions)\n",);
     if xmark_bench::has_flag("--parse-only") {
         return;
     }
 
     let mut table = TextTable::new(&[
-        "System", "Architecture", "Size", "Size/doc", "Bulkload time",
+        "System",
+        "Architecture",
+        "Size",
+        "Size/doc",
+        "Bulkload time",
     ]);
-    for system in SystemId::MASS_STORAGE {
-        let loaded = load_system(system, &doc.xml);
+    for loaded in session.load_all() {
         table.row(vec![
-            format!("{system:?}").replace("System ", ""),
-            system.architecture().to_string(),
+            format!("{:?}", loaded.system).replace("System ", ""),
+            loaded.system.architecture().to_string(),
             xmark_bench::human_bytes(loaded.size_bytes),
-            format!("{:.2}x", loaded.size_bytes as f64 / doc.xml.len() as f64),
+            format!(
+                "{:.2}x",
+                loaded.size_bytes as f64 / session.xml().len() as f64
+            ),
             format!("{:.2?}", loaded.load_time),
         ]);
     }

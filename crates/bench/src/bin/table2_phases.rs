@@ -18,21 +18,30 @@ use xmark_bench::TextTable;
 
 fn main() {
     let factor = xmark_bench::factor_from_args(0.05);
-    println!("== Table 2: detailed timings of Q1 and Q2 for Systems A, B, C (factor {factor}) ==\n");
+    println!(
+        "== Table 2: detailed timings of Q1 and Q2 for Systems A, B, C (factor {factor}) ==\n"
+    );
 
-    let doc = generate_document(factor);
-    let systems = [SystemId::A, SystemId::B, SystemId::C];
-    let loaded: Vec<LoadedStore> = systems
-        .iter()
-        .map(|&s| load_system(s, &doc.xml))
-        .collect();
+    // The phase split needs custom best-of timing per phase, so keep the
+    // session open instead of using the one-shot `run()`.
+    let session = Benchmark::at_factor(factor)
+        .systems(&[SystemId::A, SystemId::B, SystemId::C])
+        .queries([1, 2])
+        .generate();
+    let loaded = session.load_all();
 
     let mut table = TextTable::new(&[
-        "Query", "System", "Compile", "Execute", "Compile %", "Execute %",
-        "Metadata accesses", "Catalog relations",
+        "Query",
+        "System",
+        "Compile",
+        "Execute",
+        "Compile %",
+        "Execute %",
+        "Metadata accesses",
+        "Catalog relations",
     ]);
 
-    for q in [1usize, 2] {
+    for &q in session.queries() {
         for l in &loaded {
             // Best-of-5 for each phase to de-noise the microsecond scale.
             let (compile_time, compiled) = xmark_bench::best_of(5, || {
@@ -64,8 +73,12 @@ fn main() {
     println!("{}", table.render());
 
     println!("paper's Table 2 (totals) for shape comparison:");
-    println!("  Q1: A compile 25% / exec 75%   B compile 51% / exec 49%   C compile 29% / exec 71%");
-    println!("  Q2: A compile 13% / exec 87%   B compile 20% / exec 80%   C compile 16% / exec 84%");
+    println!(
+        "  Q1: A compile 25% / exec 75%   B compile 51% / exec 49%   C compile 29% / exec 71%"
+    );
+    println!(
+        "  Q2: A compile 13% / exec 87%   B compile 20% / exec 80%   C compile 16% / exec 84%"
+    );
     println!("\nshape expectations: B touches the most metadata per step (one");
     println!("relation per tag), so its compile share exceeds A's; C resolves");
     println!("steps against the small DTD-derived schema and compiles cheapest;");

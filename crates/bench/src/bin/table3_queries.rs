@@ -16,34 +16,26 @@ fn main() {
     let factor = xmark_bench::factor_from_args(0.05);
     println!("== Table 3: query performance in ms (factor {factor}) ==\n");
 
-    let doc = generate_document(factor);
+    let report = Benchmark::at_factor(factor)
+        .systems(&SystemId::MASS_STORAGE)
+        .queries(TABLE3_QUERIES)
+        .warmups(1)
+        .run();
     println!(
-        "document: {} — loading six stores…",
-        xmark_bench::human_bytes(doc.xml.len())
+        "document: {} — measured {} queries on six stores",
+        xmark_bench::human_bytes(report.document.xml.len()),
+        report.queries.len()
     );
-    let loaded: Vec<LoadedStore> = SystemId::MASS_STORAGE
-        .iter()
-        .map(|&s| load_system(s, &doc.xml))
-        .collect();
 
     let mut header = vec!["Query".to_string()];
-    header.extend(
-        SystemId::MASS_STORAGE
-            .iter()
-            .map(|s| format!("{s:?}").replace("System ", "System ")),
-    );
+    header.extend(report.systems().map(|s| format!("{s:?}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = TextTable::new(&header_refs);
 
-    for &q in TABLE3_QUERIES.iter() {
+    for &q in &report.queries {
         let mut row = vec![format!("Q {q}")];
-        for l in &loaded {
-            let (total, _) = xmark_bench::best_of(2, || {
-                let m = measure_query(l, q);
-                m.total()
-            });
-            let _ = total;
-            let m = measure_query(l, q);
+        for system in report.systems() {
+            let m = report.measurement(system, q).expect("measured");
             row.push(xmark_bench::ms(m.total()));
         }
         table.row(row);
@@ -66,9 +58,10 @@ fn main() {
 
     println!("\n== §7 in-text observations (--extra) ==\n");
 
-    // Q15 vs Q16 on the relational systems.
+    // Q15 vs Q16 on the relational systems: the report's stores are still
+    // loaded, so the follow-up measurements reuse them.
     let mut extra = TextTable::new(&["System", "Q15 (ms)", "Q16 (ms)", "Q16/Q15"]);
-    for l in loaded.iter().take(3) {
+    for l in report.loads.iter().take(3) {
         let m15 = measure_query(l, 15);
         let m16 = measure_query(l, 16);
         let ratio = m16.total().as_secs_f64() / m15.total().as_secs_f64().max(1e-9);
@@ -83,7 +76,7 @@ fn main() {
     println!("(paper: A-C needed about 8x longer for Q16 than for Q15)\n");
 
     // Q10 output volume.
-    let m10 = measure_query(&loaded[3], 10);
+    let m10 = measure_query(&report.loads[3], 10);
     println!(
         "Q10 output: {} across {} items (paper: >10 MB of unindented XML at factor 1.0)",
         xmark_bench::human_bytes(m10.result_bytes),

@@ -8,19 +8,31 @@
 //!
 //! ## Quickstart
 //!
+//! The [`spec::Benchmark`] façade drives a whole session — generate,
+//! bulkload, measure — from one builder chain:
+//!
 //! ```
 //! use xmark::prelude::*;
 //!
-//! // 1. Generate a benchmark document (factor 1.0 ≈ 100 MB; keep it tiny
-//! //    here).
-//! let doc = generate_document(0.001);
-//!
-//! // 2. Bulkload it into a storage architecture.
-//! let loaded = load_system(SystemId::D, &doc.xml);
-//!
-//! // 3. Run benchmark queries.
-//! let m = measure_query(&loaded, 1);
+//! // "mini" is the 100 kB preset of the paper's Fig. 4.
+//! let report = Benchmark::at_scale("mini")
+//!     .systems(&[SystemId::D])
+//!     .queries(1..=1)
+//!     .run();
+//! let m = report.measurement(SystemId::D, 1).unwrap();
 //! assert_eq!(m.result_items, 1); // Q1: the name of person0
+//! ```
+//!
+//! The loaded stores stay alive in the report, and navigation is exposed
+//! as **streaming axis cursors** — no intermediate node sets:
+//!
+//! ```
+//! # use xmark::prelude::*;
+//! # let report = Benchmark::at_scale("mini").systems(&[SystemId::D]).queries([]).run();
+//! let store = report.load(SystemId::D).unwrap().store.as_ref();
+//! let people = store.children_named_iter(store.root(), "people").next().unwrap();
+//! let persons = store.descendants_named_iter(people, "person").count();
+//! assert!(persons > 10);
 //! ```
 //!
 //! ## Crate layout
@@ -43,11 +55,18 @@ pub use xmark_store as store;
 pub use xmark_xml as xml;
 
 /// Everything needed to run the benchmark.
+///
+/// The central entry point is [`spec::Benchmark`] — a builder that scales,
+/// generates, bulkloads and measures in one chain — with the lower-level
+/// pieces (`generate_document`, `load_system`, `measure_query`) still
+/// exported for custom harnesses. Stores expose navigation as streaming
+/// axis cursors ([`xmark_store::XmlStore::children_iter`] and friends);
+/// the `Vec`-returning methods remain as thin wrappers.
 pub mod prelude {
     pub use crate::queries::{query, BenchmarkQuery, Concept, ALL_QUERIES, TABLE3_QUERIES};
     pub use crate::spec::{
-        canonical_output, generate_document, load_system, measure_query, scale,
-        GeneratedDocument, LoadedStore, QueryMeasurement, Scale, SCALES,
+        canonical_output, generate_document, load_system, measure_query, scale, Benchmark,
+        BenchmarkReport, GeneratedDocument, LoadedStore, QueryMeasurement, Scale, Session, SCALES,
     };
     pub use xmark_gen::{generate_split, generate_string, Generator, GeneratorConfig, AUCTION_DTD};
     pub use xmark_query::{compile, execute, run_query, serialize_sequence};

@@ -228,26 +228,126 @@ pub const Q20: &str = r#"
 
 /// All twenty queries, in order.
 pub const ALL_QUERIES: [BenchmarkQuery; 20] = [
-    BenchmarkQuery { number: 1, title: "Return the name of the person with ID 'person0'", concept: Concept::ExactMatch, text: Q1 },
-    BenchmarkQuery { number: 2, title: "Return the initial increases of all open auctions", concept: Concept::OrderedAccess, text: Q2 },
-    BenchmarkQuery { number: 3, title: "Open auctions whose current increase is at least twice the initial", concept: Concept::OrderedAccess, text: Q3 },
-    BenchmarkQuery { number: 4, title: "Reserves of auctions where one person bid before another", concept: Concept::OrderedAccess, text: Q4 },
-    BenchmarkQuery { number: 5, title: "How many sold items cost more than 40", concept: Concept::Casting, text: Q5 },
-    BenchmarkQuery { number: 6, title: "How many items are listed on all continents", concept: Concept::RegularPaths, text: Q6 },
-    BenchmarkQuery { number: 7, title: "How many pieces of prose are in our database", concept: Concept::RegularPaths, text: Q7 },
-    BenchmarkQuery { number: 8, title: "Names of persons and the number of items they bought", concept: Concept::References, text: Q8 },
-    BenchmarkQuery { number: 9, title: "Names of persons and the names of items they bought in Europe", concept: Concept::References, text: Q9 },
-    BenchmarkQuery { number: 10, title: "List all persons according to their interest (French markup)", concept: Concept::Construction, text: Q10 },
-    BenchmarkQuery { number: 11, title: "Items on sale whose price does not exceed 0.02% of income", concept: Concept::ValueJoins, text: Q11 },
-    BenchmarkQuery { number: 12, title: "Q11 restricted to persons with income above 50000", concept: Concept::ValueJoins, text: Q12 },
-    BenchmarkQuery { number: 13, title: "Names of items registered in Australia with their descriptions", concept: Concept::Reconstruction, text: Q13 },
-    BenchmarkQuery { number: 14, title: "Names of all items whose description contains the word 'gold'", concept: Concept::FullText, text: Q14 },
-    BenchmarkQuery { number: 15, title: "Keywords in emphasis in annotations of closed auctions", concept: Concept::PathTraversals, text: Q15 },
-    BenchmarkQuery { number: 16, title: "Sellers of auctions with keywords in emphasis", concept: Concept::PathTraversals, text: Q16 },
-    BenchmarkQuery { number: 17, title: "Which persons don't have a homepage", concept: Concept::MissingElements, text: Q17 },
-    BenchmarkQuery { number: 18, title: "Convert the reserve of all open auctions to another currency", concept: Concept::Functions, text: Q18 },
-    BenchmarkQuery { number: 19, title: "Alphabetically ordered list of all items with their location", concept: Concept::Sorting, text: Q19 },
-    BenchmarkQuery { number: 20, title: "Group customers by income and output group cardinalities", concept: Concept::Aggregation, text: Q20 },
+    BenchmarkQuery {
+        number: 1,
+        title: "Return the name of the person with ID 'person0'",
+        concept: Concept::ExactMatch,
+        text: Q1,
+    },
+    BenchmarkQuery {
+        number: 2,
+        title: "Return the initial increases of all open auctions",
+        concept: Concept::OrderedAccess,
+        text: Q2,
+    },
+    BenchmarkQuery {
+        number: 3,
+        title: "Open auctions whose current increase is at least twice the initial",
+        concept: Concept::OrderedAccess,
+        text: Q3,
+    },
+    BenchmarkQuery {
+        number: 4,
+        title: "Reserves of auctions where one person bid before another",
+        concept: Concept::OrderedAccess,
+        text: Q4,
+    },
+    BenchmarkQuery {
+        number: 5,
+        title: "How many sold items cost more than 40",
+        concept: Concept::Casting,
+        text: Q5,
+    },
+    BenchmarkQuery {
+        number: 6,
+        title: "How many items are listed on all continents",
+        concept: Concept::RegularPaths,
+        text: Q6,
+    },
+    BenchmarkQuery {
+        number: 7,
+        title: "How many pieces of prose are in our database",
+        concept: Concept::RegularPaths,
+        text: Q7,
+    },
+    BenchmarkQuery {
+        number: 8,
+        title: "Names of persons and the number of items they bought",
+        concept: Concept::References,
+        text: Q8,
+    },
+    BenchmarkQuery {
+        number: 9,
+        title: "Names of persons and the names of items they bought in Europe",
+        concept: Concept::References,
+        text: Q9,
+    },
+    BenchmarkQuery {
+        number: 10,
+        title: "List all persons according to their interest (French markup)",
+        concept: Concept::Construction,
+        text: Q10,
+    },
+    BenchmarkQuery {
+        number: 11,
+        title: "Items on sale whose price does not exceed 0.02% of income",
+        concept: Concept::ValueJoins,
+        text: Q11,
+    },
+    BenchmarkQuery {
+        number: 12,
+        title: "Q11 restricted to persons with income above 50000",
+        concept: Concept::ValueJoins,
+        text: Q12,
+    },
+    BenchmarkQuery {
+        number: 13,
+        title: "Names of items registered in Australia with their descriptions",
+        concept: Concept::Reconstruction,
+        text: Q13,
+    },
+    BenchmarkQuery {
+        number: 14,
+        title: "Names of all items whose description contains the word 'gold'",
+        concept: Concept::FullText,
+        text: Q14,
+    },
+    BenchmarkQuery {
+        number: 15,
+        title: "Keywords in emphasis in annotations of closed auctions",
+        concept: Concept::PathTraversals,
+        text: Q15,
+    },
+    BenchmarkQuery {
+        number: 16,
+        title: "Sellers of auctions with keywords in emphasis",
+        concept: Concept::PathTraversals,
+        text: Q16,
+    },
+    BenchmarkQuery {
+        number: 17,
+        title: "Which persons don't have a homepage",
+        concept: Concept::MissingElements,
+        text: Q17,
+    },
+    BenchmarkQuery {
+        number: 18,
+        title: "Convert the reserve of all open auctions to another currency",
+        concept: Concept::Functions,
+        text: Q18,
+    },
+    BenchmarkQuery {
+        number: 19,
+        title: "Alphabetically ordered list of all items with their location",
+        concept: Concept::Sorting,
+        text: Q19,
+    },
+    BenchmarkQuery {
+        number: 20,
+        title: "Group customers by income and output group cardinalities",
+        concept: Concept::Aggregation,
+        text: Q20,
+    },
 ];
 
 /// The thirteen queries the paper's Table 3 reports (Q1–Q3, Q5–Q12, Q17,

@@ -27,12 +27,36 @@ pub struct Scale {
 
 /// The scales of Fig. 3, plus Fig. 4's 100 kB / 1 MB miniatures.
 pub const SCALES: [Scale; 6] = [
-    Scale { name: "mini", factor: 0.001, nominal: "100 kB" },
-    Scale { name: "small", factor: 0.01, nominal: "1 MB" },
-    Scale { name: "tiny", factor: 0.1, nominal: "10 MB" },
-    Scale { name: "standard", factor: 1.0, nominal: "100 MB" },
-    Scale { name: "large", factor: 10.0, nominal: "1 GB" },
-    Scale { name: "huge", factor: 100.0, nominal: "10 GB" },
+    Scale {
+        name: "mini",
+        factor: 0.001,
+        nominal: "100 kB",
+    },
+    Scale {
+        name: "small",
+        factor: 0.01,
+        nominal: "1 MB",
+    },
+    Scale {
+        name: "tiny",
+        factor: 0.1,
+        nominal: "10 MB",
+    },
+    Scale {
+        name: "standard",
+        factor: 1.0,
+        nominal: "100 MB",
+    },
+    Scale {
+        name: "large",
+        factor: 10.0,
+        nominal: "1 GB",
+    },
+    Scale {
+        name: "huge",
+        factor: 100.0,
+        nominal: "10 GB",
+    },
 ];
 
 /// Look up a scale preset by name.
@@ -55,14 +79,12 @@ pub struct GeneratedDocument {
 pub fn generate_document(factor: f64) -> GeneratedDocument {
     let start = Instant::now();
     let generator = Generator::new(GeneratorConfig::at_factor(factor));
-    let xml = generator.to_string();
+    let mut buf = Vec::new();
+    let stats = generator
+        .write(&mut buf)
+        .expect("writing to a Vec cannot fail");
+    let xml = String::from_utf8(buf).expect("generator emits ASCII");
     let elapsed = start.elapsed();
-    let stats = GenStats {
-        bytes: xml.len() as u64,
-        elements: 0,
-        max_depth: 0,
-        cardinalities: generator.cardinalities().clone(),
-    };
     GeneratedDocument {
         xml,
         stats,
@@ -147,8 +169,8 @@ pub fn measure_query(loaded: &LoadedStore, number: usize) -> QueryMeasurement {
     let store = loaded.store.as_ref();
 
     let compile_start = Instant::now();
-    let compiled = compile(q.text, store)
-        .unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}"));
+    let compiled =
+        compile(q.text, store).unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}"));
     let compile_time = compile_start.elapsed();
     let metadata_accesses = compiled.stats.metadata_accesses;
 
@@ -176,11 +198,229 @@ pub fn measure_query(loaded: &LoadedStore, number: usize) -> QueryMeasurement {
 /// Panics if the query fails to compile or execute.
 pub fn canonical_output(store: &dyn XmlStore, number: usize) -> String {
     let q = query(number);
-    let compiled = compile(q.text, store)
-        .unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}"));
-    let result = execute(&compiled, store)
-        .unwrap_or_else(|e| panic!("Q{number} failed to execute: {e}"));
+    let compiled =
+        compile(q.text, store).unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}"));
+    let result =
+        execute(&compiled, store).unwrap_or_else(|e| panic!("Q{number} failed to execute: {e}"));
     xmark_query::canonicalize(store, &result)
+}
+
+// ---- the session façade ----------------------------------------------------
+
+/// Builder-style entry point for a benchmark session.
+///
+/// Examples, tests and the report binaries used to hand-roll the same
+/// generate → load → measure loop; `Benchmark` packages it:
+///
+/// ```
+/// use xmark::prelude::*;
+///
+/// let report = Benchmark::at_scale("mini")
+///     .systems(&[SystemId::D, SystemId::G])
+///     .queries(1..=3)
+///     .run();
+/// assert_eq!(report.measurement(SystemId::D, 1).unwrap().result_items, 1);
+/// ```
+///
+/// [`Benchmark::generate`] stops after document generation and returns a
+/// [`Session`] for callers that need custom measurement (the
+/// Table 2 phase split, criterion benches).
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    scale: Option<Scale>,
+    factor: f64,
+    systems: Vec<SystemId>,
+    queries: Vec<usize>,
+    warmups: usize,
+}
+
+impl Benchmark {
+    /// Start from a named scale preset (see [`SCALES`]).
+    ///
+    /// # Panics
+    /// Panics if `name` is not one of the presets.
+    pub fn at_scale(name: &str) -> Self {
+        let preset = scale(name).unwrap_or_else(|| {
+            let names: Vec<&str> = SCALES.iter().map(|s| s.name).collect();
+            panic!("unknown scale {name:?}; presets are {names:?}")
+        });
+        Benchmark {
+            scale: Some(preset),
+            factor: preset.factor,
+            systems: SystemId::ALL.to_vec(),
+            queries: (1..=20).collect(),
+            warmups: 0,
+        }
+    }
+
+    /// Start from a raw scaling factor.
+    pub fn at_factor(factor: f64) -> Self {
+        Benchmark {
+            scale: None,
+            factor,
+            systems: SystemId::ALL.to_vec(),
+            queries: (1..=20).collect(),
+            warmups: 0,
+        }
+    }
+
+    /// Restrict the session to these systems (default: all seven).
+    pub fn systems(mut self, systems: &[SystemId]) -> Self {
+        self.systems = systems.to_vec();
+        self
+    }
+
+    /// Restrict the session to these query numbers (default: `1..=20`).
+    pub fn queries(mut self, queries: impl IntoIterator<Item = usize>) -> Self {
+        self.queries = queries.into_iter().collect();
+        self
+    }
+
+    /// Run each (system, query) pair `n` unrecorded times before the
+    /// measured run (default: 0). The report binaries use one warm-up to
+    /// de-noise the microsecond-scale Table 3 cells.
+    pub fn warmups(mut self, n: usize) -> Self {
+        self.warmups = n;
+        self
+    }
+
+    /// Generate the document and return the open session without loading
+    /// or measuring anything yet.
+    pub fn generate(self) -> Session {
+        let generated = generate_document(self.factor);
+        Session {
+            scale: self.scale,
+            factor: self.factor,
+            generated,
+            systems: self.systems,
+            queries: self.queries,
+            warmups: self.warmups,
+        }
+    }
+
+    /// Generate, bulkload every selected system, measure every selected
+    /// query on each, and return the full report.
+    pub fn run(self) -> BenchmarkReport {
+        self.generate().run()
+    }
+}
+
+/// An open benchmark session: one generated document plus the selected
+/// systems and queries. Produced by [`Benchmark::generate`].
+pub struct Session {
+    scale: Option<Scale>,
+    factor: f64,
+    generated: GeneratedDocument,
+    systems: Vec<SystemId>,
+    queries: Vec<usize>,
+    warmups: usize,
+}
+
+impl Session {
+    /// The scale preset this session was built from, if any.
+    pub fn scale(&self) -> Option<Scale> {
+        self.scale
+    }
+
+    /// The scaling factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// The generated XML text.
+    pub fn xml(&self) -> &str {
+        &self.generated.xml
+    }
+
+    /// Generator statistics (bytes, elements, depth, cardinalities).
+    pub fn stats(&self) -> &GenStats {
+        &self.generated.stats
+    }
+
+    /// Wall time the generator took.
+    pub fn generation_time(&self) -> Duration {
+        self.generated.elapsed
+    }
+
+    /// The systems selected for this session.
+    pub fn systems(&self) -> &[SystemId] {
+        &self.systems
+    }
+
+    /// The query numbers selected for this session.
+    pub fn queries(&self) -> &[usize] {
+        &self.queries
+    }
+
+    /// Bulkload one system (not necessarily a selected one).
+    pub fn load(&self, system: SystemId) -> LoadedStore {
+        load_system(system, &self.generated.xml)
+    }
+
+    /// Bulkload every selected system, in selection order.
+    pub fn load_all(&self) -> Vec<LoadedStore> {
+        self.systems.iter().map(|&s| self.load(s)).collect()
+    }
+
+    /// Load everything, measure every selected query on every selected
+    /// system, and close the session into a report.
+    pub fn run(self) -> BenchmarkReport {
+        let loads = self.load_all();
+        let mut measurements = Vec::with_capacity(loads.len() * self.queries.len());
+        for loaded in &loads {
+            for &q in &self.queries {
+                for _ in 0..self.warmups {
+                    let _ = measure_query(loaded, q);
+                }
+                measurements.push(measure_query(loaded, q));
+            }
+        }
+        BenchmarkReport {
+            scale: self.scale,
+            factor: self.factor,
+            document: self.generated,
+            queries: self.queries,
+            loads,
+            measurements,
+        }
+    }
+}
+
+/// Everything a benchmark session produced: the document, the loaded
+/// stores (kept alive so callers can run follow-up queries), and one
+/// [`QueryMeasurement`] per (system, query) pair.
+pub struct BenchmarkReport {
+    /// The scale preset, if the session used one.
+    pub scale: Option<Scale>,
+    /// The scaling factor.
+    pub factor: f64,
+    /// The generated document.
+    pub document: GeneratedDocument,
+    /// The measured query numbers, in run order.
+    pub queries: Vec<usize>,
+    /// One loaded store per selected system, in selection order.
+    pub loads: Vec<LoadedStore>,
+    /// All measurements, grouped by system in selection order.
+    pub measurements: Vec<QueryMeasurement>,
+}
+
+impl BenchmarkReport {
+    /// The systems measured, in selection order.
+    pub fn systems(&self) -> impl Iterator<Item = SystemId> + '_ {
+        self.loads.iter().map(|l| l.system)
+    }
+
+    /// The load row for `system`.
+    pub fn load(&self, system: SystemId) -> Option<&LoadedStore> {
+        self.loads.iter().find(|l| l.system == system)
+    }
+
+    /// The measurement for (`system`, `query`).
+    pub fn measurement(&self, system: SystemId, query: usize) -> Option<&QueryMeasurement> {
+        self.measurements
+            .iter()
+            .find(|m| m.system == system && m.query == query)
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +446,72 @@ mod tests {
         assert_eq!(m.query, 1);
         assert_eq!(m.result_items, 1, "Q1 returns person0's name");
         assert!(m.compile_share_percent() >= 0.0);
+    }
+
+    #[test]
+    fn generator_stats_are_populated() {
+        // The Table 1 report depends on real element/depth counts; they
+        // used to be hardcoded to zero.
+        let doc = generate_document(0.001);
+        assert_eq!(doc.stats.bytes as usize, doc.xml.len());
+        assert!(
+            doc.stats.elements > 1000,
+            "elements: {}",
+            doc.stats.elements
+        );
+        assert!(
+            doc.stats.max_depth >= 5,
+            "max_depth: {}",
+            doc.stats.max_depth
+        );
+        // The stats agree with a full parse of the document.
+        let parsed = xmark_xml::parse_document(&doc.xml).unwrap();
+        let elements = parsed.all_nodes().filter(|&n| parsed.is_element(n)).count() as u64;
+        assert_eq!(doc.stats.elements, elements);
+    }
+
+    #[test]
+    fn benchmark_facade_runs_a_session() {
+        let report = Benchmark::at_scale("mini")
+            .systems(&[SystemId::D, SystemId::G])
+            .queries([1, 6])
+            .warmups(1)
+            .run();
+        assert_eq!(report.scale.unwrap().name, "mini");
+        assert_eq!(
+            report.systems().collect::<Vec<_>>(),
+            vec![SystemId::D, SystemId::G]
+        );
+        assert_eq!(report.measurements.len(), 4);
+        let d1 = report.measurement(SystemId::D, 1).unwrap();
+        assert_eq!(d1.result_items, 1);
+        let g6 = report.measurement(SystemId::G, 6).unwrap();
+        assert_eq!(
+            g6.result_items,
+            report.measurement(SystemId::D, 6).unwrap().result_items,
+            "D and G disagree on Q6"
+        );
+        // The loaded stores stay usable after the run.
+        let store = &report.load(SystemId::D).unwrap().store;
+        assert!(store.node_count() > 1000);
+    }
+
+    #[test]
+    fn benchmark_facade_open_session_supports_custom_measurement() {
+        let session = Benchmark::at_factor(0.001)
+            .systems(&[SystemId::A])
+            .queries([2])
+            .generate();
+        assert!(session.stats().elements > 0);
+        let loaded = session.load(SystemId::A);
+        let m = measure_query(&loaded, 2);
+        assert!(m.metadata_accesses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn benchmark_facade_rejects_unknown_scales() {
+        let _ = Benchmark::at_scale("galactic");
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! A self-contained, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the `criterion_group!` /
+//! `criterion_main!` / `benchmark_group` API surface so the workspace's
+//! benches compile and run, and implements a simple adaptive timing loop:
+//! a warm-up call, then batches sized to fill a small measurement window,
+//! reporting the best observed mean per iteration (plus throughput when
+//! one was declared). No statistics, plots, or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each benchmark measures for (after one warm-up call).
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Declared throughput of one iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `f`, adaptively choosing an iteration count.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < MEASURE_WINDOW {
+            let start = Instant::now();
+            black_box(f());
+            total += start.elapsed();
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.iterations = iters;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, mean_ns: f64, iterations: u64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if mean_ns > 0.0 => {
+            let mb_s = b as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0);
+            format!("  ({mb_s:.1} MiB/s)")
+        }
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            let elem_s = n as f64 / (mean_ns / 1e9);
+            format!("  ({elem_s:.0} elem/s)")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} time: {:>12}{rate}  [{iterations} iters]",
+        human_time(mean_ns)
+    );
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut b);
+    report(name, b.mean_ns, b.iterations, throughput);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes its own batches.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.text), self.throughput, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.text),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (`--bench`); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 7).text, "f/7");
+        assert_eq!(BenchmarkId::from_parameter("D").text, "D");
+    }
+}

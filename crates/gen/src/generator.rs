@@ -73,12 +73,31 @@ pub struct GenStats {
 }
 
 const COUNTRIES: &[&str] = &[
-    "United States", "Germany", "Netherlands", "France", "Japan", "Brazil",
-    "Kenya", "Australia", "Romania", "Canada", "China", "Italy",
+    "United States",
+    "Germany",
+    "Netherlands",
+    "France",
+    "Japan",
+    "Brazil",
+    "Kenya",
+    "Australia",
+    "Romania",
+    "Canada",
+    "China",
+    "Italy",
 ];
 const CITIES: &[&str] = &[
-    "Amsterdam", "Redmond", "Darmstadt", "Le Chesnay", "Hong Kong",
-    "San Jose", "Madison", "Leipzig", "Toronto", "Kyoto", "Nairobi",
+    "Amsterdam",
+    "Redmond",
+    "Darmstadt",
+    "Le Chesnay",
+    "Hong Kong",
+    "San Jose",
+    "Madison",
+    "Leipzig",
+    "Toronto",
+    "Kyoto",
+    "Nairobi",
     "Porto Alegre",
 ];
 const PAYMENTS: &[&str] = &["Creditcard", "Money order", "Personal Check", "Cash"];
@@ -207,7 +226,10 @@ impl Generator {
             COUNTRIES[rng.below(COUNTRIES.len() as u64) as usize]
         };
         w.leaf("location", country)?;
-        w.leaf("quantity", &(1 + dist::exponential_index(&mut rng, 5, 0.35)).to_string())?;
+        w.leaf(
+            "quantity",
+            &(1 + dist::exponential_index(&mut rng, 5, 0.35)).to_string(),
+        )?;
         let name_words = 2 + rng.below(3) as usize;
         w.leaf("name", &self.vocab.sentence(&mut rng, name_words))?;
         w.leaf("payment", &pick_subset(&mut rng, PAYMENTS))?;
@@ -309,10 +331,7 @@ impl Generator {
         // §6.11 (Q17): "the fraction of people without a homepage is rather
         // high" — exactly half of the people get one.
         if rng.chance(0.5) {
-            w.leaf(
-                "homepage",
-                &crate::text::homepage(&mut rng, family, index),
-            )?;
+            w.leaf("homepage", &crate::text::homepage(&mut rng, family, index))?;
         }
         if rng.chance(0.7) {
             w.leaf("creditcard", &crate::text::creditcard(&mut rng))?;
@@ -333,7 +352,10 @@ impl Generator {
                 w.empty("interest", &[("category", &format!("category{cat}"))])?;
             }
             if rng.chance(0.4) {
-                w.leaf("education", EDUCATION[rng.below(EDUCATION.len() as u64) as usize])?;
+                w.leaf(
+                    "education",
+                    EDUCATION[rng.below(EDUCATION.len() as u64) as usize],
+                )?;
             }
             if rng.chance(0.6) {
                 w.leaf("gender", if rng.chance(0.5) { "male" } else { "female" })?;
@@ -350,7 +372,10 @@ impl Generator {
             let watches = dist::exponential_index(&mut rng, 12, 0.18);
             for _ in 0..watches {
                 let auction = rng.below(self.cards.open_auctions as u64);
-                w.empty("watch", &[("open_auction", &format!("open_auction{auction}"))])?;
+                w.empty(
+                    "watch",
+                    &[("open_auction", &format!("open_auction{auction}"))],
+                )?;
             }
             w.close()?;
         }
@@ -407,7 +432,14 @@ impl Generator {
         w.empty("seller", &[("person", &format!("person{seller}"))])?;
         self.write_annotation(w, &mut rng, false)?;
         w.leaf("quantity", &(1 + rng.below(5)).to_string())?;
-        w.leaf("type", if rng.chance(0.8) { "Regular" } else { "Featured" })?;
+        w.leaf(
+            "type",
+            if rng.chance(0.8) {
+                "Regular"
+            } else {
+                "Featured"
+            },
+        )?;
         w.open("interval")?;
         w.leaf("start", &crate::text::date(&mut rng))?;
         w.leaf("end", &crate::text::date(&mut rng))?;
@@ -442,7 +474,14 @@ impl Generator {
         w.leaf("price", &format!("{price:.2}"))?;
         w.leaf("date", &crate::text::date(&mut rng))?;
         w.leaf("quantity", &(1 + rng.below(5)).to_string())?;
-        w.leaf("type", if rng.chance(0.8) { "Regular" } else { "Featured" })?;
+        w.leaf(
+            "type",
+            if rng.chance(0.8) {
+                "Regular"
+            } else {
+                "Featured"
+            },
+        )?;
         if rng.chance(0.8) {
             // Deep annotations: Q15/Q16 chase the path annotation/
             // description/parlist/listitem/parlist/listitem/text/emph/
@@ -522,8 +561,8 @@ impl Generator {
         let segments = 1 + rng.below(3) as usize;
         let mut sentence = String::with_capacity(mean_words * 8);
         for seg in 0..segments {
-            let words = 3 + (dist::exponential(rng, mean_words as f64 / segments as f64) as usize)
-                .min(120);
+            let words =
+                3 + (dist::exponential(rng, mean_words as f64 / segments as f64) as usize).min(120);
             sentence.clear();
             self.vocab.sentence_into(rng, words, &mut sentence);
             w.text(&sentence)?;
@@ -638,8 +677,12 @@ mod tests {
     fn sections_appear_in_dtd_order() {
         let xml = generate_string(&tiny());
         let order = [
-            "<regions>", "<categories>", "<catgraph>", "<people>",
-            "<open_auctions>", "<closed_auctions>",
+            "<regions>",
+            "<categories>",
+            "<catgraph>",
+            "<people>",
+            "<open_auctions>",
+            "<closed_auctions>",
         ];
         let mut last = 0;
         for tag in order {
@@ -683,8 +726,16 @@ mod tests {
 
     #[test]
     fn size_scales_linearly() {
-        let small = generate_string(&GeneratorConfig { factor: 0.002, seed: 0 }).len();
-        let large = generate_string(&GeneratorConfig { factor: 0.008, seed: 0 }).len();
+        let small = generate_string(&GeneratorConfig {
+            factor: 0.002,
+            seed: 0,
+        })
+        .len();
+        let large = generate_string(&GeneratorConfig {
+            factor: 0.008,
+            seed: 0,
+        })
+        .len();
         let ratio = large as f64 / small as f64;
         assert!((3.0..5.0).contains(&ratio), "ratio = {ratio}");
     }
@@ -692,7 +743,11 @@ mod tests {
     #[test]
     fn calibration_factor_001_is_about_one_megabyte() {
         // Fig. 3: factor 0.01 ≈ 1 MB (and so factor 1.0 ≈ 100 MB).
-        let len = generate_string(&GeneratorConfig { factor: 0.01, seed: 0 }).len();
+        let len = generate_string(&GeneratorConfig {
+            factor: 0.01,
+            seed: 0,
+        })
+        .len();
         assert!(
             (800_000..1_400_000).contains(&len),
             "factor 0.01 produced {len} bytes; recalibrate text lengths"
@@ -701,7 +756,10 @@ mod tests {
 
     #[test]
     fn gold_occurs_in_descriptions_for_q14() {
-        let xml = generate_string(&GeneratorConfig { factor: 0.01, seed: 0 });
+        let xml = generate_string(&GeneratorConfig {
+            factor: 0.01,
+            seed: 0,
+        });
         assert!(xml.contains("gold"));
     }
 
@@ -709,7 +767,10 @@ mod tests {
     fn q15_deep_path_exists() {
         // closed_auction/annotation/description/parlist/listitem/parlist/
         // listitem/text/emph/keyword must occur at factor 0.01.
-        let xml = generate_string(&GeneratorConfig { factor: 0.01, seed: 0 });
+        let xml = generate_string(&GeneratorConfig {
+            factor: 0.01,
+            seed: 0,
+        });
         let doc = xmark_xml::parse_document(&xml).unwrap();
         let root = doc.root_element();
         let mut found = false;
@@ -722,12 +783,17 @@ mod tests {
                     cur = p;
                 }
                 let want = [
-                    "emph", "text", "listitem", "parlist", "listitem",
-                    "parlist", "description", "annotation", "closed_auction",
+                    "emph",
+                    "text",
+                    "listitem",
+                    "parlist",
+                    "listitem",
+                    "parlist",
+                    "description",
+                    "annotation",
+                    "closed_auction",
                 ];
-                if path.len() >= want.len()
-                    && path[..want.len()] == want.map(String::from)
-                {
+                if path.len() >= want.len() && path[..want.len()] == want.map(String::from) {
                     found = true;
                     break 'outer;
                 }
@@ -738,7 +804,10 @@ mod tests {
 
     #[test]
     fn some_persons_lack_homepages_and_incomes() {
-        let xml = generate_string(&GeneratorConfig { factor: 0.005, seed: 0 });
+        let xml = generate_string(&GeneratorConfig {
+            factor: 0.005,
+            seed: 0,
+        });
         let doc = xmark_xml::parse_document(&xml).unwrap();
         let root = doc.root_element();
         let persons: Vec<_> = doc
@@ -747,7 +816,10 @@ mod tests {
             .collect();
         let with_home = persons
             .iter()
-            .filter(|&&p| doc.children(p).any(|c| doc.is_element(c) && doc.tag_name(c) == "homepage"))
+            .filter(|&&p| {
+                doc.children(p)
+                    .any(|c| doc.is_element(c) && doc.tag_name(c) == "homepage")
+            })
             .count();
         assert!(with_home > 0 && with_home < persons.len());
         let with_income = persons

@@ -73,10 +73,8 @@ impl Cardinalities {
         let items: usize = region_items.iter().map(|&(_, n)| n).sum();
         // Partition items into sold (closed) and on-sale (open), preserving
         // the paper's ratio 9750:12000 and the invariant open+closed=items.
-        let closed_ratio =
-            CLOSED_AUCTIONS_PER_FACTOR as f64 / ITEMS_PER_FACTOR as f64;
-        let closed_auctions = ((items as f64 * closed_ratio).round() as usize)
-            .clamp(1, items - 1);
+        let closed_ratio = CLOSED_AUCTIONS_PER_FACTOR as f64 / ITEMS_PER_FACTOR as f64;
+        let closed_auctions = ((items as f64 * closed_ratio).round() as usize).clamp(1, items - 1);
         let open_auctions = items - closed_auctions;
         Cardinalities {
             region_items,
@@ -267,10 +265,28 @@ mod tests {
     #[test]
     fn dtd_mentions_every_queried_element() {
         for tag in [
-            "open_auction", "closed_auction", "person", "item", "category",
-            "bidder", "increase", "itemref", "seller", "buyer", "profile",
-            "interest", "keyword", "emph", "parlist", "listitem", "homepage",
-            "income", "reserve", "initial", "current", "location",
+            "open_auction",
+            "closed_auction",
+            "person",
+            "item",
+            "category",
+            "bidder",
+            "increase",
+            "itemref",
+            "seller",
+            "buyer",
+            "profile",
+            "interest",
+            "keyword",
+            "emph",
+            "parlist",
+            "listitem",
+            "homepage",
+            "income",
+            "reserve",
+            "initial",
+            "current",
+            "location",
         ] {
             assert!(AUCTION_DTD.contains(tag), "DTD is missing {tag}");
         }

@@ -41,31 +41,28 @@ pub fn generate_split(config: &GeneratorConfig, entities_per_file: usize) -> Vec
     let cards = generator.cardinalities().clone();
     let mut files = Vec::new();
 
-    let mut emit_section =
-        |section: &'static str,
-         count: usize,
-         write_entity: &EntityWriter| {
-            let mut index = 0usize;
-            let mut file_no = 0usize;
-            while index < count {
-                let mut buf = Vec::new();
-                let mut w = XmlWriter::new(&mut buf);
-                w.declaration().expect("vec write");
-                w.open(section).expect("vec write");
-                let end = (index + entities_per_file).min(count);
-                for i in index..end {
-                    write_entity(&generator, &mut w, i).expect("vec write");
-                }
-                w.close().expect("vec write");
-                w.finish().expect("vec write");
-                files.push(SplitFile {
-                    name: format!("{section}_{file_no:03}.xml"),
-                    content: String::from_utf8(buf).expect("generator emits ASCII"),
-                });
-                index = end;
-                file_no += 1;
+    let mut emit_section = |section: &'static str, count: usize, write_entity: &EntityWriter| {
+        let mut index = 0usize;
+        let mut file_no = 0usize;
+        while index < count {
+            let mut buf = Vec::new();
+            let mut w = XmlWriter::new(&mut buf);
+            w.declaration().expect("vec write");
+            w.open(section).expect("vec write");
+            let end = (index + entities_per_file).min(count);
+            for i in index..end {
+                write_entity(&generator, &mut w, i).expect("vec write");
             }
-        };
+            w.close().expect("vec write");
+            w.finish().expect("vec write");
+            files.push(SplitFile {
+                name: format!("{section}_{file_no:03}.xml"),
+                content: String::from_utf8(buf).expect("generator emits ASCII"),
+            });
+            index = end;
+            file_no += 1;
+        }
+    };
 
     emit_section("regions", cards.items, &|g, w, i| g.write_item(w, i));
     emit_section("people", cards.persons, &|g, w, i| g.write_person(w, i));

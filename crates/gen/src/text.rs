@@ -24,22 +24,22 @@ pub const VOCABULARY_SIZE: usize = 17_000;
 /// Anchor words pinned to fixed ranks (rank = index × 37 + 5) so that
 /// full-text queries have stable selectivity. `gold` is the Q14 keyword.
 pub const ANCHOR_WORDS: &[&str] = &[
-    "gold", "silver", "sword", "shield", "crown", "castle", "merchant",
-    "voyage", "fortune", "garden", "winter", "summer", "honour", "duke",
-    "queen", "king", "letter", "promise", "market", "harbour",
+    "gold", "silver", "sword", "shield", "crown", "castle", "merchant", "voyage", "fortune",
+    "garden", "winter", "summer", "honour", "duke", "queen", "king", "letter", "promise", "market",
+    "harbour",
 ];
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j",
-    "k", "l", "m", "n", "p", "pl", "pr", "qu", "r", "s", "sh", "sl", "sp",
-    "st", "str", "t", "th", "tr", "v", "w", "wh", "y", "z",
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
+    "pl", "pr", "qu", "r", "s", "sh", "sl", "sp", "st", "str", "t", "th", "tr", "v", "w", "wh",
+    "y", "z",
 ];
 const NUCLEI: &[&str] = &[
     "a", "ai", "au", "e", "ea", "ee", "i", "ie", "o", "oa", "oo", "ou", "u",
 ];
 const CODAS: &[&str] = &[
-    "", "b", "ck", "d", "ft", "g", "k", "l", "ld", "ll", "m", "n", "nd",
-    "ng", "nt", "p", "r", "rd", "rn", "rt", "s", "ss", "st", "t", "th", "x",
+    "", "b", "ck", "d", "ft", "g", "k", "l", "ld", "ll", "m", "n", "nd", "ng", "nt", "p", "r",
+    "rd", "rn", "rt", "s", "ss", "st", "t", "th", "x",
 ];
 
 /// The generator's word list plus samplers for prose, names and e-mail
@@ -131,22 +131,54 @@ impl Vocabulary {
 }
 
 const GIVEN_NAMES: &[&str] = &[
-    "Albrecht", "Beatrice", "Cyrus", "Daniela", "Edmund", "Farida", "Gregor",
-    "Hannah", "Ioana", "Jasper", "Katrin", "Laszlo", "Mirela", "Nils",
-    "Odette", "Piotr", "Quentin", "Ralph", "Sanda", "Takeshi", "Ulrike",
-    "Viktor", "Wanda", "Xenia", "Yusuf", "Zelda", "Martin", "Florian",
+    "Albrecht", "Beatrice", "Cyrus", "Daniela", "Edmund", "Farida", "Gregor", "Hannah", "Ioana",
+    "Jasper", "Katrin", "Laszlo", "Mirela", "Nils", "Odette", "Piotr", "Quentin", "Ralph", "Sanda",
+    "Takeshi", "Ulrike", "Viktor", "Wanda", "Xenia", "Yusuf", "Zelda", "Martin", "Florian",
     "Michael", "Amira", "Bogdan", "Celine",
 ];
 const FAMILY_NAMES: &[&str] = &[
-    "Schmidt", "Waas", "Kersten", "Carey", "Manolescu", "Busse", "Okafor",
-    "Tanaka", "Ferreira", "Novak", "Lindqvist", "Moreau", "Castillo",
-    "Petrov", "Andersen", "Gallo", "Haugen", "Ibrahim", "Jansen", "Kovacs",
-    "Larsen", "Meyer", "Nakamura", "Olsen", "Popescu", "Quinn", "Rossi",
-    "Silva", "Tamm", "Urbano", "Virtanen", "Weber",
+    "Schmidt",
+    "Waas",
+    "Kersten",
+    "Carey",
+    "Manolescu",
+    "Busse",
+    "Okafor",
+    "Tanaka",
+    "Ferreira",
+    "Novak",
+    "Lindqvist",
+    "Moreau",
+    "Castillo",
+    "Petrov",
+    "Andersen",
+    "Gallo",
+    "Haugen",
+    "Ibrahim",
+    "Jansen",
+    "Kovacs",
+    "Larsen",
+    "Meyer",
+    "Nakamura",
+    "Olsen",
+    "Popescu",
+    "Quinn",
+    "Rossi",
+    "Silva",
+    "Tamm",
+    "Urbano",
+    "Virtanen",
+    "Weber",
 ];
 const DOMAINS: &[&str] = &[
-    "cwi.nl", "example.com", "auction.example", "mail.example", "ipsi.de",
-    "inria.fr", "acm.example", "vldb.example",
+    "cwi.nl",
+    "example.com",
+    "auction.example",
+    "mail.example",
+    "ipsi.de",
+    "inria.fr",
+    "acm.example",
+    "vldb.example",
 ];
 
 /// Generate a person name ("Given Family") — the scrambled-phone-directory

@@ -174,7 +174,10 @@ mod tests {
             w.close().unwrap();
             w.close().unwrap();
         });
-        assert_eq!(s, r#"<site><person id="person0"><name>Alice</name></person></site>"#);
+        assert_eq!(
+            s,
+            r#"<site><person id="person0"><name>Alice</name></person></site>"#
+        );
     }
 
     #[test]

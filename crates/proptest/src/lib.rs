@@ -1,0 +1,791 @@
+//! A self-contained, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `proptest` cannot be fetched. This shim implements the subset of
+//! the API that the workspace's property tests use — strategies built from
+//! ranges, simple regex-like string patterns, tuples, collections,
+//! `prop_map`/`prop_filter`/`prop_recursive`, `prop_oneof!`, and the
+//! `proptest!` test-runner macro with `prop_assert*`/`prop_assume!` — with
+//! deterministic pseudo-random generation and **no shrinking**. A failing
+//! case panics with the case's formatted inputs so it can be reproduced by
+//! seed.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---- deterministic RNG -----------------------------------------------------
+
+/// SplitMix64-based deterministic generator. Each `proptest!` test derives
+/// its stream from the test's name, so runs are reproducible.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derive a reproducible stream from a label (the test name).
+    pub fn deterministic(label: &str) -> Self {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for b in label.bytes() {
+            state = state.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+        }
+        TestRng { state }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---- errors and config -----------------------------------------------------
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` (not a failure).
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---- the Strategy trait ----------------------------------------------------
+
+/// A generator of values (no shrinking in this shim).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (regenerates on rejection).
+    fn prop_filter<P>(self, reason: &'static str, pred: P) -> Filter<Self, P>
+    where
+        Self: Sized,
+        P: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Build a recursive strategy: up to `depth` applications of `recurse`
+    /// over this strategy as the base case. `desired_size` and
+    /// `expected_branch_size` are accepted for API compatibility.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            let base = leaf.clone();
+            strat = BoxedStrategy::new(move |rng: &mut TestRng| {
+                // Bias toward recursion so trees actually branch; the
+                // depth-bounded chain guarantees termination.
+                if rng.below(4) == 0 {
+                    base.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        strat
+    }
+
+    /// Type-erase into a [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng: &mut TestRng| inner.generate(rng))
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> BoxedStrategy<T> {
+    fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy(Rc::new(f))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+// ---- combinators -----------------------------------------------------------
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, P> {
+    inner: S,
+    reason: &'static str,
+    pred: P,
+}
+
+impl<S: Strategy, P: Fn(&S::Value) -> bool> Strategy for Filter<S, P> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({}) rejected 1000 consecutive values",
+            self.reason
+        );
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies (the engine behind `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from pre-boxed options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// ---- primitive strategies --------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.below(2) == 1
+    }
+}
+
+/// Strategy for any value of `T` (`any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        })*
+    };
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        })*
+    };
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ---- tuples ----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $i:tt),+))*) => {
+        $(impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        })*
+    };
+}
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+// ---- string patterns -------------------------------------------------------
+
+/// One repeated atom of a pattern: a set of char ranges plus `{min,max}`.
+#[derive(Debug, Clone)]
+struct PatternAtom {
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the small regex subset the tests use: sequences of `[class]` /
+/// `\PC` / literal-char atoms, each with an optional `{m,n}` repetition.
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let ranges: Vec<(char, char)> = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                for cc in chars.by_ref() {
+                    match cc {
+                        ']' => break,
+                        '-' if prev.is_some() => {
+                            // Range: rewrite the previous literal.
+                            let lo = prev.take().expect("checked");
+                            class.pop();
+                            // The next char closes the range.
+                            continue_range(&mut class, lo, &mut prev);
+                        }
+                        other => {
+                            if let Some(p) = prev {
+                                if let Some(last) = class.last_mut() {
+                                    if last.0 == p && last.1 == '\0' {
+                                        last.1 = other;
+                                        prev = None;
+                                        continue;
+                                    }
+                                }
+                            }
+                            class.push((other, other));
+                            prev = Some(other);
+                        }
+                    }
+                }
+                class
+                    .into_iter()
+                    .map(|(a, b)| if b == '\0' { (a, a) } else { (a, b) })
+                    .collect()
+            }
+            '\\' => match chars.next() {
+                // `\PC` — "any printable char" in the tests' usage.
+                Some('P') => {
+                    assert_eq!(chars.next(), Some('C'), "only \\PC is supported");
+                    printable_ranges()
+                }
+                Some(esc) => vec![(esc, esc)],
+                None => panic!("dangling escape in pattern {pattern:?}"),
+            },
+            lit => vec![(lit, lit)],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for cc in chars.by_ref() {
+                if cc == '}' {
+                    break;
+                }
+                spec.push(cc);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("pattern repetition"),
+                    hi.trim().parse().expect("pattern repetition"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("pattern repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom { ranges, min, max });
+    }
+    atoms
+}
+
+fn continue_range(class: &mut Vec<(char, char)>, lo: char, prev: &mut Option<char>) {
+    // Marker entry; the next literal read fills in the high end.
+    class.push((lo, '\0'));
+    *prev = Some(lo);
+}
+
+/// Printable characters for `\PC`: mostly ASCII, with a sprinkle of
+/// multi-byte code points so escaping/round-trip tests see non-ASCII.
+fn printable_ranges() -> Vec<(char, char)> {
+    vec![
+        (' ', '~'),
+        (' ', '~'),
+        (' ', '~'),
+        ('\u{a1}', '\u{ff}'),
+        ('\u{391}', '\u{3c9}'),
+        ('\u{4e00}', '\u{4e2f}'),
+    ]
+}
+
+fn generate_pattern(atoms: &[PatternAtom], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in atoms {
+        let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..count {
+            let (lo, hi) = atom.ranges[rng.below(atom.ranges.len() as u64) as usize];
+            let span = hi as u32 - lo as u32 + 1;
+            let picked = lo as u32 + rng.below(span as u64) as u32;
+            out.push(char::from_u32(picked).unwrap_or(lo));
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(&parse_pattern(self), rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(&parse_pattern(self), rng)
+    }
+}
+
+// ---- collections -----------------------------------------------------------
+
+/// A size specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::*;
+
+    /// A strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min).max(1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::*;
+
+    /// A strategy for `Option<S::Value>` (3-in-4 `Some`).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// The `prop` alias module (`prop::collection::vec` etc.).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+// ---- macros ----------------------------------------------------------------
+
+/// Run a block of property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(arg in strategy, …) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { @cfg(<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (@cfg($cfg:expr) $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property failed at case {}: {}", case, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Reject the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_respect_class_and_repetition() {
+        let mut rng = TestRng::deterministic("patterns");
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            let t = "[ -~]{0,10}".generate(&mut rng);
+            assert!(t.chars().count() <= 10);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let u = "\\PC{0,40}".generate(&mut rng);
+            assert!(u.chars().count() <= 40);
+            assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let u = (1u64..10).generate(&mut rng);
+            assert!((1..10).contains(&u));
+        }
+    }
+
+    #[test]
+    fn recursion_terminates_and_branches() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(())
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::deterministic("recursion");
+        let mut saw_branch = false;
+        for _ in 0..100 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3 + 1);
+            if depth(&t) > 1 {
+                saw_branch = true;
+            }
+        }
+        assert!(saw_branch, "recursive strategy never branched");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_machinery_runs(x in 0u64..100, s in "[a-z]{0,6}") {
+            prop_assume!(x != 1000);
+            prop_assert!(x < 100);
+            prop_assert_eq!(s.len(), s.len(), "lengths of {} differ", s);
+        }
+    }
+}

@@ -9,7 +9,10 @@
 //!   paper's "set-valued aggregates on the index attribute"),
 //! * `typed_child_value` for `…/tag/text()` tails (System C's inlined
 //!   columns),
-//! * `descendants_named` / `count_descendants_named` for `//tag` and
+//! * the streaming axis cursors (`children_named_iter`,
+//!   `descendants_named_iter`) for path steps — predicate-free steps
+//!   stream matches straight into the output sequence with no
+//!   intermediate `Vec<Node>` — and `count_descendants_named` for
 //!   `count(//tag)` (System D's structural summary).
 //!
 //! Loop-invariant absolute paths are memoized per execution — the
@@ -184,8 +187,10 @@ impl<'s> Evaluator<'s> {
             Expr::Arith(op, lhs, rhs) => {
                 let l = self.eval(lhs, env, ctx)?;
                 let r = self.eval(rhs, env, ctx)?;
-                let (Some(a), Some(b)) = (singleton_number(self.store, &l), singleton_number(self.store, &r))
-                else {
+                let (Some(a), Some(b)) = (
+                    singleton_number(self.store, &l),
+                    singleton_number(self.store, &r),
+                ) else {
                     return Ok(Vec::new());
                 };
                 let v = match op {
@@ -734,10 +739,7 @@ impl<'s> Evaluator<'s> {
                                     seq.push(Item::Node(root));
                                 }
                                 seq.extend(
-                                    self.store
-                                        .descendants_named(root, tag)
-                                        .into_iter()
-                                        .map(Item::Node),
+                                    self.store.descendants_named_iter(root, tag).map(Item::Node),
                                 );
                             }
                             _ => {
@@ -836,8 +838,20 @@ impl<'s> Evaluator<'s> {
             return Ok(None);
         };
         let (attr_path, literal) = match (lhs.as_ref(), rhs.as_ref()) {
-            (Expr::Path { base: PathBase::Context, steps }, Expr::Str(s)) => (steps, s),
-            (Expr::Str(s), Expr::Path { base: PathBase::Context, steps }) => (steps, s),
+            (
+                Expr::Path {
+                    base: PathBase::Context,
+                    steps,
+                },
+                Expr::Str(s),
+            ) => (steps, s),
+            (
+                Expr::Str(s),
+                Expr::Path {
+                    base: PathBase::Context,
+                    steps,
+                },
+            ) => (steps, s),
             _ => return Ok(None),
         };
         if attr_path.len() != 1
@@ -897,6 +911,10 @@ impl<'s> Evaluator<'s> {
             let Item::Node(n) = item else {
                 return Err(EvalError::PathOverNonNode);
             };
+            // Where this context node's matches begin: predicates are
+            // per-context (positional `[1]` selects within each node's
+            // children, not across the merged output).
+            let context_start = out.len();
             match (&step.axis, &step.test) {
                 (Axis::Attribute, NodeTest::Tag(name)) => {
                     if let Some(v) = self.store.attribute(*n, name) {
@@ -905,14 +923,14 @@ impl<'s> Evaluator<'s> {
                 }
                 (Axis::Attribute, _) => return Err(EvalError::PathOverNonNode),
                 (Axis::Child, NodeTest::Text) => {
-                    for c in self.store.children(*n) {
+                    for c in self.store.children_iter(*n) {
                         if self.store.text(c).is_some() {
                             out.push(Item::Node(c));
                         }
                     }
                 }
                 (Axis::Child, NodeTest::Wildcard) => {
-                    for c in self.store.children(*n) {
+                    for c in self.store.children_iter(*n) {
                         if self.store.tag_of(c).is_some() {
                             out.push(Item::Node(c));
                         }
@@ -935,13 +953,23 @@ impl<'s> Evaluator<'s> {
                             }
                         }
                     }
-                    let matched = self.store.children_named(*n, tag);
+                    if step.preds.is_empty() {
+                        // The hot path: stream matches straight into the
+                        // output — no intermediate Vec<Node> per step.
+                        out.extend(self.store.children_named_iter(*n, tag).map(Item::Node));
+                        continue;
+                    }
+                    let matched: Vec<Node> = self.store.children_named_iter(*n, tag).collect();
                     let filtered = self.apply_predicates(matched, &step.preds, env, ctx)?;
                     out.extend(filtered.into_iter().map(Item::Node));
                     continue;
                 }
                 (Axis::Descendant, NodeTest::Tag(tag)) => {
-                    let matched = self.store.descendants_named(*n, tag);
+                    if step.preds.is_empty() {
+                        out.extend(self.store.descendants_named_iter(*n, tag).map(Item::Node));
+                        continue;
+                    }
+                    let matched: Vec<Node> = self.store.descendants_named_iter(*n, tag).collect();
                     let filtered = self.apply_predicates(matched, &step.preds, env, ctx)?;
                     out.extend(filtered.into_iter().map(Item::Node));
                     continue;
@@ -950,17 +978,18 @@ impl<'s> Evaluator<'s> {
                     collect_descendant_text(self.store, *n, &mut out);
                 }
                 (Axis::Descendant, NodeTest::Wildcard) => {
-                    let mut stack = self.store.children(*n);
+                    let mut stack: Vec<Node> = self.store.children_iter(*n).collect();
                     while let Some(c) = stack.pop() {
                         if self.store.tag_of(c).is_some() {
                             out.push(Item::Node(c));
-                            stack.extend(self.store.children(c));
+                            stack.extend(self.store.children_iter(c));
                         }
                     }
-                    out.sort_by(node_order);
+                    out[context_start..].sort_by(node_order);
                 }
             }
-            // Predicates for the non-tag axes above.
+            // Predicates for the non-tag axes above, applied to this
+            // context node's matches only.
             if !step.preds.is_empty()
                 && !matches!(
                     (&step.axis, &step.test),
@@ -968,7 +997,7 @@ impl<'s> Evaluator<'s> {
                 )
             {
                 let nodes: Vec<Node> = out
-                    .drain(..)
+                    .drain(context_start..)
                     .filter_map(|i| match i {
                         Item::Node(n) => Some(n),
                         _ => None,
@@ -1109,13 +1138,12 @@ impl<'s> Evaluator<'s> {
             }
             "number" => {
                 expect_arity(name, &evaluated, 1)?;
-                Ok(match evaluated[0]
-                    .first()
-                    .and_then(|i| number(self.store, i))
-                {
-                    Some(n) => vec![Item::Num(n)],
-                    None => Vec::new(),
-                })
+                Ok(
+                    match evaluated[0].first().and_then(|i| number(self.store, i)) {
+                        Some(n) => vec![Item::Num(n)],
+                        None => Vec::new(),
+                    },
+                )
             }
             _ => {
                 let Some(decl) = self.functions.get(name) else {
@@ -1276,7 +1304,7 @@ fn node_order(a: &Item, b: &Item) -> std::cmp::Ordering {
 }
 
 fn collect_descendant_text(store: &dyn XmlStore, n: Node, out: &mut Sequence) {
-    for c in store.children(n) {
+    for c in store.children_iter(n) {
         if store.text(c).is_some() {
             out.push(Item::Node(c));
         } else {
@@ -1375,8 +1403,13 @@ fn expr_uses_var(expr: &Expr, var: &str) -> bool {
         Expr::Flwor(f) => {
             f.clauses.iter().any(|c| match c {
                 Clause::For(_, e) | Clause::Let(_, e) => expr_uses_var(e, var),
-            }) || f.where_clause.as_ref().is_some_and(|w| expr_uses_var(w, var))
-                || f.order_by.as_ref().is_some_and(|(k, _)| expr_uses_var(k, var))
+            }) || f
+                .where_clause
+                .as_ref()
+                .is_some_and(|w| expr_uses_var(w, var))
+                || f.order_by
+                    .as_ref()
+                    .is_some_and(|(k, _)| expr_uses_var(k, var))
                 || expr_uses_var(&f.ret, var)
         }
         Expr::Or(parts) | Expr::And(parts) | Expr::Sequence(parts) => {
@@ -1390,9 +1423,7 @@ fn expr_uses_var(expr: &Expr, var: &str) -> bool {
         Expr::Some {
             bindings,
             satisfies,
-        } => {
-            bindings.iter().any(|(_, e)| expr_uses_var(e, var)) || expr_uses_var(satisfies, var)
-        }
+        } => bindings.iter().any(|(_, e)| expr_uses_var(e, var)) || expr_uses_var(satisfies, var),
         Expr::Element(ctor) => ctor_uses_var(ctor, var),
         Expr::Str(_) | Expr::Num(_) | Expr::Empty => false,
     }
@@ -1455,15 +1486,21 @@ mod tests {
 
     #[test]
     fn q1_shape_exact_match() {
-        let out = run(r#"for $b in document("x")/site/people/person[@id = "person0"] return $b/name/text()"#);
+        let out = run(
+            r#"for $b in document("x")/site/people/person[@id = "person0"] return $b/name/text()"#,
+        );
         assert_eq!(out, "Alice");
     }
 
     #[test]
     fn positional_access() {
-        let out = run(r#"for $b in /site/open_auctions/open_auction return <i>{$b/bidder[1]/increase/text()}</i>"#);
+        let out = run(
+            r#"for $b in /site/open_auctions/open_auction return <i>{$b/bidder[1]/increase/text()}</i>"#,
+        );
         assert_eq!(out, "<i>5.00</i>");
-        let out = run(r#"for $b in /site/open_auctions/open_auction return <i>{$b/bidder[last()]/increase/text()}</i>"#);
+        let out = run(
+            r#"for $b in /site/open_auctions/open_auction return <i>{$b/bidder[last()]/increase/text()}</i>"#,
+        );
         assert_eq!(out, "<i>20.00</i>");
     }
 
@@ -1511,9 +1548,8 @@ mod tests {
 
     #[test]
     fn order_by_sorts() {
-        let out = run(
-            r#"for $i in /site//item order by zero-or-one($i/name) return $i/name/text()"#,
-        );
+        let out =
+            run(r#"for $i in /site//item order by zero-or-one($i/name) return $i/name/text()"#);
         assert_eq!(out, "cup\ngold ring");
         let out = run(
             r#"for $i in /site//item order by zero-or-one($i/name) descending return $i/name/text()"#,
@@ -1556,13 +1592,17 @@ mod tests {
 
     #[test]
     fn distinct_values_dedups() {
-        let out = run(r#"for $x in distinct-values(/site/open_auctions/open_auction/bidder/personref/@person) return <p>{$x}</p>"#);
+        let out = run(
+            r#"for $x in distinct-values(/site/open_auctions/open_auction/bidder/personref/@person) return <p>{$x}</p>"#,
+        );
         assert_eq!(out, "<p>person0</p>\n<p>person1</p>");
     }
 
     #[test]
     fn reconstruction_copies_subtrees() {
-        let out = run(r#"for $i in /site/regions/europe/item[@id = "item1"] return <item name="{$i/name/text()}">{$i/description}</item>"#);
+        let out = run(
+            r#"for $i in /site/regions/europe/item[@id = "item1"] return <item name="{$i/name/text()}">{$i/description}</item>"#,
+        );
         assert_eq!(
             out,
             r#"<item name="cup"><description><text>plain tin</text></description></item>"#
@@ -1571,7 +1611,10 @@ mod tests {
 
     #[test]
     fn arithmetic_with_empty_is_empty() {
-        assert_eq!(run("count(2 * /site/people/person[@id = \"ghost\"]/name)"), "0");
+        assert_eq!(
+            run("count(2 * /site/people/person[@id = \"ghost\"]/name)"),
+            "0"
+        );
     }
 
     #[test]
@@ -1581,7 +1624,10 @@ mod tests {
             "25"
         );
         assert_eq!(run("sum(())"), "0");
-        assert_eq!(run("number(/site/open_auctions/open_auction/initial)"), "10");
+        assert_eq!(
+            run("number(/site/open_auctions/open_auction/initial)"),
+            "10"
+        );
         assert_eq!(run("count(number(/site/people/person/name))"), "0");
     }
 
@@ -1594,10 +1640,7 @@ mod tests {
 
     #[test]
     fn data_atomizes_attributes() {
-        assert_eq!(
-            run("data(/site/people/person/profile/@income)"),
-            "95000.00"
-        );
+        assert_eq!(run("data(/site/people/person/profile/@income)"), "95000.00");
     }
 
     #[test]
@@ -1621,15 +1664,33 @@ mod tests {
 
     #[test]
     fn wildcard_and_descendant_text_steps() {
-        assert_eq!(run("count(/site/regions/europe/item[@id = \"item0\"]/*)"), "2");
+        assert_eq!(
+            run("count(/site/regions/europe/item[@id = \"item0\"]/*)"),
+            "2"
+        );
         let out = run(r#"for $t in /site/regions/europe/item[@id = "item0"]//text() return $t"#);
         assert_eq!(out, "gold ring\npure gold");
     }
 
     #[test]
+    fn positional_predicates_on_wildcard_steps_are_per_context() {
+        // Two persons, so `person/*[1]` is the *first child of each*, not
+        // the first node of the merged output (a former bug: predicates
+        // drained the accumulated output across context nodes).
+        assert_eq!(run("count(/site/people/person)"), "2");
+        assert_eq!(run("count(/site/people/person/*[1])"), "2");
+        let out = run(r#"for $n in /site/people/person/*[1] return $n/text()"#);
+        assert_eq!(out, "Alice\nBob");
+        // Same per-context rule on text() steps.
+        assert_eq!(run("count(/site/people/person/name/text()[1])"), "2");
+    }
+
+    #[test]
     fn or_expressions_shortcircuit() {
         assert_eq!(
-            run(r#"count(for $p in /site/people/person where $p/@id = "person0" or $p/homepage return $p)"#),
+            run(
+                r#"count(for $p in /site/people/person where $p/@id = "person0" or $p/homepage return $p)"#
+            ),
             "2"
         );
     }

@@ -36,7 +36,7 @@ pub mod eval;
 pub mod parse;
 pub mod result;
 
-pub use compile::{compile, execute, run_query, Compiled, CompileError, CompileStats};
+pub use compile::{compile, execute, run_query, CompileError, CompileStats, Compiled};
 pub use eval::{ebv, EvalError, Evaluator};
 pub use parse::{parse_query, ParseError};
 pub use result::{atomize, canonicalize, serialize_sequence, Item, Sequence};

@@ -101,11 +101,7 @@ impl<'a> Parser<'a> {
     /// Does a keyword (with a word boundary) start here? Does not consume.
     fn peek_kw(&self, kw: &str) -> bool {
         let rest = &self.input[self.pos..];
-        rest.starts_with(kw)
-            && !rest[kw.len()..]
-                .bytes()
-                .next()
-                .is_some_and(is_name_char)
+        rest.starts_with(kw) && !rest[kw.len()..].bytes().next().is_some_and(is_name_char)
     }
 
     fn eat_kw(&mut self, kw: &str) -> PResult<()> {
@@ -841,9 +837,14 @@ mod tests {
 
     #[test]
     fn parses_before_operator() {
-        let q = parse("for $b in /a where some $x in $b/c, $y in $b/d satisfies $x << $y return $b");
+        let q =
+            parse("for $b in /a where some $x in $b/c, $y in $b/d satisfies $x << $y return $b");
         let Expr::Flwor(f) = &q.body else { panic!() };
-        let Some(Expr::Some { bindings, satisfies }) = &f.where_clause else {
+        let Some(Expr::Some {
+            bindings,
+            satisfies,
+        }) = &f.where_clause
+        else {
             panic!("expected quantifier");
         };
         assert_eq!(bindings.len(), 2);
@@ -853,17 +854,25 @@ mod tests {
     #[test]
     fn parses_descendant_axis() {
         let q = parse("count(/site/regions//item)");
-        let Expr::Call(name, args) = &q.body else { panic!() };
+        let Expr::Call(name, args) = &q.body else {
+            panic!()
+        };
         assert_eq!(name, "count");
-        let Expr::Path { steps, .. } = &args[0] else { panic!() };
+        let Expr::Path { steps, .. } = &args[0] else {
+            panic!()
+        };
         assert_eq!(steps[2].axis, Axis::Descendant);
     }
 
     #[test]
     fn parses_constructor_with_templates() {
-        let q = parse(r#"for $b in /a return <item name="{$b/name/text()}" kind="x{1}y">{$b/location/text()} fixed</item>"#);
+        let q = parse(
+            r#"for $b in /a return <item name="{$b/name/text()}" kind="x{1}y">{$b/location/text()} fixed</item>"#,
+        );
         let Expr::Flwor(f) = &q.body else { panic!() };
-        let Expr::Element(ctor) = &f.ret else { panic!() };
+        let Expr::Element(ctor) = &f.ret else {
+            panic!()
+        };
         assert_eq!(ctor.tag, "item");
         assert_eq!(ctor.attrs.len(), 2);
         assert_eq!(ctor.attrs[1].1.len(), 3); // "x", {1}, "y"
@@ -874,7 +883,9 @@ mod tests {
     fn parses_nested_constructors_and_sequences() {
         let q = parse(r#"for $i in /a return <categorie>{<id>{$i}</id>, $i}</categorie>"#);
         let Expr::Flwor(f) = &q.body else { panic!() };
-        let Expr::Element(ctor) = &f.ret else { panic!() };
+        let Expr::Element(ctor) = &f.ret else {
+            panic!()
+        };
         let Content::Expr(Expr::Sequence(parts)) = &ctor.content[0] else {
             panic!("expected sequence content");
         };
@@ -892,15 +903,15 @@ mod tests {
     #[test]
     fn parses_arithmetic_precedence() {
         let q = parse("1 + 2 * 3");
-        let Expr::Arith(ArithOp::Add, _, rhs) = &q.body else { panic!() };
+        let Expr::Arith(ArithOp::Add, _, rhs) = &q.body else {
+            panic!()
+        };
         assert!(matches!(**rhs, Expr::Arith(ArithOp::Mul, ..)));
     }
 
     #[test]
     fn parses_where_with_and() {
-        let q = parse(
-            "for $t in /a, $e in /b where $t/x = $e/y and $t/z = 3 return $t",
-        );
+        let q = parse("for $t in /a, $e in /b where $t/x = $e/y and $t/z = 3 return $t");
         let Expr::Flwor(f) = &q.body else { panic!() };
         assert_eq!(f.clauses.len(), 2);
         assert!(matches!(f.where_clause, Some(Expr::And(_))));
@@ -918,9 +929,14 @@ mod tests {
 
     #[test]
     fn parses_relative_paths_in_predicates() {
-        let q = parse(r#"count(/site/people/person/profile[@income >= 100000 and @income < 200000])"#);
-        let Expr::Call(_, args) = &q.body else { panic!() };
-        let Expr::Path { steps, .. } = &args[0] else { panic!() };
+        let q =
+            parse(r#"count(/site/people/person/profile[@income >= 100000 and @income < 200000])"#);
+        let Expr::Call(_, args) = &q.body else {
+            panic!()
+        };
+        let Expr::Path { steps, .. } = &args[0] else {
+            panic!()
+        };
         assert_eq!(steps[3].preds.len(), 1);
     }
 
@@ -943,7 +959,9 @@ mod tests {
     #[test]
     fn empty_parens_parse() {
         let q = parse("count(())");
-        let Expr::Call(_, args) = &q.body else { panic!() };
+        let Expr::Call(_, args) = &q.body else {
+            panic!()
+        };
         assert_eq!(args[0], Expr::Empty);
     }
 }

@@ -236,7 +236,10 @@ mod tests {
             attrs: vec![("z".into(), "1".into()), ("a".into(), "2".into())],
             children: vec![],
         }));
-        assert_eq!(canonicalize(&s, std::slice::from_ref(&elem)), r#"<e a="2" z="1"/>"#);
+        assert_eq!(
+            canonicalize(&s, std::slice::from_ref(&elem)),
+            r#"<e a="2" z="1"/>"#
+        );
         let mut plain = String::new();
         serialize_item(&s, &elem, &mut plain);
         assert_eq!(plain, r#"<e z="1" a="2"/>"#);

@@ -94,7 +94,10 @@ impl Catalog {
 
     /// Total resident bytes of tables and indexes — Table 1's "Size".
     pub fn heap_size_bytes(&self) -> usize {
-        self.tables.values().map(Table::heap_size_bytes).sum::<usize>()
+        self.tables
+            .values()
+            .map(Table::heap_size_bytes)
+            .sum::<usize>()
             + self
                 .hash_indexes
                 .values()

@@ -23,7 +23,9 @@ impl HashIndex {
             if row[column].is_null() {
                 continue; // NULLs are not indexed, matching SQL semantics.
             }
-            map.entry(OrdValue(row[column].clone())).or_default().push(rid);
+            map.entry(OrdValue(row[column].clone()))
+                .or_default()
+                .push(rid);
         }
         HashIndex { map }
     }
@@ -69,7 +71,9 @@ impl BTreeIndex {
             if row[column].is_null() {
                 continue;
             }
-            map.entry(OrdValue(row[column].clone())).or_default().push(rid);
+            map.entry(OrdValue(row[column].clone()))
+                .or_default()
+                .push(rid);
         }
         BTreeIndex { map }
     }

@@ -27,12 +27,7 @@ pub fn project<F: FnMut(&[Value]) -> Row>(rows: &[Row], mut f: F) -> Vec<Row> {
 /// Hash equi-join: pairs of rows with `left[left_key] == right[right_key]`
 /// (SQL semantics: NULL keys never join). Output rows are the
 /// concatenation left ++ right.
-pub fn hash_join(
-    left: &[Row],
-    left_key: usize,
-    right: &[Row],
-    right_key: usize,
-) -> Vec<Row> {
+pub fn hash_join(left: &[Row], left_key: usize, right: &[Row], right_key: usize) -> Vec<Row> {
     // Build on the smaller side, as a cost-based optimizer would.
     if left.len() <= right.len() {
         hash_join_impl(left, left_key, right, right_key, false)
@@ -252,10 +247,7 @@ mod tests {
     fn group_count_counts() {
         let input = rows(&[&[1], &[2], &[1], &[1]]);
         let groups = group_count(&input, 0);
-        assert_eq!(
-            groups,
-            vec![(Value::Int(1), 3), (Value::Int(2), 1)]
-        );
+        assert_eq!(groups, vec![(Value::Int(1), 3), (Value::Int(2), 1)]);
     }
 
     #[test]

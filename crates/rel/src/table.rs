@@ -110,7 +110,11 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new("person", &["id", "name", "income"]);
-        t.insert(vec![Value::Int(0), Value::str("Alice"), Value::Float(45_000.0)]);
+        t.insert(vec![
+            Value::Int(0),
+            Value::str("Alice"),
+            Value::Float(45_000.0),
+        ]);
         t.insert(vec![Value::Int(1), Value::str("Bob"), Value::Null]);
         t
     }

@@ -19,7 +19,94 @@ use std::collections::HashMap;
 use xmark_rel::{HashIndex, Table, Value};
 use xmark_xml::{Document, NodeId};
 
+use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 use crate::traits::{Node, SystemId, XmlStore};
+
+/// Streaming cursor over a parent-index posting list. Row ids in the
+/// `node` relation *are* pre-order node ids, and posting lists are built
+/// in insertion (= document) order, so the hops come out ordered.
+pub struct EdgeChildren<'a> {
+    rids: std::slice::Iter<'a, usize>,
+}
+
+impl Iterator for EdgeChildren<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        self.rids.next().map(|&rid| Node(rid as u32))
+    }
+}
+
+/// [`EdgeChildren`] plus a tag test against the `node` relation.
+pub struct EdgeChildrenNamed<'a> {
+    store: &'a EdgeStore,
+    rids: std::slice::Iter<'a, usize>,
+    tag: &'a str,
+}
+
+impl Iterator for EdgeChildrenNamed<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        self.rids
+            .by_ref()
+            .find(|&&rid| self.store.nodes.cell(rid, 1).as_str() == Some(self.tag))
+            .map(|&rid| Node(rid as u32))
+    }
+}
+
+/// Streaming form of System A's generic descendant plan: walk the tag
+/// extent and verify containment by climbing parent pointers — the
+/// repeated self-joins the paper attributes to edge mappings.
+pub struct EdgeDescendantsNamed<'a> {
+    store: &'a EdgeStore,
+    extent: std::slice::Iter<'a, usize>,
+    ctx: Node,
+    /// At the root, containment holds for everything but the context node.
+    from_root: bool,
+}
+
+impl Iterator for EdgeDescendantsNamed<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        for &rid in self.extent.by_ref() {
+            let c = Node(rid as u32);
+            let contained = if self.from_root {
+                c != self.ctx
+            } else {
+                self.store.climb_reaches(c, self.ctx)
+            };
+            if contained {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
+/// Streaming cursor over the `attr` relation's owner posting list.
+pub struct EdgeAttrs<'a> {
+    store: &'a EdgeStore,
+    rids: std::slice::Iter<'a, usize>,
+}
+
+impl<'a> Iterator for EdgeAttrs<'a> {
+    type Item = (&'a str, &'a str);
+
+    #[inline]
+    fn next(&mut self) -> Option<(&'a str, &'a str)> {
+        self.rids.next().map(|&rid| {
+            (
+                self.store.attrs.cell(rid, 1).as_str().expect("attr name"),
+                self.store.attrs.cell(rid, 2).as_str().expect("attr value"),
+            )
+        })
+    }
+}
 
 /// The System A store.
 pub struct EdgeStore {
@@ -132,11 +219,7 @@ impl XmlStore for EdgeStore {
             + self.parent_idx.heap_size_bytes()
             + self.tag_idx.heap_size_bytes()
             + self.owner_idx.heap_size_bytes()
-            + self
-                .id_idx
-                .keys()
-                .map(|k| k.capacity() + 12)
-                .sum::<usize>()
+            + self.id_idx.keys().map(|k| k.capacity() + 12).sum::<usize>()
     }
 
     fn tag_of(&self, n: Node) -> Option<&str> {
@@ -148,15 +231,6 @@ impl XmlStore for EdgeStore {
             .cell(n.index(), 0)
             .as_i64()
             .map(|p| Node(p as u32))
-    }
-
-    fn children(&self, n: Node) -> Vec<Node> {
-        // Parent-index rows were inserted in document order.
-        self.parent_idx
-            .get(&Value::Int(n.0 as i64))
-            .iter()
-            .map(|&rid| Node(rid as u32))
-            .collect()
     }
 
     fn text(&self, n: Node) -> Option<&str> {
@@ -171,38 +245,35 @@ impl XmlStore for EdgeStore {
             .and_then(|&rid| self.attrs.cell(rid, 2).as_str().map(str::to_string))
     }
 
-    fn attributes(&self, n: Node) -> Vec<(String, String)> {
-        self.owner_idx
-            .get(&Value::Int(n.0 as i64))
-            .iter()
-            .map(|&rid| {
-                (
-                    self.attrs.cell(rid, 1).to_string(),
-                    self.attrs.cell(rid, 2).to_string(),
-                )
-            })
-            .collect()
+    fn children_iter(&self, n: Node) -> ChildIter<'_> {
+        // Parent-index rows were inserted in document order.
+        ChildIter::Edge(EdgeChildren {
+            rids: self.parent_idx.get(&Value::Int(n.0 as i64)).iter(),
+        })
     }
 
-    fn descendants_named(&self, n: Node, tag: &str) -> Vec<Node> {
-        // The generic plan: fetch the tag extent through the generic tag
-        // index, then verify containment by climbing parent pointers — the
-        // repeated self-joins the paper attributes to edge mappings.
-        let extent = self.tag_idx.get(&Value::str(tag));
-        if n.0 == self.root {
-            // Everything with the tag except the context node itself
-            // (descendants exclude self).
-            return extent
-                .iter()
-                .map(|&rid| Node(rid as u32))
-                .filter(|&c| c != n)
-                .collect();
-        }
-        extent
-            .iter()
-            .map(|&rid| Node(rid as u32))
-            .filter(|&c| self.climb_reaches(c, n))
-            .collect()
+    fn children_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> ChildrenNamed<'a> {
+        ChildrenNamed::Edge(EdgeChildrenNamed {
+            store: self,
+            rids: self.parent_idx.get(&Value::Int(n.0 as i64)).iter(),
+            tag,
+        })
+    }
+
+    fn descendants_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> DescendantsNamed<'a> {
+        DescendantsNamed::Edge(EdgeDescendantsNamed {
+            store: self,
+            extent: self.tag_idx.get(&Value::str(tag)).iter(),
+            ctx: n,
+            from_root: n.0 == self.root,
+        })
+    }
+
+    fn attributes_iter(&self, n: Node) -> AttrIter<'_> {
+        AttrIter::Edge(EdgeAttrs {
+            store: self,
+            rids: self.owner_idx.get(&Value::Int(n.0 as i64)).iter(),
+        })
     }
 
     fn lookup_id(&self, id: &str) -> Option<Option<Node>> {
@@ -287,7 +358,11 @@ mod tests {
     fn matches_naive_store_semantics() {
         let s = store();
         let naive = crate::naive::NaiveStore::load(SAMPLE).unwrap();
-        let a: Vec<u32> = s.descendants_named(s.root(), "name").iter().map(|n| n.0).collect();
+        let a: Vec<u32> = s
+            .descendants_named(s.root(), "name")
+            .iter()
+            .map(|n| n.0)
+            .collect();
         let b: Vec<u32> = naive
             .descendants_named(naive.root(), "name")
             .iter()

@@ -20,9 +20,64 @@ use std::collections::HashMap;
 use xmark_rel::{HashIndex, Table, Value};
 use xmark_xml::{Document, NodeId};
 
+use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 use crate::traits::{Node, SystemId, XmlStore};
 
 const TEXT_FLAG: u16 = 1 << 15;
+
+/// Streaming cursor over a single element fragment's parent posting list.
+/// Posting lists are appended during the document-order bulkload scan, so
+/// row ids — and therefore the node ids in column 0 — come out ascending;
+/// no sort is needed.
+pub struct FragChildrenNamed<'a> {
+    rows: &'a Table,
+    rids: std::slice::Iter<'a, usize>,
+}
+
+impl Iterator for FragChildrenNamed<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        self.rids
+            .next()
+            .map(|&rid| Node(self.rows.cell(rid, 0).as_i64().expect("id") as u32))
+    }
+}
+
+/// Streaming form of System B's descendant plan: scan the tag's fragment
+/// (each relation *is* the extent of its tag) and verify containment by
+/// climbing parent pointers. Fragment rows are in document order, so the
+/// results stream out ordered.
+pub struct FragDescendantsNamed<'a> {
+    store: &'a FragmentedStore,
+    rows: &'a Table,
+    next_rid: usize,
+    ctx: Node,
+    from_root: bool,
+}
+
+impl Iterator for FragDescendantsNamed<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        while self.next_rid < self.rows.len() {
+            let rid = self.next_rid;
+            self.next_rid += 1;
+            let c = Node(self.rows.cell(rid, 0).as_i64().expect("id") as u32);
+            let contained = if self.from_root {
+                c != self.ctx
+            } else {
+                self.store.climb_reaches(c, self.ctx)
+            };
+            if contained {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
 
 /// One fragment: a relation plus its parent index.
 struct Fragment {
@@ -70,10 +125,10 @@ impl FragmentedStore {
         let mut id_idx = HashMap::new();
 
         let code_of = |tag: &str,
-                           tag_names: &mut Vec<String>,
-                           tag_lookup: &mut HashMap<String, u16>,
-                           elem_rows: &mut Vec<Table>,
-                           text_rows: &mut Vec<Table>|
+                       tag_names: &mut Vec<String>,
+                       tag_lookup: &mut HashMap<String, u16>,
+                       elem_rows: &mut Vec<Table>,
+                       text_rows: &mut Vec<Table>|
          -> u16 {
             if let Some(&c) = tag_lookup.get(tag) {
                 return c;
@@ -97,7 +152,13 @@ impl FragmentedStore {
             match doc.text(node) {
                 Some(t) => {
                     let ptag = doc.tag_name(parent.expect("text has parent"));
-                    let code = code_of(ptag, &mut tag_names, &mut tag_lookup, &mut elem_rows, &mut text_rows);
+                    let code = code_of(
+                        ptag,
+                        &mut tag_names,
+                        &mut tag_lookup,
+                        &mut elem_rows,
+                        &mut text_rows,
+                    );
                     let row = text_rows[code as usize].insert(vec![
                         Value::Int(id as i64),
                         parent_val,
@@ -108,7 +169,13 @@ impl FragmentedStore {
                 }
                 None => {
                     let tag = doc.tag_name(node);
-                    let code = code_of(tag, &mut tag_names, &mut tag_lookup, &mut elem_rows, &mut text_rows);
+                    let code = code_of(
+                        tag,
+                        &mut tag_names,
+                        &mut tag_lookup,
+                        &mut elem_rows,
+                        &mut text_rows,
+                    );
                     let row = elem_rows[code as usize].insert(vec![
                         Value::Int(id as i64),
                         parent_val,
@@ -246,9 +313,10 @@ impl XmlStore for FragmentedStore {
         table.cell(row as usize, 1).as_i64().map(|p| Node(p as u32))
     }
 
-    fn children(&self, n: Node) -> Vec<Node> {
+    fn children_iter(&self, n: Node) -> ChildIter<'_> {
         // Reassembly: probe *every* fragment's parent index and merge — the
-        // fragmenting mapping's reconstruction overhead in the flesh.
+        // fragmenting mapping's reconstruction overhead in the flesh. This
+        // is the one axis System B genuinely has to materialize.
         let key = Value::Int(n.0 as i64);
         let mut out: Vec<Node> = Vec::new();
         for f in &self.elem {
@@ -262,23 +330,19 @@ impl XmlStore for FragmentedStore {
             }
         }
         out.sort_unstable();
-        out
+        ChildIter::from_vec(out)
     }
 
-    fn children_named(&self, n: Node, tag: &str) -> Vec<Node> {
+    fn children_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> ChildrenNamed<'a> {
         // Single-fragment probe: where fragmentation pays off.
         let Some(&code) = self.tag_lookup.get(tag) else {
-            return Vec::new();
+            return ChildrenNamed::Empty;
         };
         let f = &self.elem[code as usize];
-        let mut out: Vec<Node> = f
-            .parent_idx
-            .get(&Value::Int(n.0 as i64))
-            .iter()
-            .map(|&rid| Node(f.rows.cell(rid, 0).as_i64().expect("id") as u32))
-            .collect();
-        out.sort_unstable();
-        out
+        ChildrenNamed::Frag(FragChildrenNamed {
+            rows: &f.rows,
+            rids: f.parent_idx.get(&Value::Int(n.0 as i64)).iter(),
+        })
     }
 
     fn text(&self, n: Node) -> Option<&str> {
@@ -301,46 +365,37 @@ impl XmlStore for FragmentedStore {
             .and_then(|&rid| frag.rows.cell(rid, 1).as_str().map(str::to_string))
     }
 
-    fn attributes(&self, n: Node) -> Vec<(String, String)> {
+    fn attributes_iter(&self, n: Node) -> AttrIter<'_> {
         let Some(tag) = self.tag_of(n) else {
-            return Vec::new();
+            return AttrIter::Empty;
         };
+        // Reassemble per-(tag, attr) fragments into name order. Only the
+        // references are buffered and sorted, never the strings.
         let prefix = format!("{tag}.");
-        let mut out = Vec::new();
+        let mut out: Vec<(&str, &str)> = Vec::new();
         for (key, frag) in &self.attr {
             if let Some(name) = key.strip_prefix(&prefix) {
                 for &rid in frag.owner_idx.get(&Value::Int(n.0 as i64)) {
-                    out.push((
-                        name.to_string(),
-                        frag.rows.cell(rid, 1).to_string(),
-                    ));
+                    out.push((name, frag.rows.cell(rid, 1).as_str().expect("attr value")));
                 }
             }
         }
         out.sort();
-        out
+        AttrIter::Sorted(out.into_iter())
     }
 
-    fn descendants_named(&self, n: Node, tag: &str) -> Vec<Node> {
+    fn descendants_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> DescendantsNamed<'a> {
         let Some(&code) = self.tag_lookup.get(tag) else {
-            return Vec::new();
+            return DescendantsNamed::Empty;
         };
         let f = &self.elem[code as usize];
-        let mut out: Vec<Node> = if n.0 == self.root {
-            f.rows
-                .scan()
-                .map(|(_, row)| Node(row[0].as_i64().expect("id") as u32))
-                .filter(|&c| c != n)
-                .collect()
-        } else {
-            f.rows
-                .scan()
-                .map(|(_, row)| Node(row[0].as_i64().expect("id") as u32))
-                .filter(|&c| self.climb_reaches(c, n))
-                .collect()
-        };
-        out.sort_unstable();
-        out
+        DescendantsNamed::Frag(FragDescendantsNamed {
+            store: self,
+            rows: &f.rows,
+            next_rid: 0,
+            ctx: n,
+            from_root: n.0 == self.root,
+        })
     }
 
     fn lookup_id(&self, id: &str) -> Option<Option<Node>> {
@@ -368,11 +423,7 @@ impl XmlStore for FragmentedStore {
         let _ = text_twin.rows.len();
         // Attribute fragments of this tag (B fragments per (tag, attr)).
         let prefix = format!("{tag}.");
-        let attr_fragments = self
-            .attr
-            .keys()
-            .filter(|k| k.starts_with(&prefix))
-            .count();
+        let attr_fragments = self.attr.keys().filter(|k| k.starts_with(&prefix)).count();
         let _ = attr_fragments;
         // Per-fragment statistics for the optimizer.
         let _ = f.parent_idx.distinct_keys();
@@ -408,7 +459,11 @@ mod tests {
         let s = store();
         let naive = crate::naive::NaiveStore::load(SAMPLE).unwrap();
         for tag in ["name", "person", "item", "ghost"] {
-            let a: Vec<u32> = s.descendants_named(s.root(), tag).iter().map(|n| n.0).collect();
+            let a: Vec<u32> = s
+                .descendants_named(s.root(), tag)
+                .iter()
+                .map(|n| n.0)
+                .collect();
             let b: Vec<u32> = naive
                 .descendants_named(naive.root(), tag)
                 .iter()
@@ -438,7 +493,10 @@ mod tests {
         let persons = s.descendants_named(s.root(), "person");
         assert_eq!(s.attribute(persons[0], "id").as_deref(), Some("person0"));
         assert_eq!(s.string_value(persons[1]), "Bob");
-        assert_eq!(s.attributes(persons[0]), vec![("id".to_string(), "person0".to_string())]);
+        assert_eq!(
+            s.attributes(persons[0]),
+            vec![("id".to_string(), "person0".to_string())]
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use xmark_rel::{Table, Value};
 use xmark_xml::{Document, NodeId};
 
+use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 use crate::fragmented::FragmentedStore;
 use crate::traits::{Node, PositionSpec, SystemId, XmlStore};
 
@@ -46,8 +47,8 @@ impl InlinedStore {
     /// Bulkload with the benchmark's auction DTD: fragment (for
     /// document-centric content) and inline the DTD entities.
     pub fn load(xml: &str) -> Result<Self, xmark_xml::Error> {
-        let dtd = xmark_xml::Dtd::parse(xmark_gen::AUCTION_DTD)
-            .expect("the bundled auction DTD parses");
+        let dtd =
+            xmark_xml::Dtd::parse(xmark_gen::AUCTION_DTD).expect("the bundled auction DTD parses");
         Ok(Self::from_document_with_dtd(
             &xmark_xml::parse_document(xml)?,
             &dtd,
@@ -56,8 +57,8 @@ impl InlinedStore {
 
     /// Build from a parsed document using the bundled auction DTD.
     pub fn from_document(doc: &Document) -> Self {
-        let dtd = xmark_xml::Dtd::parse(xmark_gen::AUCTION_DTD)
-            .expect("the bundled auction DTD parses");
+        let dtd =
+            xmark_xml::Dtd::parse(xmark_gen::AUCTION_DTD).expect("the bundled auction DTD parses");
         Self::from_document_with_dtd(doc, &dtd)
     }
 
@@ -165,14 +166,6 @@ impl XmlStore for InlinedStore {
         self.base.parent(n)
     }
 
-    fn children(&self, n: Node) -> Vec<Node> {
-        self.base.children(n)
-    }
-
-    fn children_named(&self, n: Node, tag: &str) -> Vec<Node> {
-        self.base.children_named(n, tag)
-    }
-
     fn text(&self, n: Node) -> Option<&str> {
         self.base.text(n)
     }
@@ -181,12 +174,20 @@ impl XmlStore for InlinedStore {
         self.base.attribute(n, name)
     }
 
-    fn attributes(&self, n: Node) -> Vec<(String, String)> {
-        self.base.attributes(n)
+    fn children_iter(&self, n: Node) -> ChildIter<'_> {
+        self.base.children_iter(n)
     }
 
-    fn descendants_named(&self, n: Node, tag: &str) -> Vec<Node> {
-        self.base.descendants_named(n, tag)
+    fn children_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> ChildrenNamed<'a> {
+        self.base.children_named_iter(n, tag)
+    }
+
+    fn descendants_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> DescendantsNamed<'a> {
+        self.base.descendants_named_iter(n, tag)
+    }
+
+    fn attributes_iter(&self, n: Node) -> AttrIter<'_> {
+        self.base.attributes_iter(n)
     }
 
     fn lookup_id(&self, id: &str) -> Option<Option<Node>> {
@@ -301,7 +302,11 @@ mod tests {
     fn generic_navigation_delegates_to_fragments() {
         let s = store();
         let naive = crate::naive::NaiveStore::load(SAMPLE).unwrap();
-        let a: Vec<u32> = s.descendants_named(s.root(), "increase").iter().map(|n| n.0).collect();
+        let a: Vec<u32> = s
+            .descendants_named(s.root(), "increase")
+            .iter()
+            .map(|n| n.0)
+            .collect();
         let b: Vec<u32> = naive
             .descendants_named(naive.root(), "increase")
             .iter()

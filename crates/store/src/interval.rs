@@ -17,10 +17,86 @@ use std::collections::HashMap;
 
 use xmark_xml::{Document, NodeId};
 
+use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 use crate::loader::{level_array, parent_array, subtree_ends, NONE};
 use crate::traits::{Node, SystemId, XmlStore};
 
 const TEXT_TAG: u16 = u16::MAX;
+
+/// Streaming child cursor over the interval encoding: start at `n + 1`,
+/// hop over each child's subtree via the `end` array — O(1) per child, no
+/// allocation.
+pub struct IntervalChildren<'a> {
+    end: &'a [u32],
+    cur: u32,
+    /// Inclusive end of the parent's interval.
+    stop: u32,
+}
+
+impl Iterator for IntervalChildren<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        if self.cur > self.stop {
+            return None;
+        }
+        let n = Node(self.cur);
+        self.cur = self.end[self.cur as usize] + 1;
+        Some(n)
+    }
+}
+
+/// [`IntervalChildren`] plus a tag-code test.
+pub struct IntervalChildrenNamed<'a> {
+    end: &'a [u32],
+    tag_code: &'a [u16],
+    cur: u32,
+    stop: u32,
+    code: u16,
+}
+
+impl Iterator for IntervalChildrenNamed<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        while self.cur <= self.stop {
+            let id = self.cur;
+            self.cur = self.end[id as usize] + 1;
+            if self.tag_code[id as usize] == self.code {
+                return Some(Node(id));
+            }
+        }
+        None
+    }
+}
+
+/// System F's descendant plan as a cursor: scan every position of the
+/// interval and test the tag code.
+pub struct IntervalScanNamed<'a> {
+    tag_code: &'a [u16],
+    cur: u32,
+    /// Inclusive.
+    stop: u32,
+    code: u16,
+}
+
+impl Iterator for IntervalScanNamed<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        while self.cur <= self.stop {
+            let id = self.cur;
+            self.cur += 1;
+            if self.tag_code[id as usize] == self.code {
+                return Some(Node(id));
+            }
+        }
+        None
+    }
+}
 
 /// Shared physical layout of Systems E and F.
 pub struct IntervalStore {
@@ -149,8 +225,9 @@ impl XmlStore for IntervalStore {
 
     fn size_bytes(&self) -> usize {
         let n = self.parent.len();
-        let mut total =
-            n * (2 * std::mem::size_of::<u32>() + 2 * std::mem::size_of::<u16>()
+        let mut total = n
+            * (2 * std::mem::size_of::<u32>()
+                + 2 * std::mem::size_of::<u16>()
                 + std::mem::size_of::<Box<str>>());
         total += self.text.iter().map(|t| t.len()).sum::<usize>();
         for list in self.attrs.values() {
@@ -184,17 +261,27 @@ impl XmlStore for IntervalStore {
         }
     }
 
-    fn children(&self, n: Node) -> Vec<Node> {
+    fn children_iter(&self, n: Node) -> ChildIter<'_> {
         // Children of n are the nodes directly inside its interval: start
         // at n+1, then hop over each child's subtree — O(#children).
-        let mut out = Vec::new();
-        let end = self.end[n.index()];
-        let mut cur = n.0 + 1;
-        while cur <= end {
-            out.push(Node(cur));
-            cur = self.end[cur as usize] + 1;
-        }
-        out
+        ChildIter::Interval(IntervalChildren {
+            end: &self.end,
+            cur: n.0 + 1,
+            stop: self.end[n.index()],
+        })
+    }
+
+    fn children_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> ChildrenNamed<'a> {
+        let Some(&code) = self.tag_lookup.get(tag) else {
+            return ChildrenNamed::Empty;
+        };
+        ChildrenNamed::Interval(IntervalChildrenNamed {
+            end: &self.end,
+            tag_code: &self.tag_code,
+            cur: n.0 + 1,
+            stop: self.end[n.index()],
+            code,
+        })
     }
 
     fn text(&self, n: Node) -> Option<&str> {
@@ -213,28 +300,33 @@ impl XmlStore for IntervalStore {
             .map(|(_, v)| v.clone())
     }
 
-    fn attributes(&self, n: Node) -> Vec<(String, String)> {
-        self.attrs.get(&n.0).cloned().unwrap_or_default()
+    fn attributes_iter(&self, n: Node) -> AttrIter<'_> {
+        match self.attrs.get(&n.0) {
+            Some(list) => AttrIter::Pairs(list.iter()),
+            None => AttrIter::Empty,
+        }
     }
 
-    fn descendants_named(&self, n: Node, tag: &str) -> Vec<Node> {
+    fn descendants_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> DescendantsNamed<'a> {
         let Some(&code) = self.tag_lookup.get(tag) else {
-            return Vec::new();
+            return DescendantsNamed::Empty;
         };
         let end = self.end[n.index()];
         if self.indexed {
             // Structural stab join: binary-search the tag's start list for
-            // the interval (n, end].
+            // the interval (n, end] and stream the slice.
             let extent = &self.tag_extents[code as usize];
             let lo = extent.partition_point(|&x| x <= n.0);
             let hi = extent.partition_point(|&x| x <= end);
-            extent[lo..hi].iter().map(|&id| Node(id)).collect()
+            DescendantsNamed::Extent(extent[lo..hi].iter())
         } else {
             // System F: scan the whole interval.
-            ((n.0 + 1)..=end)
-                .filter(|&id| self.tag_code[id as usize] == code)
-                .map(Node)
-                .collect()
+            DescendantsNamed::IntervalScan(IntervalScanNamed {
+                tag_code: &self.tag_code,
+                cur: n.0 + 1,
+                stop: end,
+                code,
+            })
         }
     }
 
@@ -248,7 +340,7 @@ impl XmlStore for IntervalStore {
             let hi = extent.partition_point(|&x| x <= self.end[n.index()]);
             hi - lo
         } else {
-            self.descendants_named(n, tag).len()
+            self.descendants_named_iter(n, tag).count()
         }
     }
 

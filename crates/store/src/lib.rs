@@ -17,6 +17,7 @@
 //! "The physical XML mapping has a far-reaching influence on the complexity
 //! of query plans."
 
+pub mod axis;
 pub mod edge;
 pub mod fragmented;
 pub mod inlined;
@@ -26,6 +27,7 @@ pub mod naive;
 pub mod summary;
 pub mod traits;
 
+pub use axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 pub use edge::EdgeStore;
 pub use fragmented::FragmentedStore;
 pub use inlined::InlinedStore;
@@ -38,10 +40,7 @@ pub use traits::{Node, PositionSpec, SystemId, XmlStore};
 ///
 /// # Errors
 /// Propagates XML parse errors.
-pub fn build_store(
-    system: SystemId,
-    xml: &str,
-) -> Result<Box<dyn XmlStore>, xmark_xml::Error> {
+pub fn build_store(system: SystemId, xml: &str) -> Result<Box<dyn XmlStore>, xmark_xml::Error> {
     Ok(match system {
         SystemId::A => Box::new(EdgeStore::load(xml)?),
         SystemId::B => Box::new(FragmentedStore::load(xml)?),

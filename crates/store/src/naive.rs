@@ -7,9 +7,83 @@
 //! **no** secondary structures, and answer every query by interpretive
 //! traversal — even the Q1 ID lookup is a full scan.
 
+use xmark_xml::dom::{Children, Descendants, Sym};
 use xmark_xml::Document;
 
+use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 use crate::traits::{Node, SystemId, XmlStore};
+
+/// Streaming cursor over a DOM node's children.
+pub struct DomChildren<'a> {
+    iter: Children<'a>,
+}
+
+impl Iterator for DomChildren<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        self.iter.next().map(|c| Node(c.0))
+    }
+}
+
+/// Streaming cursor over a DOM node's element children with a given tag,
+/// tested by interned symbol (an integer compare per child).
+pub struct DomChildrenNamed<'a> {
+    doc: &'a Document,
+    iter: Children<'a>,
+    sym: Sym,
+}
+
+impl Iterator for DomChildrenNamed<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        self.iter
+            .by_ref()
+            .find(|&c| self.doc.tag(c) == Some(self.sym))
+            .map(|c| Node(c.0))
+    }
+}
+
+/// Streaming cursor over a DOM subtree's descendant elements with a given
+/// tag. The underlying [`Descendants`] walk is stackless (it climbs
+/// sibling/parent links), so the whole traversal allocates nothing.
+pub struct DomDescendantsNamed<'a> {
+    doc: &'a Document,
+    iter: Descendants<'a>,
+    sym: Sym,
+}
+
+impl Iterator for DomDescendantsNamed<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        self.iter
+            .by_ref()
+            .find(|&c| self.doc.tag(c) == Some(self.sym))
+            .map(|c| Node(c.0))
+    }
+}
+
+/// Streaming cursor over a DOM element's attributes.
+pub struct DomAttrs<'a> {
+    doc: &'a Document,
+    iter: std::slice::Iter<'a, (Sym, String)>,
+}
+
+impl<'a> Iterator for DomAttrs<'a> {
+    type Item = (&'a str, &'a str);
+
+    #[inline]
+    fn next(&mut self) -> Option<(&'a str, &'a str)> {
+        self.iter
+            .next()
+            .map(|(sym, v)| (self.doc.interner().resolve(*sym), v.as_str()))
+    }
+}
 
 /// The naive DOM store.
 pub struct NaiveStore {
@@ -56,13 +130,6 @@ impl XmlStore for NaiveStore {
         self.doc.parent(xmark_xml::NodeId(n.0)).map(|p| Node(p.0))
     }
 
-    fn children(&self, n: Node) -> Vec<Node> {
-        self.doc
-            .children(xmark_xml::NodeId(n.0))
-            .map(|c| Node(c.0))
-            .collect()
-    }
-
     fn text(&self, n: Node) -> Option<&str> {
         self.doc.text(xmark_xml::NodeId(n.0))
     }
@@ -73,12 +140,39 @@ impl XmlStore for NaiveStore {
             .map(str::to_string)
     }
 
-    fn attributes(&self, n: Node) -> Vec<(String, String)> {
-        self.doc
-            .attributes(xmark_xml::NodeId(n.0))
-            .iter()
-            .map(|(sym, v)| (self.doc.interner().resolve(*sym).to_string(), v.clone()))
-            .collect()
+    fn children_iter(&self, n: Node) -> ChildIter<'_> {
+        ChildIter::Dom(DomChildren {
+            iter: self.doc.children(xmark_xml::NodeId(n.0)),
+        })
+    }
+
+    fn children_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> ChildrenNamed<'a> {
+        match self.doc.interner().get(tag) {
+            None => ChildrenNamed::Empty,
+            Some(sym) => ChildrenNamed::Dom(DomChildrenNamed {
+                doc: &self.doc,
+                iter: self.doc.children(xmark_xml::NodeId(n.0)),
+                sym,
+            }),
+        }
+    }
+
+    fn descendants_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> DescendantsNamed<'a> {
+        match self.doc.interner().get(tag) {
+            None => DescendantsNamed::Empty,
+            Some(sym) => DescendantsNamed::Dom(DomDescendantsNamed {
+                doc: &self.doc,
+                iter: self.doc.descendants(xmark_xml::NodeId(n.0)),
+                sym,
+            }),
+        }
+    }
+
+    fn attributes_iter(&self, n: Node) -> AttrIter<'_> {
+        AttrIter::Dom(DomAttrs {
+            doc: &self.doc,
+            iter: self.doc.attributes(xmark_xml::NodeId(n.0)).iter(),
+        })
     }
 }
 
@@ -97,7 +191,10 @@ mod tests {
         assert_eq!(people.len(), 1);
         let persons = store.children_named(people[0], "person");
         assert_eq!(persons.len(), 2);
-        assert_eq!(store.attribute(persons[0], "id").as_deref(), Some("person0"));
+        assert_eq!(
+            store.attribute(persons[0], "id").as_deref(),
+            Some("person0")
+        );
         assert_eq!(store.string_value(persons[1]), "Bob");
     }
 

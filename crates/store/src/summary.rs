@@ -18,8 +18,84 @@ use std::collections::HashMap;
 
 use xmark_xml::{Document, NodeId};
 
+use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 use crate::loader::{parent_array, subtree_ends, NONE};
 use crate::traits::{Node, SystemId, XmlStore};
+
+/// Streaming child cursor over the columnar `next_sibling` chain —
+/// pointer-chasing, no allocation.
+pub struct LinkedChildren<'a> {
+    next_sibling: &'a [u32],
+    cur: u32,
+}
+
+impl Iterator for LinkedChildren<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        if self.cur == NONE {
+            return None;
+        }
+        let n = Node(self.cur);
+        self.cur = self.next_sibling[self.cur as usize];
+        Some(n)
+    }
+}
+
+/// [`LinkedChildren`] plus a summary-tag test: each child's tag is read
+/// off its summary (DataGuide) node, so the test is one array load plus a
+/// string compare.
+pub struct LinkedChildrenNamed<'a> {
+    store: &'a SummaryStore,
+    cur: u32,
+    tag: &'a str,
+}
+
+impl Iterator for LinkedChildrenNamed<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        while self.cur != NONE {
+            let id = self.cur;
+            self.cur = self.store.next_sibling[id as usize];
+            let path = self.store.path_id[id as usize];
+            if path != NONE && self.store.summary[path as usize].tag == self.tag {
+                return Some(Node(id));
+            }
+        }
+        None
+    }
+}
+
+/// K-way merge over the extent slices of the summary nodes matching a
+/// descendant step — System D's native plan when the tag occurs on more
+/// than one distinct path. The cursor holds only the (few) slice heads;
+/// nodes stream out in document order because each extent is sorted.
+pub struct SummaryDescendantsNamed<'a> {
+    extents: Vec<&'a [u32]>,
+}
+
+impl Iterator for SummaryDescendantsNamed<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        let mut best: Option<usize> = None;
+        for (i, slice) in self.extents.iter().enumerate() {
+            if let Some(&head) = slice.first() {
+                if best.is_none_or(|b| head < self.extents[b][0]) {
+                    best = Some(i);
+                }
+            }
+        }
+        let i = best?;
+        let (&head, rest) = self.extents[i].split_first().expect("non-empty head");
+        self.extents[i] = rest;
+        Some(Node(head))
+    }
+}
 
 /// One node of the structural summary (DataGuide).
 #[derive(Debug)]
@@ -231,14 +307,19 @@ impl XmlStore for SummaryStore {
         }
     }
 
-    fn children(&self, n: Node) -> Vec<Node> {
-        let mut out = Vec::new();
-        let mut cur = self.first_child[n.index()];
-        while cur != NONE {
-            out.push(Node(cur));
-            cur = self.next_sibling[cur as usize];
-        }
-        out
+    fn children_iter(&self, n: Node) -> ChildIter<'_> {
+        ChildIter::Linked(LinkedChildren {
+            next_sibling: &self.next_sibling,
+            cur: self.first_child[n.index()],
+        })
+    }
+
+    fn children_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> ChildrenNamed<'a> {
+        ChildrenNamed::Linked(LinkedChildrenNamed {
+            store: self,
+            cur: self.first_child[n.index()],
+            tag,
+        })
     }
 
     fn text(&self, n: Node) -> Option<&str> {
@@ -257,22 +338,36 @@ impl XmlStore for SummaryStore {
             .map(|(_, v)| v.clone())
     }
 
-    fn attributes(&self, n: Node) -> Vec<(String, String)> {
-        self.attrs.get(&n.0).cloned().unwrap_or_default()
+    fn attributes_iter(&self, n: Node) -> AttrIter<'_> {
+        match self.attrs.get(&n.0) {
+            Some(list) => AttrIter::Pairs(list.iter()),
+            None => AttrIter::Empty,
+        }
     }
 
-    fn descendants_named(&self, n: Node, tag: &str) -> Vec<Node> {
-        let mut out = Vec::new();
-        for s in self.matching_summary_nodes(n, tag) {
-            let (lo, hi) = self.extent_range(s, n);
-            out.extend(
-                self.summary[s as usize].extent[lo..hi]
+    fn descendants_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> DescendantsNamed<'a> {
+        // Resolve the (tiny) set of matching summary paths, then stream
+        // their range-filtered extents. One path — the overwhelmingly
+        // common case — streams a plain sorted slice; several paths go
+        // through the k-way merge cursor. Only summary-node ids are ever
+        // buffered, never instance nodes.
+        let matches = self.matching_summary_nodes(n, tag);
+        match matches.as_slice() {
+            [] => DescendantsNamed::Empty,
+            &[s] => {
+                let (lo, hi) = self.extent_range(s, n);
+                DescendantsNamed::Extent(self.summary[s as usize].extent[lo..hi].iter())
+            }
+            several => DescendantsNamed::SummaryMerge(SummaryDescendantsNamed {
+                extents: several
                     .iter()
-                    .map(|&id| Node(id)),
-            );
+                    .map(|&s| {
+                        let (lo, hi) = self.extent_range(s, n);
+                        &self.summary[s as usize].extent[lo..hi]
+                    })
+                    .collect(),
+            }),
         }
-        out.sort_unstable();
-        out
     }
 
     fn count_descendants_named(&self, n: Node, tag: &str) -> usize {
@@ -332,8 +427,11 @@ mod tests {
         let s = store();
         let naive = crate::naive::NaiveStore::load(SAMPLE).unwrap();
         for tag in ["item", "name", "person", "nonexistent"] {
-            let via_summary: Vec<u32> =
-                s.descendants_named(s.root(), tag).iter().map(|n| n.0).collect();
+            let via_summary: Vec<u32> = s
+                .descendants_named(s.root(), tag)
+                .iter()
+                .map(|n| n.0)
+                .collect();
             let via_walk: Vec<u32> = naive
                 .descendants_named(naive.root(), tag)
                 .iter()
@@ -370,7 +468,12 @@ mod tests {
         let items = s.descendants_named(root, "item");
         assert_eq!(s.attribute(items[1], "id").as_deref(), Some("item1"));
         assert_eq!(s.string_value(items[1]), "gold ring");
-        assert_eq!(s.parent(items[0]).and_then(|p| s.tag_of(p).map(str::to_string)).as_deref(), Some("africa"));
+        assert_eq!(
+            s.parent(items[0])
+                .and_then(|p| s.tag_of(p).map(str::to_string))
+                .as_deref(),
+            Some("africa")
+        );
     }
 
     #[test]

@@ -10,8 +10,18 @@
 //! performance profile emerges from what it overrides — exactly how the
 //! paper explains its Table 3 ("each mapping favors certain types of
 //! queries by enabling efficient execution plans for them").
+//!
+//! Navigation is expressed as **streaming axis cursors** (see
+//! [`crate::axis`]): `children_iter`, `children_named_iter`,
+//! `descendants_named_iter` and `attributes_iter` return concrete,
+//! allocation-free iterator enums that walk each backend's native
+//! structures lazily. The `Vec`-returning forms (`children`,
+//! `children_named`, `descendants_named`, `attributes`) remain as thin
+//! wrappers over the cursors for tests and non-hot-path callers.
 
 use std::fmt;
+
+use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 
 /// A node handle. All stores number nodes in document (pre-)order during
 /// bulkload, so comparing handles compares document order — the `BEFORE`
@@ -124,49 +134,100 @@ pub trait XmlStore {
     /// Parent node.
     fn parent(&self, n: Node) -> Option<Node>;
 
-    /// All children (elements and text nodes) in document order.
-    fn children(&self, n: Node) -> Vec<Node>;
-
     /// Text content of a *text node* (`None` for elements).
     fn text(&self, n: Node) -> Option<&str>;
 
     /// Attribute value.
     fn attribute(&self, n: Node, name: &str) -> Option<String>;
 
-    /// All attributes in document order.
-    fn attributes(&self, n: Node) -> Vec<(String, String)>;
+    // ---- streaming axes --------------------------------------------------
 
-    // ---- derived / accelerated access paths -----------------------------
+    /// Cursor over all children (elements and text nodes) in document
+    /// order. Backends walk their native structures lazily; no
+    /// intermediate `Vec<Node>` is built.
+    fn children_iter(&self, n: Node) -> ChildIter<'_>;
 
-    /// Element children with the given tag.
-    fn children_named(&self, n: Node, tag: &str) -> Vec<Node> {
-        self.children(n)
-            .into_iter()
+    /// Cursor over the attributes of `n` in the store's canonical order,
+    /// as borrowed `(name, value)` pairs.
+    fn attributes_iter(&self, n: Node) -> AttrIter<'_>;
+
+    /// Cursor over element children with the given tag, in document order.
+    ///
+    /// The default filters [`XmlStore::children_iter`] through
+    /// [`XmlStore::tag_of`]; backends override it with a cursor that tests
+    /// tags natively (interned symbols, tag codes, per-tag fragments).
+    fn children_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> ChildrenNamed<'a> {
+        let matched: Vec<Node> = self
+            .children_iter(n)
             .filter(|&c| self.tag_of(c) == Some(tag))
-            .collect()
+            .collect();
+        ChildrenNamed::from_vec(matched)
     }
 
-    /// Descendant elements with the given tag, in document order.
-    fn descendants_named(&self, n: Node, tag: &str) -> Vec<Node> {
+    /// Cursor over descendant elements with the given tag, in document
+    /// order.
+    ///
+    /// The default is a materialized depth-first walk; every backend
+    /// overrides it with its native access path (tag extents, stab joins,
+    /// summary extents, stackless DOM walks).
+    fn descendants_named_iter<'a>(&'a self, n: Node, tag: &'a str) -> DescendantsNamed<'a> {
         let mut out = Vec::new();
-        let mut stack: Vec<Node> = self.children(n);
+        let mut stack: Vec<Node> = self.children_iter(n).collect();
         stack.reverse();
         while let Some(cur) = stack.pop() {
             if self.tag_of(cur) == Some(tag) {
                 out.push(cur);
             }
-            let mut kids = self.children(cur);
-            kids.reverse();
-            stack.extend(kids);
+            let before = stack.len();
+            stack.extend(self.children_iter(cur));
+            stack[before..].reverse();
         }
-        out
+        DescendantsNamed::from_vec(out)
     }
+
+    // ---- materializing wrappers ------------------------------------------
+
+    /// All children (elements and text nodes) in document order.
+    ///
+    /// Thin wrapper over [`XmlStore::children_iter`] kept for tests and
+    /// non-hot-path callers; the evaluator streams instead.
+    fn children(&self, n: Node) -> Vec<Node> {
+        self.children_iter(n).collect()
+    }
+
+    /// Element children with the given tag.
+    ///
+    /// Thin wrapper over [`XmlStore::children_named_iter`]; prefer the
+    /// cursor on hot paths.
+    fn children_named(&self, n: Node, tag: &str) -> Vec<Node> {
+        self.children_named_iter(n, tag).collect()
+    }
+
+    /// Descendant elements with the given tag, in document order.
+    ///
+    /// Thin wrapper over [`XmlStore::descendants_named_iter`]; prefer the
+    /// cursor on hot paths.
+    fn descendants_named(&self, n: Node, tag: &str) -> Vec<Node> {
+        self.descendants_named_iter(n, tag).collect()
+    }
+
+    /// All attributes in document order, as owned pairs.
+    ///
+    /// Thin wrapper over [`XmlStore::attributes_iter`]; prefer the cursor
+    /// on hot paths.
+    fn attributes(&self, n: Node) -> Vec<(String, String)> {
+        self.attributes_iter(n)
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    // ---- derived / accelerated access paths -----------------------------
 
     /// Count of descendant elements with the given tag. Backends with
     /// structural summaries (System D) answer this without touching nodes —
     /// the paper's Q6/Q7 observation.
     fn count_descendants_named(&self, n: Node, tag: &str) -> usize {
-        self.descendants_named(n, tag).len()
+        self.descendants_named_iter(n, tag).count()
     }
 
     /// Look up an element by its `id` attribute (DTD `ID`). `None` means
@@ -202,14 +263,14 @@ pub trait XmlStore {
             out.push_str(t);
             return;
         }
-        for child in self.children(n) {
+        for child in self.children_iter(n) {
             self.string_value_into(child, out);
         }
     }
 
     /// Serialize the subtree rooted at `n` as XML text (Q13
-    /// "reconstruction"). The default reconstructs through navigation —
-    /// which is precisely the cost the paper says Q13 measures.
+    /// "reconstruction"). The default reconstructs through the streaming
+    /// cursors — which is precisely the cost the paper says Q13 measures.
     fn serialize_node(&self, n: Node, out: &mut String) {
         if let Some(t) = self.text(n) {
             xmark_xml::escape::escape_text_into(t, out);
@@ -218,25 +279,27 @@ pub trait XmlStore {
         let tag = self.tag_of(n).expect("serialize of non-node");
         out.push('<');
         out.push_str(tag);
-        for (name, value) in self.attributes(n) {
+        for (name, value) in self.attributes_iter(n) {
             out.push(' ');
-            out.push_str(&name);
+            out.push_str(name);
             out.push_str("=\"");
-            xmark_xml::escape::escape_attr_into(&value, out);
+            xmark_xml::escape::escape_attr_into(value, out);
             out.push('"');
         }
-        let children = self.children(n);
-        if children.is_empty() {
-            out.push_str("/>");
-            return;
+        let mut children = self.children_iter(n);
+        match children.next() {
+            None => out.push_str("/>"),
+            Some(first) => {
+                out.push('>');
+                self.serialize_node(first, out);
+                for child in children {
+                    self.serialize_node(child, out);
+                }
+                out.push_str("</");
+                out.push_str(tag);
+                out.push('>');
+            }
         }
-        out.push('>');
-        for child in children {
-            self.serialize_node(child, out);
-        }
-        out.push_str("</");
-        out.push_str(tag);
-        out.push('>');
     }
 
     // ---- compile-phase hooks (Table 2) -----------------------------------

@@ -142,6 +142,63 @@ proptest! {
     }
 
     #[test]
+    fn streaming_axes_agree_across_all_backends(xml in arb_document(), tag in 0..TAGS.len()) {
+        // The streaming cursors are the storage contract now, and every
+        // backend overrides them with its own native lazy walk. Comparing
+        // a cursor against the same store's `Vec` wrapper would be
+        // tautological (the wrapper just collects the cursor), so the
+        // oracle is cross-backend: on every element of the document, every
+        // backend's cursors must yield exactly the node sequences (and
+        // attribute pairs) the first backend reports. Counts must agree
+        // with the streamed sequence too (System D answers them from pure
+        // summary arithmetic).
+        let tag = TAGS[tag];
+        let all = stores(&xml);
+        let reference = &all[0];
+        let mut pending = vec![reference.root()];
+        while let Some(n) = pending.pop() {
+            let ref_children: Vec<u32> = reference.children_iter(n).map(|c| c.0).collect();
+            let ref_named: Vec<u32> = reference.children_named_iter(n, tag).map(|c| c.0).collect();
+            let ref_desc: Vec<u32> =
+                reference.descendants_named_iter(n, tag).map(|c| c.0).collect();
+            let ref_attrs: Vec<(String, String)> = reference
+                .attributes_iter(n)
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+            prop_assert_eq!(
+                reference.count_descendants_named(n, tag),
+                ref_desc.len(),
+                "{} count_descendants_named",
+                reference.system()
+            );
+            for store in &all[1..] {
+                let children: Vec<u32> = store.children_iter(n).map(|c| c.0).collect();
+                prop_assert_eq!(&children, &ref_children, "{} children_iter", store.system());
+
+                let named: Vec<u32> = store.children_named_iter(n, tag).map(|c| c.0).collect();
+                prop_assert_eq!(&named, &ref_named, "{} children_named_iter", store.system());
+
+                let desc: Vec<u32> =
+                    store.descendants_named_iter(n, tag).map(|c| c.0).collect();
+                prop_assert_eq!(&desc, &ref_desc, "{} descendants_named_iter", store.system());
+                prop_assert_eq!(
+                    store.count_descendants_named(n, tag),
+                    desc.len(),
+                    "{} count_descendants_named",
+                    store.system()
+                );
+
+                let attrs: Vec<(String, String)> = store
+                    .attributes_iter(n)
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect();
+                prop_assert_eq!(&attrs, &ref_attrs, "{} attributes_iter", store.system());
+            }
+            pending.extend(ref_children.into_iter().map(xmark_store::Node));
+        }
+    }
+
+    #[test]
     fn id_lookups_agree_where_supported(xml in arb_document(), probe in "[a-z0-9]{1,6}") {
         let all = stores(&xml);
         // Ground truth from a walk.

@@ -209,7 +209,10 @@ fn parse_element_decl(body: &str) -> Result<(String, ContentModel)> {
     } else {
         return Err(Error::Syntax {
             offset: 0,
-            message: format!("unrecognized content model `{}` for <!ELEMENT {name}>", truncate(spec)),
+            message: format!(
+                "unrecognized content model `{}` for <!ELEMENT {name}>",
+                truncate(spec)
+            ),
         });
     };
     Ok((name.to_string(), model))
@@ -247,7 +250,10 @@ fn parse_content_group(spec: &str) -> Result<ContentModel> {
         other => {
             return Err(Error::Syntax {
                 offset: 0,
-                message: format!("unexpected trailing `{}` after content model", truncate(other)),
+                message: format!(
+                    "unexpected trailing `{}` after content model",
+                    truncate(other)
+                ),
             })
         }
     };
@@ -325,7 +331,10 @@ fn parse_attlist_decl(body: &str) -> Result<(String, Vec<AttrDecl>)> {
         } else {
             return Err(Error::Syntax {
                 offset: 0,
-                message: format!("unsupported attribute default near `{}`", truncate(after_ty)),
+                message: format!(
+                    "unsupported attribute default near `{}`",
+                    truncate(after_ty)
+                ),
             });
         };
         attrs.push(AttrDecl {

@@ -51,13 +51,14 @@ pub fn resolve_reference(body: &str, offset: usize) -> Result<char> {
         "apos" => Ok('\''),
         "quot" => Ok('"'),
         _ => {
-            let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
-                u32::from_str_radix(hex, 16).ok()
-            } else if let Some(dec) = body.strip_prefix('#') {
-                dec.parse::<u32>().ok()
-            } else {
-                None
-            };
+            let code =
+                if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = body.strip_prefix('#') {
+                    dec.parse::<u32>().ok()
+                } else {
+                    None
+                };
             code.and_then(char::from_u32).ok_or(Error::BadReference {
                 offset,
                 reference: body.to_string(),
@@ -151,10 +152,7 @@ mod tests {
 
     #[test]
     fn rejects_unterminated_reference() {
-        assert!(matches!(
-            unescape("&amp"),
-            Err(Error::UnexpectedEof { .. })
-        ));
+        assert!(matches!(unescape("&amp"), Err(Error::UnexpectedEof { .. })));
     }
 
     #[test]

@@ -91,7 +91,10 @@ impl<'a> Lexer<'a> {
             }
             Some(b) => Err(Error::Syntax {
                 offset: self.pos,
-                message: format!("expected `{}`, found `{}` in {context}", expected as char, b as char),
+                message: format!(
+                    "expected `{}`, found `{}` in {context}",
+                    expected as char, b as char
+                ),
             }),
             None => Err(Error::UnexpectedEof { context }),
         }
@@ -305,7 +308,14 @@ mod tests {
     fn lexes_simple_element() {
         let toks = all_tokens("<a>hi</a>");
         assert_eq!(toks.len(), 3);
-        assert!(matches!(toks[0], Token::StartTag { name: "a", self_closing: false, .. }));
+        assert!(matches!(
+            toks[0],
+            Token::StartTag {
+                name: "a",
+                self_closing: false,
+                ..
+            }
+        ));
         assert!(matches!(toks[1], Token::Text { raw: "hi", .. }));
         assert!(matches!(toks[2], Token::EndTag { name: "a" }));
     }
@@ -314,7 +324,11 @@ mod tests {
     fn lexes_attributes_in_order() {
         let toks = all_tokens(r#"<person id="person0" featured="yes"/>"#);
         match &toks[0] {
-            Token::StartTag { name, attrs, self_closing } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 assert_eq!(*name, "person");
                 assert!(*self_closing);
                 assert_eq!(attrs, &[("id", "person0"), ("featured", "yes")]);
@@ -334,7 +348,9 @@ mod tests {
 
     #[test]
     fn lexes_prolog_comment_and_doctype() {
-        let toks = all_tokens("<?xml version=\"1.0\"?><!-- c --><!DOCTYPE site SYSTEM \"auction.dtd\"><site/>");
+        let toks = all_tokens(
+            "<?xml version=\"1.0\"?><!-- c --><!DOCTYPE site SYSTEM \"auction.dtd\"><site/>",
+        );
         assert!(matches!(toks[0], Token::ProcessingInstruction(_)));
         assert!(matches!(toks[1], Token::Comment(" c ")));
         assert!(matches!(toks[2], Token::DocType(_)));
@@ -353,7 +369,13 @@ mod tests {
     #[test]
     fn lexes_cdata_as_literal_text() {
         let toks = all_tokens("<a><![CDATA[1 < 2 & 3]]></a>");
-        assert!(matches!(toks[1], Token::Text { raw: "1 < 2 & 3", cdata: true }));
+        assert!(matches!(
+            toks[1],
+            Token::Text {
+                raw: "1 < 2 & 3",
+                cdata: true
+            }
+        ));
     }
 
     #[test]
@@ -364,7 +386,9 @@ mod tests {
 
     #[test]
     fn reports_unquoted_attribute() {
-        let err = Lexer::new("<a x=1/>").collect::<Result<Vec<_>>>().unwrap_err();
+        let err = Lexer::new("<a x=1/>")
+            .collect::<Result<Vec<_>>>()
+            .unwrap_err();
         assert!(matches!(err, Error::Syntax { .. }));
     }
 

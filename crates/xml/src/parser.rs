@@ -50,9 +50,9 @@ pub fn parse_document(input: &str) -> Result<Document> {
                 }
             }
             Token::EndTag { name } => {
-                let top = stack.pop().ok_or_else(|| Error::StructureViolation(
-                    format!("end tag </{name}> with no open element"),
-                ))?;
+                let top = stack.pop().ok_or_else(|| {
+                    Error::StructureViolation(format!("end tag </{name}> with no open element"))
+                })?;
                 let open_name = doc.tag_name(top);
                 if open_name != name {
                     return Err(Error::MismatchedTag {
@@ -187,8 +187,7 @@ mod tests {
 
     #[test]
     fn accepts_prolog() {
-        let doc =
-            parse_document("<?xml version=\"1.0\"?><!DOCTYPE site><site/>").unwrap();
+        let doc = parse_document("<?xml version=\"1.0\"?><!DOCTYPE site><site/>").unwrap();
         assert_eq!(doc.tag_name(doc.root_element()), "site");
     }
 
@@ -196,10 +195,7 @@ mod tests {
     fn node_ids_follow_document_order() {
         let doc = parse_document("<a><b><c/></b><d/></a>").unwrap();
         let root = doc.root_element();
-        let order: Vec<&str> = doc
-            .descendants(root)
-            .map(|n| doc.tag_name(n))
-            .collect();
+        let order: Vec<&str> = doc.descendants(root).map(|n| doc.tag_name(n)).collect();
         assert_eq!(order, vec!["b", "c", "d"]);
         let ids: Vec<_> = doc.descendants(root).collect();
         let mut sorted = ids.clone();

@@ -43,7 +43,14 @@ enum TreeNode {
 }
 
 const TAGS: [&str; 8] = [
-    "site", "item", "person", "name", "description", "text", "keyword", "bold",
+    "site",
+    "item",
+    "person",
+    "name",
+    "description",
+    "text",
+    "keyword",
+    "bold",
 ];
 const ATTR_NAMES: [&str; 4] = ["id", "category", "person", "featured"];
 
@@ -55,7 +62,10 @@ fn arb_text() -> impl Strategy<Value = String> {
 fn arb_tree(depth: u32) -> impl Strategy<Value = TreeNode> {
     let leaf = prop_oneof![
         arb_text().prop_map(TreeNode::Text),
-        (0..TAGS.len(), prop::collection::vec((0..ATTR_NAMES.len(), "[ -~]{0,10}"), 0..3))
+        (
+            0..TAGS.len(),
+            prop::collection::vec((0..ATTR_NAMES.len(), "[ -~]{0,10}"), 0..3)
+        )
             .prop_map(|(tag, attrs)| TreeNode::Element {
                 tag,
                 attrs,

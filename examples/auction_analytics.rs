@@ -21,10 +21,12 @@ fn main() {
         .unwrap_or(0.003);
 
     println!("== auction-site analytics (factor {factor}) ==");
-    let doc = generate_document(factor);
     // The inlined relational store is the architecture the paper found
     // strongest on entity-shaped analytics.
-    let loaded = load_system(SystemId::C, &doc.xml);
+    let session = Benchmark::at_factor(factor)
+        .systems(&[SystemId::C])
+        .generate();
+    let loaded = session.load(SystemId::C);
     let store = loaded.store.as_ref();
     println!(
         "loaded {} nodes into {} in {:?}\n",

@@ -23,11 +23,13 @@ fn main() {
         .unwrap_or(0.005);
 
     println!("== document reconstruction (factor {factor}) ==");
-    let doc = generate_document(factor);
+    let session = Benchmark::at_factor(factor)
+        .systems(&[SystemId::A, SystemId::B])
+        .generate();
 
     let mut outputs = Vec::new();
-    for system in [SystemId::A, SystemId::B] {
-        let loaded = load_system(system, &doc.xml);
+    for loaded in session.load_all() {
+        let system = loaded.system;
         let store = loaded.store.as_ref();
         let start = std::time::Instant::now();
         let result = run_query(query(13).text, store).expect("Q13 runs");
@@ -63,7 +65,7 @@ fn main() {
         "  {} files, {} bytes total (monolithic: {} bytes)",
         files.len(),
         total,
-        doc.xml.len()
+        session.xml().len()
     );
     for f in files.iter().take(4) {
         println!("    {} ({} bytes)", f.name, f.content.len());

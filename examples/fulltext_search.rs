@@ -20,12 +20,14 @@ fn main() {
         .unwrap_or(0.01);
 
     println!("== structured full-text search (factor {factor}) ==");
-    let doc = generate_document(factor);
+    let session = Benchmark::at_factor(factor)
+        .systems(&[SystemId::E, SystemId::G])
+        .generate();
 
     // Q14 combines content and structure; compare an indexed native store
     // with the naive embedded walker.
-    for system in [SystemId::E, SystemId::G] {
-        let loaded = load_system(system, &doc.xml);
+    for loaded in session.load_all() {
+        let system = loaded.system;
         let store = loaded.store.as_ref();
         let start = std::time::Instant::now();
         let hits = run_query(query(14).text, store).expect("Q14 runs");
@@ -36,14 +38,17 @@ fn main() {
             start.elapsed()
         );
         for item in hits.iter().take(3) {
-            println!("    e.g. {}", serialize_sequence(store, std::slice::from_ref(item)));
+            println!(
+                "    e.g. {}",
+                serialize_sequence(store, std::slice::from_ref(item))
+            );
         }
     }
 
     // Keyword selectivity sweep: the vocabulary pins anchor words at known
     // Zipf ranks, so selectivity falls monotonically with rank.
     println!("\nkeyword selectivity sweep (descendant search + contains):");
-    let loaded = load_system(SystemId::E, &doc.xml);
+    let loaded = session.load(SystemId::E);
     let store = loaded.store.as_ref();
     let total_items = run_query(r#"count(document("x")/site//item)"#, store)
         .ok()
@@ -58,7 +63,10 @@ fn main() {
                      return $i)"#
         );
         let n = run_query(&q, store).expect("sweep query runs");
-        println!("  '{word}': {} matching items", serialize_sequence(store, &n));
+        println!(
+            "  '{word}': {} matching items",
+            serialize_sequence(store, &n)
+        );
     }
 
     // Structure matters: the same keyword search scoped to closed-auction

@@ -1,5 +1,5 @@
-//! Quickstart: generate a benchmark document, load it into a store, and
-//! run the first benchmark query.
+//! Quickstart: run a benchmark session through the `Benchmark` façade,
+//! then poke at the loaded store through the streaming axis cursors.
 //!
 //! ```text
 //! cargo run --release --example quickstart [factor]
@@ -14,35 +14,42 @@ fn main() {
         .unwrap_or(0.005);
 
     println!("== XMark quickstart ==");
-    println!("generating benchmark document at scaling factor {factor} …");
-    let doc = generate_document(factor);
+    println!("running the benchmark at scaling factor {factor} on System D …");
+
+    // One builder call replaces the generate -> load -> measure loop.
+    let report = Benchmark::at_factor(factor)
+        .systems(&[SystemId::D])
+        .queries(1..=20)
+        .run();
+
+    let stats = &report.document.stats;
     println!(
-        "  {} bytes, {} items, {} persons, {} open + {} closed auctions ({:?})",
-        doc.stats.bytes,
-        doc.stats.cardinalities.items,
-        doc.stats.cardinalities.persons,
-        doc.stats.cardinalities.open_auctions,
-        doc.stats.cardinalities.closed_auctions,
-        doc.elapsed,
+        "  document: {} bytes, {} elements (max depth {}), {} items, {} persons, {} open + {} closed auctions ({:?})",
+        stats.bytes,
+        stats.elements,
+        stats.max_depth,
+        stats.cardinalities.items,
+        stats.cardinalities.persons,
+        stats.cardinalities.open_auctions,
+        stats.cardinalities.closed_auctions,
+        report.document.elapsed,
     );
 
-    println!("\nbulkloading into System D (structural summary store) …");
-    let loaded = load_system(SystemId::D, &doc.xml);
+    let loaded = report.load(SystemId::D).expect("System D was loaded");
     println!(
-        "  {} nodes, {:.1} kB resident, loaded in {:?}",
+        "  store: {} nodes, {:.1} kB resident, loaded in {:?}",
         loaded.store.node_count(),
         loaded.size_bytes as f64 / 1024.0,
         loaded.load_time,
     );
 
-    println!("\nrunning Q1 (exact-match baseline):");
+    println!("\nQ1 (exact-match baseline):");
     println!("{}", query(1).text.trim());
-    let m = measure_query(&loaded, 1);
+    let m = report.measurement(SystemId::D, 1).expect("Q1 measured");
     println!(
         "\n  -> {} item(s) in {:?} compile + {:?} execute",
         m.result_items, m.compile_time, m.execute_time,
     );
-
     let out = run_query(query(1).text, loaded.store.as_ref()).expect("Q1 runs");
     println!(
         "  result: {}",
@@ -51,7 +58,7 @@ fn main() {
 
     println!("\nall twenty queries:");
     for q in &ALL_QUERIES {
-        let m = measure_query(&loaded, q.number);
+        let m = report.measurement(SystemId::D, q.number).expect("measured");
         println!(
             "  Q{:>2} {:<62} {:>6} items {:>10.3?}",
             q.number,
@@ -60,4 +67,27 @@ fn main() {
             m.total(),
         );
     }
+
+    // The streaming axis API: walk the store without materializing any
+    // intermediate node sets.
+    let store = loaded.store.as_ref();
+    let root = store.root();
+    let regions = store
+        .children_named_iter(root, "regions")
+        .next()
+        .expect("site has regions");
+    let items = store.count_descendants_named(regions, "item");
+    let first_african = store
+        .descendants_named_iter(regions, "item")
+        .next()
+        .expect("at least one item");
+    println!(
+        "\nstreaming axes: {} items under <regions>; first is {} ({:?})",
+        items,
+        first_african,
+        store
+            .attributes_iter(first_african)
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>(),
+    );
 }

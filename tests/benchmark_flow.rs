@@ -49,7 +49,10 @@ fn table2_shape_b_touches_more_metadata_than_a() {
         let ma = measure_query(&a, q).metadata_accesses;
         let mb = measure_query(&b, q).metadata_accesses;
         let mc = measure_query(&c, q).metadata_accesses;
-        assert!(mb > ma, "Q{q}: fragmented B must touch more metadata than A");
+        assert!(
+            mb > ma,
+            "Q{q}: fragmented B must touch more metadata than A"
+        );
         assert!(mc <= ma, "Q{q}: DTD-schema C must touch least metadata");
     }
 }

@@ -30,7 +30,10 @@ fn q1_returns_exactly_one_name() {
     let out = run(&l, 1);
     assert_eq!(out.len(), 1);
     let name = xmark::query::atomize(l.store.as_ref(), &out[0]);
-    assert!(name.contains(' '), "person names are 'Given Family': {name}");
+    assert!(
+        name.contains(' '),
+        "person names are 'Given Family': {name}"
+    );
 }
 
 #[test]
@@ -91,7 +94,11 @@ fn q7_counts_prose_with_nonexistent_email_tag() {
     // //email never exists; the count equals descriptions + annotations.
     let descriptions = as_number(
         &l,
-        &run_query(r#"count(document("x")/site//description)"#, l.store.as_ref()).unwrap(),
+        &run_query(
+            r#"count(document("x")/site//description)"#,
+            l.store.as_ref(),
+        )
+        .unwrap(),
     ) as usize;
     let annotations = as_number(
         &l,
@@ -128,7 +135,13 @@ fn q10_builds_french_markup() {
     let out = run(&l, 10);
     assert!(!out.is_empty());
     let rendered = serialize_sequence(l.store.as_ref(), &out);
-    for tag in ["<categorie>", "<personne>", "<statistiques>", "<revenu>", "<pagePerso>"] {
+    for tag in [
+        "<categorie>",
+        "<personne>",
+        "<statistiques>",
+        "<revenu>",
+        "<pagePerso>",
+    ] {
         assert!(rendered.contains(tag), "missing {tag}");
     }
     assert!(!rendered.contains("<person "), "markup must be translated");
@@ -195,7 +208,10 @@ fn q17_matches_homepage_complement() {
         .unwrap(),
     ) as usize;
     assert_eq!(out.len() + with_homepage, cards.persons);
-    assert!(out.len() > cards.persons / 4, "paper: fraction without homepage is high");
+    assert!(
+        out.len() > cards.persons / 4,
+        "paper: fraction without homepage is high"
+    );
 }
 
 #[test]
@@ -212,7 +228,9 @@ fn q18_converts_only_existing_reserves() {
     ) as usize;
     assert_eq!(out.len(), reserves);
     for item in &out {
-        let v: f64 = xmark::query::atomize(l.store.as_ref(), item).parse().unwrap();
+        let v: f64 = xmark::query::atomize(l.store.as_ref(), item)
+            .parse()
+            .unwrap();
         assert!(v > 0.0, "converted currency must be positive");
     }
 }
@@ -256,7 +274,10 @@ fn q20_groups_partition_the_population() {
     let total = grab("preferred") + grab("standard") + grab("challenge") + grab("na");
     assert_eq!(total, cards.persons, "income groups must partition persons");
     assert!(grab("na") > 0, "some persons lack income data");
-    assert!(grab("standard") > grab("preferred"), "income is centred at 45k");
+    assert!(
+        grab("standard") > grab("preferred"),
+        "income is centred at 45k"
+    );
 }
 
 #[test]

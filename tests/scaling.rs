@@ -75,7 +75,10 @@ fn all_references_resolve_at_multiple_scales() {
                 }
             }
         }
-        assert!(checked > 50, "reference check must actually cover references");
+        assert!(
+            checked > 50,
+            "reference check must actually cover references"
+        );
     }
 }
 
@@ -136,8 +139,14 @@ fn split_mode_covers_all_entities() {
 
 #[test]
 fn different_seeds_differ_but_share_cardinalities() {
-    let a = generate_string(&GeneratorConfig { factor: 0.001, seed: 0 });
-    let b = generate_string(&GeneratorConfig { factor: 0.001, seed: 42 });
+    let a = generate_string(&GeneratorConfig {
+        factor: 0.001,
+        seed: 0,
+    });
+    let b = generate_string(&GeneratorConfig {
+        factor: 0.001,
+        seed: 42,
+    });
     assert_ne!(a, b);
     for xml in [&a, &b] {
         let store = build_store(SystemId::E, xml).unwrap();
