@@ -1,0 +1,60 @@
+//! Concurrent service throughput — the microbench behind Table 4.
+//!
+//! For the two native extremes (D: structural summary, G: embedded DOM)
+//! at the `mini` scale, measure one closed-loop batch of the light query
+//! mix through the worker pool at increasing pool sizes, plus the
+//! single-threaded no-pool baseline for the same batch. The interesting
+//! numbers are (a) pool-of-1 vs baseline — the channel + thread overhead
+//! of the service layer itself — and (b) how batch time falls as workers
+//! are added (on multi-core hosts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use xmark::prelude::*;
+
+const MIX: [usize; 3] = [1, 6, 17];
+const REQUESTS: usize = 12;
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let session = Benchmark::at_scale("mini")
+        .systems(&[SystemId::D, SystemId::G])
+        .generate();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut group = c.benchmark_group("service_batch");
+    for &system in &[SystemId::D, SystemId::G] {
+        let store: Arc<dyn XmlStore> = session.load_shared(system);
+
+        // Baseline: the same batch, sequentially, no pool.
+        group.bench_with_input(
+            BenchmarkId::new(format!("{system:?}"), "sequential"),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    for i in 0..REQUESTS {
+                        let q = query(MIX[i % MIX.len()]);
+                        let compiled = compile(q.text, store.as_ref()).unwrap();
+                        black_box(execute(&compiled, store.as_ref()).unwrap());
+                    }
+                })
+            },
+        );
+
+        let mut pool_sizes = vec![1, 2, cores.max(2)];
+        pool_sizes.dedup();
+        for workers in pool_sizes {
+            let service = QueryService::start(Arc::clone(&store), workers);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{system:?}"), format!("{workers}workers")),
+                &service,
+                |b, service| b.iter(|| black_box(service.run_mix(&MIX, REQUESTS)).requests),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

@@ -10,10 +10,12 @@
 //! | Table 2 (compile vs execute split, Q1/Q2 on A–C) | `table2_phases` |
 //! | Table 3 (13 queries × systems A–F) | `table3_queries` |
 //! | Fig. 4 (Q1–Q20 on embedded System G) | `fig4_embedded` |
+//! | Table 4 (concurrent throughput, this reproduction's extension) | `table4_throughput` |
 //!
 //! Criterion microbenches (`benches/`) cover generator throughput, bulk
-//! loading, the query suite, and the two architecture ablations
-//! (structural summary on/off, interval index vs scan).
+//! loading, the query suite, the two architecture ablations (structural
+//! summary on/off, interval index vs scan), and the concurrent service
+//! layer (`throughput`).
 
 use std::time::{Duration, Instant};
 
@@ -21,6 +23,10 @@ use std::time::{Duration, Instant};
 /// default.
 pub fn factor_from_args(default: f64) -> f64 {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    factor_from(&args, default)
+}
+
+fn factor_from(args: &[String], default: f64) -> f64 {
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--factor" {
@@ -28,8 +34,14 @@ pub fn factor_from_args(default: f64) -> f64 {
                 return v;
             }
         }
-        if let Ok(v) = args[i].parse::<f64>() {
-            return v;
+        // A bare numeric is a positional factor — but not when it is the
+        // value of some other flag (`--requests 104` must not become
+        // factor 104).
+        let follows_flag = i > 0 && args[i - 1].starts_with("--");
+        if !follows_flag {
+            if let Ok(v) = args[i].parse::<f64>() {
+                return v;
+            }
         }
         i += 1;
     }
@@ -39,6 +51,15 @@ pub fn factor_from_args(default: f64) -> f64 {
 /// Whether a bare flag is present in argv.
 pub fn has_flag(flag: &str) -> bool {
     std::env::args().skip(1).any(|a| a == flag)
+}
+
+/// Parse `--<flag> <n>` from argv as a usize, if present.
+pub fn usize_flag(flag: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }
 
 /// Best-of-`runs` wall time of `f` (first run discarded as warm-up when
@@ -172,6 +193,24 @@ mod tests {
         assert_eq!(v, 42);
         assert_eq!(calls, 3);
         assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn factor_parsing_ignores_other_flags_values() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(factor_from(&args(&["--factor", "0.05"]), 1.0), 0.05);
+        assert_eq!(factor_from(&args(&["0.2"]), 1.0), 0.2);
+        assert_eq!(factor_from(&args(&["--smoke"]), 1.0), 1.0);
+        // The value of an unrelated flag is not a positional factor.
+        assert_eq!(factor_from(&args(&["--requests", "104"]), 1.0), 1.0);
+        assert_eq!(
+            factor_from(&args(&["--requests", "104", "--factor", "0.01"]), 1.0),
+            0.01
+        );
+        assert_eq!(
+            factor_from(&args(&["--factor", "0.01", "--requests", "104"]), 1.0),
+            0.01
+        );
     }
 
     #[test]

@@ -23,6 +23,30 @@
 //! assert_eq!(m.result_items, 1); // Q1: the name of person0
 //! ```
 //!
+//! ## Serving concurrent traffic
+//!
+//! The paper measures single-user latency; production serves many users
+//! at once. Every backend is `Send + Sync` (compile-time asserted), so
+//! one loaded store is shared across a fixed [`service::QueryService`]
+//! worker pool behind an `Arc<dyn XmlStore>` — no copies, no locks on
+//! the read path — and a closed-loop run reports per-query latency
+//! percentiles plus aggregate QPS:
+//!
+//! ```
+//! use xmark::prelude::*;
+//!
+//! let session = Benchmark::at_scale("mini").generate();
+//! let service = session.serve(SystemId::D, 2); // 2 worker threads
+//! let report = service.run_mix(&[1, 6, 17], 30);
+//! assert_eq!(report.requests, 30);
+//! let q17 = report.stats(17).unwrap();
+//! assert!(q17.p50 <= q17.p99 && report.qps() > 0.0);
+//! ```
+//!
+//! (`Session::measure_throughput` collapses the load + serve + run chain
+//! into one call; the `table4_throughput` report binary sweeps worker
+//! counts 1→#cores across all seven backends.)
+//!
 //! The loaded stores stay alive in the report, and navigation is exposed
 //! as **streaming axis cursors** — no intermediate node sets:
 //!
@@ -40,12 +64,17 @@
 //! * [`xmark_gen`] — the deterministic document generator (paper §4),
 //! * [`xmark_xml`] — XML tokenizer, DOM, serializer,
 //! * [`xmark_rel`] — the relational substrate behind Systems A/B/C,
-//! * [`xmark_store`] — the seven storage architectures (§7),
-//! * [`xmark_query`] — the XQuery subset (§6),
+//! * [`xmark_store`] — the seven storage architectures (§7), all
+//!   `Send + Sync`,
+//! * [`xmark_query`] — the XQuery subset (§6), with `Arc`-based results
+//!   that cross threads,
 //! * [`queries`] — the twenty benchmark queries,
-//! * [`spec`] — scales, workload driver, measurement types.
+//! * [`spec`] — scales, workload driver, measurement types,
+//! * [`service`] — the concurrent query service (worker pool, latency
+//!   percentiles, QPS).
 
 pub mod queries;
+pub mod service;
 pub mod spec;
 
 pub use xmark_gen as gen;
@@ -59,11 +88,15 @@ pub use xmark_xml as xml;
 /// The central entry point is [`spec::Benchmark`] — a builder that scales,
 /// generates, bulkloads and measures in one chain — with the lower-level
 /// pieces (`generate_document`, `load_system`, `measure_query`) still
-/// exported for custom harnesses. Stores expose navigation as streaming
-/// axis cursors ([`xmark_store::XmlStore::children_iter`] and friends);
-/// the `Vec`-returning methods remain as thin wrappers.
+/// exported for custom harnesses. For concurrent serving,
+/// [`service::QueryService`] runs a worker pool over one shared
+/// `Arc<dyn XmlStore>` (see `Session::serve` / `measure_throughput`).
+/// Stores expose navigation as streaming axis cursors
+/// ([`xmark_store::XmlStore::children_iter`] and friends); the
+/// `Vec`-returning methods remain as thin wrappers.
 pub mod prelude {
     pub use crate::queries::{query, BenchmarkQuery, Concept, ALL_QUERIES, TABLE3_QUERIES};
+    pub use crate::service::{LatencyStats, QueryService, RequestMeasurement, ThroughputReport};
     pub use crate::spec::{
         canonical_output, generate_document, load_system, measure_query, scale, Benchmark,
         BenchmarkReport, GeneratedDocument, LoadedStore, QueryMeasurement, Scale, Session, SCALES,

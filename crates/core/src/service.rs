@@ -1,0 +1,358 @@
+//! The concurrent query service: a fixed worker pool executing a
+//! closed-loop mix of benchmark queries against one shared store.
+//!
+//! The paper's Table 3 measures single-user latency; this module extends
+//! the architecture comparison to *throughput under load* — the axis a
+//! production deployment cares about. Every backend is `Send + Sync`
+//! (compile-time asserted in `xmark-store`), so a loaded store is shared
+//! across workers behind an `Arc<dyn XmlStore>` with no copying and no
+//! locking on the read path: the only runtime mutation anywhere in a
+//! store is the relaxed atomic metadata counter.
+//!
+//! Architecture: [`QueryService::start`] spawns N OS threads. Jobs (query
+//! numbers) travel over an `mpsc` channel shared through a mutexed
+//! receiver; finished measurements return over a second channel. Each
+//! request is compiled *and* executed by the worker, so a request's
+//! latency matches the compile+execute total of Table 3. A closed-loop
+//! run keeps the queue non-empty, which is equivalent to N concurrent
+//! always-on client streams.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xmark::prelude::*;
+//! use xmark::service::QueryService;
+//!
+//! let session = Benchmark::at_scale("mini").generate();
+//! let store: Arc<dyn XmlStore> = Arc::from(session.load(SystemId::D).store);
+//! let service = QueryService::start(store, 2);
+//! let report = service.run_mix(&[1, 6, 17], 30);
+//! assert_eq!(report.requests, 30);
+//! assert!(report.qps() > 0.0);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use xmark_query::{compile, execute};
+use xmark_store::{SystemId, XmlStore};
+
+use crate::queries::query;
+
+/// One completed request: which query ran and how long it took
+/// (compile + execute, the Table 3 total).
+#[derive(Debug, Clone, Copy)]
+pub struct RequestMeasurement {
+    /// Query number (1–20).
+    pub query: usize,
+    /// End-to-end request latency.
+    pub latency: Duration,
+    /// Result cardinality (sanity signal: concurrent runs must agree with
+    /// sequential ones).
+    pub result_items: usize,
+}
+
+/// Latency distribution of one query within a throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    /// Query number.
+    pub query: usize,
+    /// Requests measured.
+    pub count: usize,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Result cardinality the workers observed. Queries are deterministic
+    /// per store, so every request of the same query must agree —
+    /// [`QueryService::run_mix`] panics on divergence (a thread-safety
+    /// bug), making this directly comparable to a sequential
+    /// `measure_query`.
+    pub result_items: usize,
+}
+
+/// Everything one closed-loop run produced.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// The system serving the requests.
+    pub system: SystemId,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Requests completed.
+    pub requests: usize,
+    /// Wall time from first dispatch to last completion.
+    pub elapsed: Duration,
+    /// Per-query latency distributions, ordered by query number.
+    pub per_query: Vec<LatencyStats>,
+}
+
+impl ThroughputReport {
+    /// Aggregate queries per second.
+    pub fn qps(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// The latency stats for one query.
+    pub fn stats(&self, query: usize) -> Option<&LatencyStats> {
+        self.per_query.iter().find(|s| s.query == query)
+    }
+}
+
+enum Job {
+    Run(usize),
+}
+
+/// A fixed pool of query workers bound to one shared store.
+///
+/// Dropping the service closes the job channel; workers drain what is
+/// left and exit, and the drop joins them.
+pub struct QueryService {
+    system: SystemId,
+    workers: usize,
+    jobs: Option<mpsc::Sender<Job>>,
+    results: mpsc::Receiver<RequestMeasurement>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Spawn `workers` threads serving queries against `store`.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn start(store: Arc<dyn XmlStore>, workers: usize) -> Self {
+        assert!(workers > 0, "a query service needs at least one worker");
+        let system = store.system();
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = mpsc::channel::<RequestMeasurement>();
+        let handles = (0..workers)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                thread::spawn(move || worker_loop(store, &job_rx, &result_tx))
+            })
+            .collect();
+        QueryService {
+            system,
+            workers,
+            jobs: Some(job_tx),
+            results: result_rx,
+            handles,
+        }
+    }
+
+    /// The system this pool serves.
+    pub fn system(&self) -> SystemId {
+        self.system
+    }
+
+    /// Pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `requests` requests cycling through the query `mix`
+    /// closed-loop, and aggregate latencies and QPS.
+    ///
+    /// # Panics
+    /// Panics if the mix is empty or a query fails (all twenty canonical
+    /// queries are tested to run on every backend).
+    pub fn run_mix(&self, mix: &[usize], requests: usize) -> ThroughputReport {
+        assert!(
+            !mix.is_empty(),
+            "the query mix must name at least one query"
+        );
+        let jobs = self.jobs.as_ref().expect("service is running");
+        let start = Instant::now();
+        for i in 0..requests {
+            jobs.send(Job::Run(mix[i % mix.len()]))
+                .expect("workers outlive the run");
+        }
+        let mut by_query: HashMap<usize, (Vec<Duration>, usize)> = HashMap::new();
+        for _ in 0..requests {
+            let m = self.recv_measurement();
+            let entry = by_query
+                .entry(m.query)
+                .or_insert_with(|| (Vec::new(), m.result_items));
+            entry.0.push(m.latency);
+            assert_eq!(
+                entry.1, m.result_items,
+                "Q{} returned differing cardinalities across concurrent requests \
+                 — thread-safety bug",
+                m.query
+            );
+        }
+        let elapsed = start.elapsed();
+        let mut per_query: Vec<LatencyStats> = by_query
+            .into_iter()
+            .map(|(query, (latencies, result_items))| latency_stats(query, latencies, result_items))
+            .collect();
+        per_query.sort_by_key(|s| s.query);
+        ThroughputReport {
+            system: self.system,
+            workers: self.workers,
+            requests,
+            elapsed,
+            per_query,
+        }
+    }
+
+    /// Receive one measurement, detecting worker death instead of
+    /// blocking forever: a panicked worker never sends its in-flight
+    /// result, and the *other* live workers keep the result channel open,
+    /// so a plain `recv` would deadlock.
+    fn recv_measurement(&self) -> RequestMeasurement {
+        loop {
+            match self.results.recv_timeout(Duration::from_millis(100)) {
+                Ok(m) => return m,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Workers only exit when the job channel closes, which
+                    // cannot happen mid-run — a finished handle means a
+                    // panic.
+                    assert!(
+                        !self.handles.iter().any(JoinHandle::is_finished),
+                        "a worker died mid-run (query panic?)"
+                    );
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("every worker died mid-run (query panic?)")
+                }
+            }
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        // Closing the sender ends every worker's receive loop.
+        self.jobs.take();
+        for handle in self.handles.drain(..) {
+            // Propagate worker panics instead of losing them.
+            if let Err(panic) = handle.join() {
+                if !thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    store: Arc<dyn XmlStore>,
+    jobs: &Mutex<mpsc::Receiver<Job>>,
+    results: &mpsc::Sender<RequestMeasurement>,
+) {
+    loop {
+        // Hold the lock only for the dequeue, never during execution.
+        let job = jobs.lock().expect("job queue poisoned").recv();
+        let Ok(Job::Run(number)) = job else {
+            return; // channel closed: the service is shutting down
+        };
+        let q = query(number);
+        let start = Instant::now();
+        let compiled = compile(q.text, store.as_ref())
+            .unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}"));
+        let result = execute(&compiled, store.as_ref())
+            .unwrap_or_else(|e| panic!("Q{number} failed to execute: {e}"));
+        let latency = start.elapsed();
+        if results
+            .send(RequestMeasurement {
+                query: number,
+                latency,
+                result_items: result.len(),
+            })
+            .is_err()
+        {
+            return; // collector gone: nothing left to report to
+        }
+    }
+}
+
+fn latency_stats(query: usize, mut latencies: Vec<Duration>, result_items: usize) -> LatencyStats {
+    latencies.sort_unstable();
+    let count = latencies.len();
+    let total: Duration = latencies.iter().sum();
+    let percentile = |p: f64| -> Duration {
+        // Nearest-rank on the sorted sample.
+        let rank = ((p * count as f64).ceil() as usize).clamp(1, count);
+        latencies[rank - 1]
+    };
+    LatencyStats {
+        query,
+        count,
+        p50: percentile(0.50),
+        p95: percentile(0.95),
+        p99: percentile(0.99),
+        mean: total / count.max(1) as u32,
+        result_items,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{canonical_output, generate_document, load_system};
+
+    #[test]
+    fn service_completes_a_closed_loop_run() {
+        let doc = generate_document(0.001);
+        let store: Arc<dyn XmlStore> = Arc::from(load_system(SystemId::D, &doc.xml).store);
+        let service = QueryService::start(Arc::clone(&store), 2);
+        assert_eq!(service.workers(), 2);
+        assert_eq!(service.system(), SystemId::D);
+        let report = service.run_mix(&[1, 6], 10);
+        assert_eq!(report.requests, 10);
+        assert_eq!(report.per_query.len(), 2);
+        let q1 = report.stats(1).unwrap();
+        assert_eq!(q1.count, 5);
+        assert!(q1.p50 <= q1.p95 && q1.p95 <= q1.p99);
+        assert!(report.qps() > 0.0);
+        // The pool survives a second run on the same store.
+        let again = service.run_mix(&[17], 4);
+        assert_eq!(again.stats(17).unwrap().count, 4);
+    }
+
+    #[test]
+    fn concurrent_results_match_sequential() {
+        let doc = generate_document(0.001);
+        let loaded = load_system(SystemId::G, &doc.xml);
+        let expected = canonical_output(loaded.store.as_ref(), 5);
+        let store: Arc<dyn XmlStore> = Arc::from(loaded.store);
+        let service = QueryService::start(Arc::clone(&store), 3);
+        let report = service.run_mix(&[5], 9);
+        drop(service);
+        // Cardinality seen by the workers matches a fresh sequential run.
+        let fresh = canonical_output(store.as_ref(), 5);
+        assert_eq!(fresh, expected);
+        assert_eq!(report.stats(5).unwrap().count, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        let doc = generate_document(0.001);
+        let store: Arc<dyn XmlStore> = Arc::from(load_system(SystemId::G, &doc.xml).store);
+        let _ = QueryService::start(store, 0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let stats = latency_stats(
+            3,
+            (1..=100).map(Duration::from_millis).collect::<Vec<_>>(),
+            7,
+        );
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.result_items, 7);
+        assert_eq!(stats.p50, Duration::from_millis(50));
+        assert_eq!(stats.p95, Duration::from_millis(95));
+        assert_eq!(stats.p99, Duration::from_millis(99));
+    }
+}

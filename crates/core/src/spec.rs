@@ -6,6 +6,7 @@
 //! systems and queries and produce the measurements the harness formats
 //! into the paper's tables.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use xmark_gen::{GenStats, Generator, GeneratorConfig};
@@ -13,6 +14,7 @@ use xmark_query::{compile, execute, Sequence};
 use xmark_store::{build_store, SystemId, XmlStore};
 
 use crate::queries::query;
+use crate::service::{QueryService, ThroughputReport};
 
 /// A named document scale (paper Fig. 3 + the Fig. 4 miniatures).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -360,6 +362,30 @@ impl Session {
     /// Bulkload every selected system, in selection order.
     pub fn load_all(&self) -> Vec<LoadedStore> {
         self.systems.iter().map(|&s| self.load(s)).collect()
+    }
+
+    /// Bulkload `system` and share it behind an `Arc` — the shape the
+    /// concurrent service layer consumes.
+    pub fn load_shared(&self, system: SystemId) -> Arc<dyn XmlStore> {
+        Arc::from(self.load(system).store)
+    }
+
+    /// Spawn a [`QueryService`] worker pool over a freshly loaded
+    /// `system`.
+    pub fn serve(&self, system: SystemId, workers: usize) -> QueryService {
+        QueryService::start(self.load_shared(system), workers)
+    }
+
+    /// Bulkload `system`, spawn `workers` threads, and run `requests`
+    /// closed-loop requests cycling through this session's selected
+    /// queries — the Table 4 cell for one (system, worker-count) pair.
+    pub fn measure_throughput(
+        &self,
+        system: SystemId,
+        workers: usize,
+        requests: usize,
+    ) -> ThroughputReport {
+        self.serve(system, workers).run_mix(&self.queries, requests)
     }
 
     /// Load everything, measure every selected query on every selected

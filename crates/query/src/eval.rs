@@ -20,7 +20,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use xmark_store::{Node, PositionSpec, XmlStore};
 
@@ -38,6 +38,9 @@ pub enum EvalError {
     Cardinality(&'static str),
     /// A path step applied to a constructed element or atomic.
     PathOverNonNode,
+    /// A syntactically valid step form the evaluator does not implement
+    /// (`@*`, `@text()`). Carries the offending step's rendering.
+    UnsupportedStep(String),
     /// Relative path with no context item.
     NoContext,
     /// Wrong number of arguments to a function.
@@ -51,6 +54,9 @@ impl std::fmt::Display for EvalError {
             EvalError::UnknownFunction(n) => write!(f, "unknown function {n}()"),
             EvalError::Cardinality(what) => write!(f, "cardinality violation in {what}"),
             EvalError::PathOverNonNode => write!(f, "path step applied to a non-node item"),
+            EvalError::UnsupportedStep(step) => {
+                write!(f, "unsupported path step {step}")
+            }
             EvalError::NoContext => write!(f, "relative path without a context item"),
             EvalError::Arity(n) => write!(f, "wrong number of arguments to {n}()"),
         }
@@ -68,11 +74,11 @@ type JoinIndex = HashMap<String, Vec<(usize, Item)>>;
 /// Variable environment with lexical scoping.
 #[derive(Default)]
 struct Env {
-    bindings: Vec<(String, Rc<Sequence>)>,
+    bindings: Vec<(String, Arc<Sequence>)>,
 }
 
 impl Env {
-    fn push(&mut self, name: &str, value: Rc<Sequence>) {
+    fn push(&mut self, name: &str, value: Arc<Sequence>) {
         self.bindings.push((name.to_string(), value));
     }
 
@@ -80,7 +86,7 @@ impl Env {
         self.bindings.pop();
     }
 
-    fn get(&self, name: &str) -> Option<&Rc<Sequence>> {
+    fn get(&self, name: &str) -> Option<&Arc<Sequence>> {
         self.bindings
             .iter()
             .rev()
@@ -94,13 +100,13 @@ pub struct Evaluator<'s> {
     store: &'s dyn XmlStore,
     functions: HashMap<String, FunctionDecl>,
     /// Memo for loop-invariant absolute paths.
-    path_cache: RefCell<HashMap<String, Rc<Sequence>>>,
+    path_cache: RefCell<HashMap<String, Arc<Sequence>>>,
     /// Memo for decorrelated lookup indexes (`try_correlated_lookup`) and
     /// hash-join build sides (`try_hash_join`).
-    index_cache: RefCell<HashMap<String, Rc<JoinIndex>>>,
+    index_cache: RefCell<HashMap<String, Arc<JoinIndex>>>,
     /// Memo for hash-join probe-side key lists, aligned with the cached
     /// source sequence.
-    key_cache: RefCell<HashMap<String, Rc<Vec<Vec<String>>>>>,
+    key_cache: RefCell<HashMap<String, Arc<Vec<Vec<String>>>>>,
     /// Whether the join/decorrelation rewrites are enabled. Disabling
     /// forces pure nested-loop semantics — used by the oracle tests that
     /// prove the rewrites preserve results.
@@ -221,7 +227,7 @@ impl<'s> Evaluator<'s> {
             Expr::Call(name, args) => self.eval_call(name, args, env, ctx),
             Expr::Element(ctor) => {
                 let elem = self.build_element(ctor, env, ctx)?;
-                Ok(vec![Item::Elem(Rc::new(elem))])
+                Ok(vec![Item::Elem(Arc::new(elem))])
             }
         }
     }
@@ -364,7 +370,7 @@ impl<'s> Evaluator<'s> {
             let source = self.eval(src, env, ctx)?;
             let mut map: JoinIndex = HashMap::new();
             for (i, item) in source.into_iter().enumerate() {
-                env.push(v, Rc::new(vec![item.clone()]));
+                env.push(v, Arc::new(vec![item.clone()]));
                 let keys = self.eval(inner_key, env, ctx);
                 env.pop();
                 for key in keys? {
@@ -373,10 +379,10 @@ impl<'s> Evaluator<'s> {
                         .push((i, item.clone()));
                 }
             }
-            let rc = Rc::new(map);
+            let rc = Arc::new(map);
             self.index_cache
                 .borrow_mut()
-                .insert(index_sig, Rc::clone(&rc));
+                .insert(index_sig, Arc::clone(&rc));
             rc
         };
 
@@ -391,7 +397,7 @@ impl<'s> Evaluator<'s> {
         matched.sort_by_key(|(i, _)| *i);
         matched.dedup_by_key(|(i, _)| *i);
         for (_, item) in matched {
-            env.push(v, Rc::new(vec![item]));
+            env.push(v, Arc::new(vec![item]));
             let result = self.join_tail(f, &residual, env, ctx, out);
             env.pop();
             result?;
@@ -489,9 +495,9 @@ impl<'s> Evaluator<'s> {
             }
             matched.sort_by_key(|(i, _)| *i);
             matched.dedup_by_key(|(i, _)| *i);
-            env.push(v1, Rc::new(vec![litem.clone()]));
+            env.push(v1, Arc::new(vec![litem.clone()]));
             for (_, ritem) in matched {
-                env.push(v2, Rc::new(vec![ritem.clone()]));
+                env.push(v2, Arc::new(vec![ritem.clone()]));
                 let result = self.join_tail(f, &residual, env, ctx, out);
                 env.pop();
                 if let Err(e) = result {
@@ -514,17 +520,17 @@ impl<'s> Evaluator<'s> {
         key_expr: &Expr,
         env: &mut Env,
         ctx: Option<&Item>,
-    ) -> EResult<Rc<JoinIndex>> {
+    ) -> EResult<Arc<JoinIndex>> {
         let signature = invariant_join_signature(src, key_expr);
         if let Some(sig) = &signature {
             if let Some(cached) = self.index_cache.borrow().get(sig) {
-                return Ok(Rc::clone(cached));
+                return Ok(Arc::clone(cached));
             }
         }
         let source = self.eval(src, env, ctx)?;
         let mut map: JoinIndex = HashMap::with_capacity(source.len());
         for (i, item) in source.into_iter().enumerate() {
-            env.push(var, Rc::new(vec![item.clone()]));
+            env.push(var, Arc::new(vec![item.clone()]));
             let keys = self.eval(key_expr, env, ctx);
             env.pop();
             for key in keys? {
@@ -533,9 +539,9 @@ impl<'s> Evaluator<'s> {
                     .push((i, item.clone()));
             }
         }
-        let rc = Rc::new(map);
+        let rc = Arc::new(map);
         if let Some(sig) = signature {
-            self.index_cache.borrow_mut().insert(sig, Rc::clone(&rc));
+            self.index_cache.borrow_mut().insert(sig, Arc::clone(&rc));
         }
         Ok(rc)
     }
@@ -550,18 +556,18 @@ impl<'s> Evaluator<'s> {
         left: &[Item],
         env: &mut Env,
         ctx: Option<&Item>,
-    ) -> EResult<Rc<Vec<Vec<String>>>> {
+    ) -> EResult<Arc<Vec<Vec<String>>>> {
         let signature = invariant_join_signature(src, key_expr).map(|s| s + "#probe");
         if let Some(sig) = &signature {
             if let Some(cached) = self.key_cache.borrow().get(sig) {
                 if cached.len() == left.len() {
-                    return Ok(Rc::clone(cached));
+                    return Ok(Arc::clone(cached));
                 }
             }
         }
         let mut keys = Vec::with_capacity(left.len());
         for item in left {
-            env.push(var, Rc::new(vec![item.clone()]));
+            env.push(var, Arc::new(vec![item.clone()]));
             let evaluated = self.eval(key_expr, env, ctx);
             env.pop();
             keys.push(
@@ -571,9 +577,9 @@ impl<'s> Evaluator<'s> {
                     .collect::<Vec<String>>(),
             );
         }
-        let rc = Rc::new(keys);
+        let rc = Arc::new(keys);
         if let Some(sig) = signature {
-            self.key_cache.borrow_mut().insert(sig, Rc::clone(&rc));
+            self.key_cache.borrow_mut().insert(sig, Arc::clone(&rc));
         }
         Ok(rc)
     }
@@ -644,7 +650,7 @@ impl<'s> Evaluator<'s> {
             Clause::For(var, source) => {
                 let seq = self.eval(source, env, ctx)?;
                 for item in seq {
-                    env.push(var, Rc::new(vec![item]));
+                    env.push(var, Arc::new(vec![item]));
                     let r = self.flwor_rec(f, depth + 1, scheduled, env, ctx, out);
                     env.pop();
                     r?;
@@ -652,7 +658,7 @@ impl<'s> Evaluator<'s> {
             }
             Clause::Let(var, source) => {
                 let seq = self.eval(source, env, ctx)?;
-                env.push(var, Rc::new(seq));
+                env.push(var, Arc::new(seq));
                 let r = self.flwor_rec(f, depth + 1, scheduled, env, ctx, out);
                 env.pop();
                 r?;
@@ -675,7 +681,7 @@ impl<'s> Evaluator<'s> {
         let (var, source) = &bindings[depth];
         let seq = self.eval(source, env, ctx)?;
         for item in seq {
-            env.push(var, Rc::new(vec![item]));
+            env.push(var, Arc::new(vec![item]));
             let found = self.eval_some(bindings, depth + 1, satisfies, env, ctx);
             env.pop();
             if found? {
@@ -704,7 +710,7 @@ impl<'s> Evaluator<'s> {
             let result = self.eval_path_uncached(base, steps, env, ctx)?;
             self.path_cache
                 .borrow_mut()
-                .insert(key, Rc::new(result.clone()));
+                .insert(key, Arc::new(result.clone()));
             return Ok(result);
         }
         self.eval_path_uncached(base, steps, env, ctx)
@@ -921,7 +927,16 @@ impl<'s> Evaluator<'s> {
                         out.push(Item::str(v));
                     }
                 }
-                (Axis::Attribute, _) => return Err(EvalError::PathOverNonNode),
+                (Axis::Attribute, test) => {
+                    // `@*` / `@text()`: a real step form we don't implement —
+                    // say so, instead of the misleading `PathOverNonNode`.
+                    let rendered = match test {
+                        NodeTest::Wildcard => "@*",
+                        NodeTest::Text => "@text()",
+                        NodeTest::Tag(_) => unreachable!("handled by the arm above"),
+                    };
+                    return Err(EvalError::UnsupportedStep(rendered.to_string()));
+                }
                 (Axis::Child, NodeTest::Text) => {
                     for c in self.store.children_iter(*n) {
                         if self.store.text(c).is_some() {
@@ -1138,12 +1153,13 @@ impl<'s> Evaluator<'s> {
             }
             "number" => {
                 expect_arity(name, &evaluated, 1)?;
-                Ok(
-                    match evaluated[0].first().and_then(|i| number(self.store, i)) {
-                        Some(n) => vec![Item::Num(n)],
-                        None => Vec::new(),
-                    },
-                )
+                // XQuery `fn:number`: unparseable input (and the empty
+                // sequence) is NaN, not the empty sequence.
+                let n = evaluated[0]
+                    .first()
+                    .and_then(|i| number(self.store, i))
+                    .unwrap_or(f64::NAN);
+                Ok(vec![Item::Num(n)])
             }
             _ => {
                 let Some(decl) = self.functions.get(name) else {
@@ -1153,7 +1169,7 @@ impl<'s> Evaluator<'s> {
                     return Err(EvalError::Arity(name.to_string()));
                 }
                 for (param, value) in decl.params.iter().zip(evaluated) {
-                    env.push(param, Rc::new(value));
+                    env.push(param, Arc::new(value));
                 }
                 let result = self.eval(&decl.body, env, ctx);
                 for _ in &decl.params {
@@ -1232,7 +1248,7 @@ impl<'s> Evaluator<'s> {
                 Content::Text(t) => children.push(Item::str(t)),
                 Content::Expr(e) => children.extend(self.eval(e, env, ctx)?),
                 Content::Element(nested) => {
-                    children.push(Item::Elem(Rc::new(self.build_element(nested, env, ctx)?)));
+                    children.push(Item::Elem(Arc::new(self.build_element(nested, env, ctx)?)));
                 }
             }
         }
@@ -1246,12 +1262,18 @@ impl<'s> Evaluator<'s> {
     fn general_compare(&self, op: CmpOp, l: &[Item], r: &[Item]) -> bool {
         for a in l {
             let sa = atomize(self.store, a);
-            let na = sa.trim().parse::<f64>().ok();
+            let ta = sa.trim();
+            let na = ta.parse::<f64>().ok();
             for b in r {
                 let sb = atomize(self.store, b);
-                let matched = match (na, sb.trim().parse::<f64>().ok()) {
+                let tb = sb.trim();
+                // Both branches compare the *trimmed* values: the numeric
+                // path already parsed from trimmed text, so the string
+                // fallback must trim too, or whitespace-padded text nodes
+                // would fail equality against their trimmed value.
+                let matched = match (na, tb.parse::<f64>().ok()) {
                     (Some(x), Some(y)) => compare_ord(op, x.partial_cmp(&y)),
-                    _ => compare_ord(op, Some(sa.as_str().cmp(sb.as_str()))),
+                    _ => compare_ord(op, Some(ta.cmp(tb))),
                 };
                 if matched {
                     return true;
@@ -1628,7 +1650,68 @@ mod tests {
             run("number(/site/open_auctions/open_auction/initial)"),
             "10"
         );
-        assert_eq!(run("count(number(/site/people/person/name))"), "0");
+    }
+
+    #[test]
+    fn number_of_unparseable_is_nan() {
+        // XQuery: number("x") is NaN, not the empty sequence.
+        assert_eq!(run("number(/site/people/person/name)"), "NaN");
+        assert_eq!(run("count(number(/site/people/person/name))"), "1");
+        // The empty sequence coerces to NaN too.
+        assert_eq!(run("number(/site/ghosts)"), "NaN");
+        // NaN formats canonically and compares unequal to everything,
+        // including itself.
+        assert_eq!(crate::result::format_number(f64::NAN), "NaN");
+        assert_eq!(
+            run("number(/site/people/person/name) = number(/site/people/person/name)"),
+            "false"
+        );
+        assert_eq!(run("number(/site/ghosts) = 0"), "false");
+        assert_eq!(run("number(/site/ghosts) < 0"), "false");
+    }
+
+    #[test]
+    fn general_compare_trims_both_paths() {
+        // Whitespace-padded text nodes equal their trimmed value in both
+        // the numeric branch and the string fallback (which used to
+        // compare untrimmed).
+        let doc = r#"<a><n>  42  </n><s>  gold  </s></a>"#;
+        let store = NaiveStore::load(doc).unwrap();
+        for (q, expected) in [
+            (r#"/a/n = "42""#, "true"),
+            (r#"/a/n = 42"#, "true"),
+            (r#"/a/s = "gold""#, "true"),
+            (r#"/a/s = "  gold  ""#, "true"),
+            (r#"/a/s = "silver""#, "false"),
+            (r#"/a/s < "halt""#, "true"),
+        ] {
+            let query = parse_query(q).unwrap();
+            let eval = Evaluator::new(&store, &query);
+            let result = eval.run(&query).unwrap();
+            assert_eq!(serialize_sequence(&store, &result), expected, "query {q}");
+        }
+    }
+
+    #[test]
+    fn unsupported_attribute_steps_are_named() {
+        for (q, step) in [
+            ("/site/people/person/@*", "@*"),
+            ("/site/people/person/@text()", "@text()"),
+        ] {
+            let store = NaiveStore::load(DOC).unwrap();
+            let query = parse_query(q).unwrap();
+            let eval = Evaluator::new(&store, &query);
+            match eval.run(&query) {
+                Err(EvalError::UnsupportedStep(s)) => {
+                    assert_eq!(s, step);
+                    assert!(
+                        EvalError::UnsupportedStep(s).to_string().contains(step),
+                        "message names the step"
+                    );
+                }
+                other => panic!("expected UnsupportedStep for {q}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -505,8 +505,18 @@ impl<'a> Parser<'a> {
         let (axis, test) = match self.peek() {
             Some(b'@') => {
                 self.pos += 1;
-                let name = self.parse_name()?;
-                (Axis::Attribute, NodeTest::Tag(name))
+                if self.peek() == Some(b'*') {
+                    self.pos += 1;
+                    (Axis::Attribute, NodeTest::Wildcard)
+                } else {
+                    let name = self.parse_name()?;
+                    if name == "text" && self.try_eat("(") {
+                        self.eat(")")?;
+                        (Axis::Attribute, NodeTest::Text)
+                    } else {
+                        (Axis::Attribute, NodeTest::Tag(name))
+                    }
+                }
             }
             Some(b'*') => {
                 self.pos += 1;

@@ -9,7 +9,7 @@
 //! two storage backends) agree iff their canonical outputs are equal.
 
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use xmark_store::{Node, XmlStore};
 
@@ -30,19 +30,19 @@ pub enum Item {
     /// A node of the queried store.
     Node(Node),
     /// A string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A number (XQuery `double`).
     Num(f64),
     /// A boolean.
     Bool(bool),
     /// A constructed element.
-    Elem(Rc<CElem>),
+    Elem(Arc<CElem>),
 }
 
 impl Item {
     /// Build a string item.
     pub fn str(s: impl AsRef<str>) -> Self {
-        Item::Str(Rc::from(s.as_ref()))
+        Item::Str(Arc::from(s.as_ref()))
     }
 }
 
@@ -207,7 +207,7 @@ mod tests {
         assert_eq!(atomize(&s, &Item::str("x")), "x");
         assert_eq!(atomize(&s, &Item::Num(4.0)), "4");
         assert_eq!(atomize(&s, &Item::Bool(true)), "true");
-        let elem = Item::Elem(Rc::new(CElem {
+        let elem = Item::Elem(Arc::new(CElem {
             tag: "t".into(),
             attrs: vec![],
             children: vec![Item::str("a"), Item::Node(names[0])],
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn serialization_escapes_and_nests() {
         let s = store();
-        let elem = Item::Elem(Rc::new(CElem {
+        let elem = Item::Elem(Arc::new(CElem {
             tag: "increase".into(),
             attrs: vec![("first".into(), "1<2".into())],
             children: vec![Item::str("a&b")],
@@ -231,7 +231,7 @@ mod tests {
     #[test]
     fn canonicalize_sorts_constructed_attributes() {
         let s = store();
-        let elem = Item::Elem(Rc::new(CElem {
+        let elem = Item::Elem(Arc::new(CElem {
             tag: "e".into(),
             attrs: vec![("z".into(), "1".into()), ("a".into(), "2".into())],
             children: vec![],
@@ -248,7 +248,7 @@ mod tests {
     #[test]
     fn adjacent_atomics_get_space_separated() {
         let s = store();
-        let elem = Item::Elem(Rc::new(CElem {
+        let elem = Item::Elem(Arc::new(CElem {
             tag: "t".into(),
             attrs: vec![],
             children: vec![Item::Num(1.0), Item::Num(2.0)],

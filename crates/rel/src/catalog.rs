@@ -8,8 +8,8 @@
 //! [`Catalog::lookup_hash_index`], which count accesses; the fragmented store
 //! has hundreds of tables and pays proportionally.
 
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::index::{BTreeIndex, HashIndex};
 use crate::table::Table;
@@ -20,7 +20,7 @@ pub struct Catalog {
     tables: HashMap<String, Table>,
     hash_indexes: HashMap<String, HashIndex>,
     btree_indexes: HashMap<String, BTreeIndex>,
-    metadata_accesses: Cell<u64>,
+    metadata_accesses: AtomicU64,
 }
 
 impl Catalog {
@@ -56,19 +56,19 @@ impl Catalog {
     /// Look up a table, **counting the access** (compile-time metadata
     /// cost).
     pub fn lookup_table(&self, name: &str) -> Option<&Table> {
-        self.metadata_accesses.set(self.metadata_accesses.get() + 1);
+        self.metadata_accesses.fetch_add(1, Ordering::Relaxed);
         self.tables.get(name)
     }
 
     /// Look up a hash index, counting the access.
     pub fn lookup_hash_index(&self, name: &str) -> Option<&HashIndex> {
-        self.metadata_accesses.set(self.metadata_accesses.get() + 1);
+        self.metadata_accesses.fetch_add(1, Ordering::Relaxed);
         self.hash_indexes.get(name)
     }
 
     /// Look up a B-tree index, counting the access.
     pub fn lookup_btree_index(&self, name: &str) -> Option<&BTreeIndex> {
-        self.metadata_accesses.set(self.metadata_accesses.get() + 1);
+        self.metadata_accesses.fetch_add(1, Ordering::Relaxed);
         self.btree_indexes.get(name)
     }
 
@@ -84,12 +84,12 @@ impl Catalog {
 
     /// Metadata accesses since the last [`Catalog::reset_metadata_counter`].
     pub fn metadata_accesses(&self) -> u64 {
-        self.metadata_accesses.get()
+        self.metadata_accesses.load(Ordering::Relaxed)
     }
 
     /// Reset the access counter (the harness does this per query).
     pub fn reset_metadata_counter(&self) {
-        self.metadata_accesses.set(0);
+        self.metadata_accesses.store(0, Ordering::Relaxed);
     }
 
     /// Total resident bytes of tables and indexes — Table 1's "Size".

@@ -13,8 +13,8 @@
 //! Every navigation step is an index lookup against those generic
 //! structures; nothing is specialized to the schema.
 
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use xmark_rel::{HashIndex, Table, Value};
 use xmark_xml::{Document, NodeId};
@@ -117,7 +117,7 @@ pub struct EdgeStore {
     owner_idx: HashIndex,
     id_idx: HashMap<String, u32>,
     root: u32,
-    metadata: Cell<u64>,
+    metadata: AtomicU64,
 }
 
 impl EdgeStore {
@@ -178,7 +178,7 @@ impl EdgeStore {
             owner_idx,
             id_idx,
             root: doc.root_element().0,
-            metadata: Cell::new(0),
+            metadata: AtomicU64::new(0),
         }
     }
 
@@ -281,18 +281,18 @@ impl XmlStore for EdgeStore {
     }
 
     fn begin_compile(&self) {
-        self.metadata.set(0);
+        self.metadata.store(0, Ordering::Relaxed);
     }
 
     fn compile_step(&self, tag: &str) -> usize {
         // One relation descriptor: the whole point of System A. A second
         // access fetches index statistics for the optimizer.
-        self.metadata.set(self.metadata.get() + 2);
+        self.metadata.fetch_add(2, Ordering::Relaxed);
         self.tag_idx.get(&Value::str(tag)).len()
     }
 
     fn metadata_accesses(&self) -> u64 {
-        self.metadata.get()
+        self.metadata.load(Ordering::Relaxed)
     }
 }
 

@@ -15,8 +15,8 @@
 //! [`XmlStore::typed_child_value`] and [`XmlStore::positional_child`] —
 //! that is why C wins the paper's Q2/Q3.
 
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use xmark_rel::{Table, Value};
 use xmark_xml::{Document, NodeId};
@@ -40,7 +40,7 @@ pub struct InlinedStore {
     entity_of_tag: HashMap<String, usize>,
     /// Positional child index: auction node → bidder nodes in order.
     bidders: HashMap<u32, Vec<u32>>,
-    metadata: Cell<u64>,
+    metadata: AtomicU64,
 }
 
 impl InlinedStore {
@@ -123,7 +123,7 @@ impl InlinedStore {
             entities,
             entity_of_tag,
             bidders,
-            metadata: Cell::new(0),
+            metadata: AtomicU64::new(0),
         }
     }
 
@@ -222,7 +222,7 @@ impl XmlStore for InlinedStore {
     }
 
     fn begin_compile(&self) {
-        self.metadata.set(0);
+        self.metadata.store(0, Ordering::Relaxed);
         self.base.begin_compile();
     }
 
@@ -233,16 +233,16 @@ impl XmlStore for InlinedStore {
         // B's four-descriptor resolution, because the DTD pre-resolves
         // which fragment a tag lives in.
         if let Some(&eidx) = self.entity_of_tag.get(tag) {
-            self.metadata.set(self.metadata.get() + 1);
+            self.metadata.fetch_add(1, Ordering::Relaxed);
             self.entities[eidx].rows.len()
         } else {
-            self.metadata.set(self.metadata.get() + 2);
+            self.metadata.fetch_add(2, Ordering::Relaxed);
             self.base.fragment_cardinality(tag)
         }
     }
 
     fn metadata_accesses(&self) -> u64 {
-        self.metadata.get() + self.base.metadata_accesses()
+        self.metadata.load(Ordering::Relaxed) + self.base.metadata_accesses()
     }
 }
 

@@ -36,6 +36,23 @@ pub use naive::NaiveStore;
 pub use summary::SummaryStore;
 pub use traits::{Node, PositionSpec, SystemId, XmlStore};
 
+// Compile-time proof that every backend can be shared across threads:
+// `XmlStore` carries `Send + Sync` supertraits, and each concrete store
+// must satisfy them (metadata counters are relaxed atomics, everything
+// else is immutable after bulkload). A backend that regresses to `Cell`,
+// `Rc`, or `RefCell` fails to compile right here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EdgeStore>();
+    assert_send_sync::<FragmentedStore>();
+    assert_send_sync::<InlinedStore>();
+    assert_send_sync::<SummaryStore>();
+    assert_send_sync::<IntervalStore>();
+    assert_send_sync::<NaiveStore>();
+    assert_send_sync::<Box<dyn XmlStore>>();
+    assert_send_sync::<std::sync::Arc<dyn XmlStore>>();
+};
+
 /// Bulkload `xml` into the store modeling `system`.
 ///
 /// # Errors

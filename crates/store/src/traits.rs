@@ -115,7 +115,13 @@ pub enum PositionSpec {
 
 /// The storage contract. Handles are only meaningful within the store that
 /// produced them.
-pub trait XmlStore {
+///
+/// Every store is `Send + Sync`: bulkload builds immutable structures and
+/// the only runtime mutation is the relaxed atomic metadata counter, so a
+/// loaded store can be shared across query worker threads behind an
+/// `Arc<dyn XmlStore>` (the concurrent service layer in `xmark::service`
+/// relies on this).
+pub trait XmlStore: Send + Sync {
     /// Which paper system this store models.
     fn system(&self) -> SystemId;
 

@@ -1,0 +1,120 @@
+//! Cross-backend concurrency property: N threads running the same query
+//! mix over ONE shared store must produce canonical outputs identical to
+//! the single-threaded run — for every one of the seven backends.
+//!
+//! This is the correctness half of the concurrent service layer. The
+//! throughput half (`table4_throughput`) only makes sense if sharing a
+//! store across threads never changes an answer: no torn metadata
+//! counters, no cache cross-talk, no evaluator state leaking between
+//! concurrent executions.
+
+use std::sync::Arc;
+use std::thread;
+
+use xmark::prelude::*;
+
+/// A mix that exercises every access-path family: ID lookup (Q1),
+/// positional index (Q2), casting (Q5), structural-summary counting (Q6),
+/// reference chasing / hash join (Q8), and long path traversal (Q17).
+const MIX: [usize; 6] = [1, 2, 5, 6, 8, 17];
+const THREADS: usize = 4;
+/// Closed-loop rounds each thread runs over the whole mix.
+const ROUNDS: usize = 2;
+
+fn assert_concurrent_matches_sequential(system: SystemId, xml: &str) {
+    let loaded = load_system(system, xml);
+
+    // Ground truth: the single-threaded canonical output of each query.
+    let expected: Vec<String> = MIX
+        .iter()
+        .map(|&q| canonical_output(loaded.store.as_ref(), q))
+        .collect();
+
+    let store: Arc<dyn XmlStore> = Arc::from(loaded.store);
+    let outputs: Vec<Vec<String>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    for round in 0..ROUNDS {
+                        // Stagger the order per thread and round so
+                        // different queries genuinely overlap.
+                        for i in 0..MIX.len() {
+                            let q = MIX[(i + t + round) % MIX.len()];
+                            seen.push((q, canonical_output(store.as_ref(), q)));
+                        }
+                    }
+                    let mut per_query = vec![String::new(); MIX.len()];
+                    for (q, out) in seen {
+                        let slot = MIX.iter().position(|&m| m == q).unwrap();
+                        per_query[slot] = out;
+                    }
+                    per_query
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    for (t, per_query) in outputs.iter().enumerate() {
+        for (slot, &q) in MIX.iter().enumerate() {
+            assert_eq!(
+                per_query[slot], expected[slot],
+                "{system}: thread {t} diverged from the sequential run on Q{q}"
+            );
+        }
+    }
+}
+
+macro_rules! concurrency_test {
+    ($name:ident, $system:expr) => {
+        #[test]
+        fn $name() {
+            let doc = generate_document(0.002);
+            assert_concurrent_matches_sequential($system, &doc.xml);
+        }
+    };
+}
+
+concurrency_test!(system_a_concurrent_equals_sequential, SystemId::A);
+concurrency_test!(system_b_concurrent_equals_sequential, SystemId::B);
+concurrency_test!(system_c_concurrent_equals_sequential, SystemId::C);
+concurrency_test!(system_d_concurrent_equals_sequential, SystemId::D);
+concurrency_test!(system_e_concurrent_equals_sequential, SystemId::E);
+concurrency_test!(system_f_concurrent_equals_sequential, SystemId::F);
+concurrency_test!(system_g_concurrent_equals_sequential, SystemId::G);
+
+/// The service layer itself, driven over every backend: worker-pool
+/// results carry the same cardinalities the sequential evaluator reports.
+#[test]
+fn service_pool_preserves_cardinalities_on_all_backends() {
+    let session = Benchmark::at_factor(0.001).queries([1, 6]).generate();
+    for system in SystemId::ALL {
+        let loaded = session.load(system);
+        let seq_items: Vec<usize> = [1, 6]
+            .iter()
+            .map(|&q| measure_query(&loaded, q).result_items)
+            .collect();
+        let service = QueryService::start(Arc::from(loaded.store), THREADS);
+        let report = service.run_mix(&[1, 6], 8);
+        assert_eq!(report.requests, 8, "{system}: lost requests");
+        // Each query ran 4 times; the cardinality every worker observed
+        // matches the sequential run (run_mix itself asserts that all
+        // concurrent requests of a query agreed with each other).
+        for (&q, &expected_items) in [1usize, 6].iter().zip(&seq_items) {
+            let stats = report.stats(q).unwrap_or_else(|| {
+                panic!("{system}: no latency stats for Q{q}");
+            });
+            assert_eq!(stats.count, 4, "{system}: Q{q} request count");
+            assert!(stats.p50 <= stats.p99, "{system}: Q{q} percentile order");
+            assert_eq!(
+                stats.result_items, expected_items,
+                "{system}: Q{q} cardinality under the pool diverged from sequential"
+            );
+        }
+    }
+}
