@@ -1,0 +1,88 @@
+//! Plan-cache microbench: prepared vs unprepared QPS on the service
+//! layer.
+//!
+//! Three ways to serve the same repeated-query batch against one loaded
+//! store:
+//!
+//! * `unprepared` — parse + plan + execute per request (what every
+//!   request cost before the plan cache existed),
+//! * `prepared` — a [`PreparedQuery`] compiled once, executed per request
+//!   (the per-session ceiling: no cache lookup at all),
+//! * `service_cold` / `service_warm` — the worker pool with the plan
+//!   cache disabled vs enabled, measuring the cache's effect end to end
+//!   including channel overhead.
+//!
+//! The gap between `unprepared` and `prepared` is the Table 2 compile
+//! share, paid per request vs once; the service pair shows how much of
+//! it the LRU cache recovers under the pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use xmark::prelude::*;
+
+/// A compile-heavy repeated mix: cheap executions, so the parse+plan
+/// share is visible.
+const MIX: [usize; 2] = [1, 17];
+const REQUESTS: usize = 20;
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let session = Benchmark::at_scale("mini")
+        .systems(&[SystemId::D])
+        .generate();
+    let store: Arc<dyn XmlStore> = session.load_shared(SystemId::D);
+
+    let mut group = c.benchmark_group("plan_cache");
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("unprepared"),
+        &store,
+        |b, store| {
+            b.iter(|| {
+                for i in 0..REQUESTS {
+                    let q = query(MIX[i % MIX.len()]);
+                    let compiled = compile(q.text, store.as_ref()).unwrap();
+                    black_box(execute(&compiled, store.as_ref()).unwrap());
+                }
+            })
+        },
+    );
+
+    let prepared: Vec<PreparedQuery> = MIX
+        .iter()
+        .map(|&n| PreparedQuery::new(Arc::clone(&store), query(n).text))
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("prepared"),
+        &prepared,
+        |b, prepared| {
+            b.iter(|| {
+                for i in 0..REQUESTS {
+                    black_box(prepared[i % prepared.len()].execute());
+                }
+            })
+        },
+    );
+
+    let cold = QueryService::start_with_cache(Arc::clone(&store), 1, 0);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("service_cold"),
+        &cold,
+        |b, service| b.iter(|| black_box(service.run_mix(&MIX, REQUESTS)).requests),
+    );
+    drop(cold);
+
+    let warm = QueryService::start(Arc::clone(&store), 1);
+    warm.run_mix(&MIX, MIX.len()); // prime the cache
+    group.bench_with_input(
+        BenchmarkId::from_parameter("service_warm"),
+        &warm,
+        |b, service| b.iter(|| black_box(service.run_mix(&MIX, REQUESTS)).requests),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_cache);
+criterion_main!(benches);

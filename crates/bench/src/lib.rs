@@ -7,15 +7,16 @@
 //! |----------|--------|
 //! | Fig. 3 (document scaling) + §4.5 xmlgen claims | `fig3_scaling` |
 //! | Table 1 (bulkload time, database size) | `table1_bulkload` |
-//! | Table 2 (compile vs execute split, Q1/Q2 on A–C) | `table2_phases` |
+//! | Table 2 (parse/plan/execute split, Q1/Q2 on A–G) | `table2_phases` |
 //! | Table 3 (13 queries × systems A–F) | `table3_queries` |
 //! | Fig. 4 (Q1–Q20 on embedded System G) | `fig4_embedded` |
-//! | Table 4 (concurrent throughput, this reproduction's extension) | `table4_throughput` |
+//! | Table 4 (concurrent throughput + plan cache, this reproduction's extension) | `table4_throughput` |
 //!
 //! Criterion microbenches (`benches/`) cover generator throughput, bulk
 //! loading, the query suite, the two architecture ablations (structural
-//! summary on/off, interval index vs scan), and the concurrent service
-//! layer (`throughput`).
+//! summary on/off, interval index vs scan), the concurrent service layer
+//! (`throughput`), and prepared-vs-unprepared serving through the plan
+//! cache (`plan_cache`).
 
 use std::time::{Duration, Instant};
 

@@ -65,13 +65,17 @@
 //! * [`xmark_xml`] — XML tokenizer, DOM, serializer,
 //! * [`xmark_rel`] — the relational substrate behind Systems A/B/C,
 //! * [`xmark_store`] — the seven storage architectures (§7), all
-//!   `Send + Sync`,
-//! * [`xmark_query`] — the XQuery subset (§6), with `Arc`-based results
-//!   that cross threads,
+//!   `Send + Sync`, each reporting its planner capabilities and catalog
+//!   selectivity estimates,
+//! * [`xmark_query`] — the XQuery subset (§6) as an explicit
+//!   parse → plan → execute pipeline: a cost-based planner lowers each
+//!   query into a physical plan (`EXPLAIN`-renderable, cached by the
+//!   service layer) that a decision-free executor runs,
 //! * [`queries`] — the twenty benchmark queries,
-//! * [`spec`] — scales, workload driver, measurement types,
-//! * [`service`] — the concurrent query service (worker pool, latency
-//!   percentiles, QPS).
+//! * [`spec`] — scales, workload driver, three-phase measurement types,
+//!   prepared queries,
+//! * [`service`] — the concurrent query service (worker pool, shared LRU
+//!   plan cache, latency percentiles, QPS).
 
 pub mod queries;
 pub mod service;
@@ -96,12 +100,18 @@ pub use xmark_xml as xml;
 /// `Vec`-returning methods remain as thin wrappers.
 pub mod prelude {
     pub use crate::queries::{query, BenchmarkQuery, Concept, ALL_QUERIES, TABLE3_QUERIES};
-    pub use crate::service::{LatencyStats, QueryService, RequestMeasurement, ThroughputReport};
+    pub use crate::service::{
+        LatencyStats, PlanCache, QueryService, RequestMeasurement, ThroughputReport,
+        DEFAULT_PLAN_CACHE,
+    };
     pub use crate::spec::{
         canonical_output, generate_document, load_system, measure_query, scale, Benchmark,
-        BenchmarkReport, GeneratedDocument, LoadedStore, QueryMeasurement, Scale, Session, SCALES,
+        BenchmarkReport, GeneratedDocument, LoadedStore, PreparedQuery, QueryMeasurement, Scale,
+        Session, SCALES,
     };
     pub use xmark_gen::{generate_split, generate_string, Generator, GeneratorConfig, AUCTION_DTD};
-    pub use xmark_query::{compile, execute, run_query, serialize_sequence};
-    pub use xmark_store::{build_store, SystemId, XmlStore};
+    pub use xmark_query::{
+        compile, compile_with_mode, execute, explain_plan, run_query, serialize_sequence, PlanMode,
+    };
+    pub use xmark_store::{build_store, PlannerCaps, SystemId, XmlStore};
 }

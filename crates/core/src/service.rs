@@ -11,11 +11,16 @@
 //!
 //! Architecture: [`QueryService::start`] spawns N OS threads. Jobs (query
 //! numbers) travel over an `mpsc` channel shared through a mutexed
-//! receiver; finished measurements return over a second channel. Each
-//! request is compiled *and* executed by the worker, so a request's
-//! latency matches the compile+execute total of Table 3. A closed-loop
-//! run keeps the queue non-empty, which is equivalent to N concurrent
-//! always-on client streams.
+//! receiver; finished measurements return over a second channel. A
+//! closed-loop run keeps the queue non-empty, which is equivalent to N
+//! concurrent always-on client streams.
+//!
+//! Workers share an LRU [`PlanCache`] keyed by query text: the first
+//! request for a query compiles it (parse + metadata + plan — the
+//! Table 2 compile phase) and caches the [`Compiled`] artifact; every
+//! subsequent request executes the cached physical plan directly. The
+//! cache hit rate and the resulting cold-vs-warm throughput gap are
+//! reported per run ([`ThroughputReport::plan_cache_hit_rate`]).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -30,19 +35,126 @@
 //! assert!(report.qps() > 0.0);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use xmark_query::{compile, execute};
+use xmark_query::{compile, execute, Compiled};
 use xmark_store::{SystemId, XmlStore};
 
 use crate::queries::query;
 
-/// One completed request: which query ran and how long it took
-/// (compile + execute, the Table 3 total).
+/// Default capacity of a service's plan cache — comfortably holds the
+/// twenty benchmark queries.
+pub const DEFAULT_PLAN_CACHE: usize = 64;
+
+/// A shared LRU cache of compiled plans, keyed by query text.
+///
+/// Compilation (parse + metadata resolution + planning) is pure per
+/// (query, store), so a service serving one store caches the whole
+/// [`Compiled`] artifact: a hit skips parse and plan entirely and the
+/// Table 2 statistics are collected once at miss time instead of per
+/// request — the free throughput the ROADMAP's million-user target needs.
+///
+/// Hit/miss counters are relaxed atomics; the map itself sits behind a
+/// mutex taken only for the lookup/insert, never during compilation or
+/// execution.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<PlanCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Default)]
+struct PlanCacheInner {
+    map: HashMap<String, Arc<Compiled>>,
+    /// Recency queue, least-recent first.
+    order: VecDeque<String>,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans. Capacity 0
+    /// disables caching (every lookup misses) — the cold-path baseline
+    /// the throughput comparison measures against.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            inner: Mutex::new(PlanCacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the plan for `text`, counting a hit or a miss.
+    pub fn lookup(&self, text: &str) -> Option<Arc<Compiled>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        match inner.map.get(text).cloned() {
+            Some(hit) => {
+                // Move to most-recent.
+                if let Some(pos) = inner.order.iter().position(|k| k == text) {
+                    inner.order.remove(pos);
+                }
+                inner.order.push_back(text.to_string());
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled plan, evicting the least recently used
+    /// entries past capacity.
+    pub fn insert(&self, text: &str, compiled: Arc<Compiled>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if inner.map.insert(text.to_string(), compiled).is_none() {
+            inner.order.push_back(text.to_string());
+        }
+        while inner.map.len() > self.capacity {
+            let Some(evicted) = inner.order.pop_front() else {
+                break;
+            };
+            inner.map.remove(&evicted);
+        }
+    }
+
+    /// Hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached plans right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").map.len()
+    }
+
+    /// Whether the cache currently holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One completed request: which query ran and how long it took. On a
+/// plan-cache miss that is compile + execute (the Table 3 total); on a
+/// hit it is cache lookup + execute.
 #[derive(Debug, Clone, Copy)]
 pub struct RequestMeasurement {
     /// Query number (1–20).
@@ -88,6 +200,11 @@ pub struct ThroughputReport {
     pub requests: usize,
     /// Wall time from first dispatch to last completion.
     pub elapsed: Duration,
+    /// Plan-cache hits during this run (requests that skipped
+    /// parse + plan).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses during this run (cold compilations).
+    pub plan_cache_misses: u64,
     /// Per-query latency distributions, ordered by query number.
     pub per_query: Vec<LatencyStats>,
 }
@@ -96,6 +213,17 @@ impl ThroughputReport {
     /// Aggregate queries per second.
     pub fn qps(&self) -> f64 {
         self.requests as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Fraction of requests served from the plan cache (0.0 when the
+    /// cache is disabled or the run made no lookups).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
     }
 
     /// The latency stats for one query.
@@ -115,33 +243,52 @@ enum Job {
 pub struct QueryService {
     system: SystemId,
     workers: usize,
+    cache: Arc<PlanCache>,
     jobs: Option<mpsc::Sender<Job>>,
     results: mpsc::Receiver<RequestMeasurement>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl QueryService {
-    /// Spawn `workers` threads serving queries against `store`.
+    /// Spawn `workers` threads serving queries against `store`, with the
+    /// default-capacity plan cache.
     ///
     /// # Panics
     /// Panics if `workers` is zero.
     pub fn start(store: Arc<dyn XmlStore>, workers: usize) -> Self {
+        Self::start_with_cache(store, workers, DEFAULT_PLAN_CACHE)
+    }
+
+    /// Spawn a pool with an explicit plan-cache capacity. Capacity 0
+    /// disables caching, forcing a cold parse + plan per request — the
+    /// baseline the throughput comparison measures against.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn start_with_cache(
+        store: Arc<dyn XmlStore>,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> Self {
         assert!(workers > 0, "a query service needs at least one worker");
         let system = store.system();
+        let cache = Arc::new(PlanCache::new(cache_capacity));
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let (result_tx, result_rx) = mpsc::channel::<RequestMeasurement>();
         let handles = (0..workers)
             .map(|_| {
                 let store = Arc::clone(&store);
+                let cache = Arc::clone(&cache);
                 let job_rx = Arc::clone(&job_rx);
                 let result_tx = result_tx.clone();
-                thread::spawn(move || worker_loop(store, &job_rx, &result_tx))
+                thread::spawn(move || worker_loop(store, cache, &job_rx, &result_tx))
             })
             .collect();
         QueryService {
             system,
             workers,
+            cache,
             jobs: Some(job_tx),
             results: result_rx,
             handles,
@@ -158,6 +305,11 @@ impl QueryService {
         self.workers
     }
 
+    /// The shared plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
     /// Execute `requests` requests cycling through the query `mix`
     /// closed-loop, and aggregate latencies and QPS.
     ///
@@ -170,6 +322,8 @@ impl QueryService {
             "the query mix must name at least one query"
         );
         let jobs = self.jobs.as_ref().expect("service is running");
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
         let start = Instant::now();
         for i in 0..requests {
             jobs.send(Job::Run(mix[i % mix.len()]))
@@ -200,6 +354,8 @@ impl QueryService {
             workers: self.workers,
             requests,
             elapsed,
+            plan_cache_hits: self.cache.hits() - hits_before,
+            plan_cache_misses: self.cache.misses() - misses_before,
             per_query,
         }
     }
@@ -246,6 +402,7 @@ impl Drop for QueryService {
 
 fn worker_loop(
     store: Arc<dyn XmlStore>,
+    cache: Arc<PlanCache>,
     jobs: &Mutex<mpsc::Receiver<Job>>,
     results: &mpsc::Sender<RequestMeasurement>,
 ) {
@@ -257,8 +414,20 @@ fn worker_loop(
         };
         let q = query(number);
         let start = Instant::now();
-        let compiled = compile(q.text, store.as_ref())
-            .unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}"));
+        // A cache hit reuses the whole compiled artifact: no parse, no
+        // metadata resolution, no planning. Two workers racing on the
+        // same cold query both compile — harmless, last insert wins.
+        let compiled = match cache.lookup(q.text) {
+            Some(compiled) => compiled,
+            None => {
+                let compiled = Arc::new(
+                    compile(q.text, store.as_ref())
+                        .unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}")),
+                );
+                cache.insert(q.text, Arc::clone(&compiled));
+                compiled
+            }
+        };
         let result = execute(&compiled, store.as_ref())
             .unwrap_or_else(|e| panic!("Q{number} failed to execute: {e}"));
         let latency = start.elapsed();
@@ -340,6 +509,53 @@ mod tests {
         let doc = generate_document(0.001);
         let store: Arc<dyn XmlStore> = Arc::from(load_system(SystemId::G, &doc.xml).store);
         let _ = QueryService::start(store, 0);
+    }
+
+    #[test]
+    fn plan_cache_hits_after_first_compilation() {
+        let doc = generate_document(0.001);
+        let store: Arc<dyn XmlStore> = Arc::from(load_system(SystemId::D, &doc.xml).store);
+        let service = QueryService::start(store, 1);
+        let report = service.run_mix(&[1, 6], 10);
+        // One cold miss per distinct query, hits for everything after.
+        assert_eq!(report.plan_cache_misses, 2);
+        assert_eq!(report.plan_cache_hits, 8);
+        assert!((report.plan_cache_hit_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(service.plan_cache().len(), 2);
+        // A second run over the same mix is fully warm.
+        let again = service.run_mix(&[1, 6], 6);
+        assert_eq!(again.plan_cache_misses, 0);
+        assert_eq!(again.plan_cache_hits, 6);
+        assert!((again.plan_cache_hit_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_plan_cache_always_misses() {
+        let doc = generate_document(0.001);
+        let store: Arc<dyn XmlStore> = Arc::from(load_system(SystemId::G, &doc.xml).store);
+        let service = QueryService::start_with_cache(store, 1, 0);
+        let report = service.run_mix(&[17], 5);
+        assert_eq!(report.plan_cache_hits, 0);
+        assert_eq!(report.plan_cache_misses, 5);
+        assert_eq!(report.plan_cache_hit_rate(), 0.0);
+        assert!(service.plan_cache().is_empty());
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        let doc = generate_document(0.001);
+        let store = load_system(SystemId::G, &doc.xml).store;
+        let compiled =
+            |n: usize| Arc::new(compile(crate::queries::query(n).text, store.as_ref()).unwrap());
+        cache.insert("a", compiled(1));
+        cache.insert("b", compiled(6));
+        assert!(cache.lookup("a").is_some()); // refresh "a": "b" is now LRU
+        cache.insert("c", compiled(17));
+        assert!(cache.lookup("b").is_none(), "LRU entry evicted");
+        assert!(cache.lookup("a").is_some());
+        assert!(cache.lookup("c").is_some());
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Query compilation: parsing plus the metadata-resolution pass.
+//! Query compilation: parse → plan.
 //!
 //! Table 2 of the paper splits query cost into *compilation* (parsing,
 //! metadata access, optimization) and *execution*, and shows that the
@@ -6,17 +6,23 @@
 //! time of the fragmenting System B because it touches one relation
 //! descriptor instead of one per path step.
 //!
-//! [`compile`] reproduces that phase: it parses the query and then walks
-//! every path step, asking the store to resolve the step's metadata
-//! ([`XmlStore::compile_step`]) and collecting the cardinality estimates a
-//! cost-based optimizer would use. The benchmark harness times this
-//! function separately from [`execute`] to regenerate Table 2.
+//! [`compile`] reproduces that phase as a real pipeline: it parses the
+//! query and hands the AST to the cost-based planner
+//! ([`crate::planner::plan_query`]), which resolves every path step
+//! against the store's catalog ([`xmark_store::XmlStore::estimate_step`]),
+//! collects the cardinality estimates, and lowers the query into a
+//! [`PhysicalPlan`] with every access-path and join decision made. The
+//! benchmark harness times [`parse`](crate::parse_query), [`plan`] and
+//! [`execute`] separately to regenerate the paper's Table 2 as three
+//! columns.
 
 use xmark_store::XmlStore;
 
-use crate::ast::*;
+use crate::ast::Query;
 use crate::eval::{EvalError, Evaluator};
 use crate::parse::{parse_query, ParseError};
+use crate::plan::{PhysicalPlan, PlanMode};
+use crate::planner::plan_query;
 use crate::result::Sequence;
 
 /// Compilation statistics (the "metadata" column of Table 2).
@@ -30,13 +36,24 @@ pub struct CompileStats {
     pub estimated_rows: u64,
 }
 
-/// A compiled query, ready for repeated execution.
+/// A compiled query: the physical plan the planner chose plus the
+/// compile statistics. Ready for repeated execution — services cache
+/// this whole object keyed by query text so repeated requests skip
+/// parse and plan entirely.
 #[derive(Debug, Clone)]
 pub struct Compiled {
-    /// The parsed query.
-    pub query: Query,
+    /// The physical plan (all rewrite decisions made at compile time).
+    pub plan: PhysicalPlan,
     /// Compilation statistics.
     pub stats: CompileStats,
+}
+
+impl Compiled {
+    /// Render the physical plan one line per operator (see
+    /// [`crate::explain`]).
+    pub fn explain(&self) -> String {
+        crate::explain::explain_plan(&self.plan)
+    }
 }
 
 /// Compilation errors.
@@ -62,23 +79,38 @@ impl From<ParseError> for CompileError {
     }
 }
 
-/// Compile `text` for execution against `store`.
+/// Compile `text` for execution against `store` with the optimizing
+/// planner.
 pub fn compile(text: &str, store: &dyn XmlStore) -> Result<Compiled, CompileError> {
+    compile_with_mode(text, store, PlanMode::Optimized)
+}
+
+/// Compile `text` with an explicit [`PlanMode`]. `PlanMode::Naive`
+/// produces the pure nested-loop plan the optimizer oracle executes as
+/// the specification.
+pub fn compile_with_mode(
+    text: &str,
+    store: &dyn XmlStore,
+    mode: PlanMode,
+) -> Result<Compiled, CompileError> {
     let query = parse_query(text)?;
+    Ok(plan(&query, store, mode))
+}
+
+/// The planning phase alone: lower an already-parsed query into a
+/// [`Compiled`] against `store`. The harness calls this between separate
+/// parse and execute timers to split Table 2 into three columns.
+pub fn plan(query: &Query, store: &dyn XmlStore, mode: PlanMode) -> Compiled {
     store.begin_compile();
-    let mut stats = CompileStats::default();
-    for f in &query.functions {
-        resolve_expr(&f.body, store, &mut stats);
-    }
-    resolve_expr(&query.body, store, &mut stats);
+    let (plan, mut stats) = plan_query(query, store, mode);
     stats.metadata_accesses = store.metadata_accesses();
-    Ok(Compiled { query, stats })
+    Compiled { plan, stats }
 }
 
 /// Execute a compiled query.
 pub fn execute(compiled: &Compiled, store: &dyn XmlStore) -> Result<Sequence, EvalError> {
-    let evaluator = Evaluator::new(store, &compiled.query);
-    evaluator.run(&compiled.query)
+    let evaluator = Evaluator::new(store, &compiled.plan);
+    evaluator.run(&compiled.plan)
 }
 
 /// Compile and execute in one call.
@@ -87,93 +119,10 @@ pub fn run_query(text: &str, store: &dyn XmlStore) -> Result<Sequence, Box<dyn s
     Ok(execute(&compiled, store)?)
 }
 
-fn resolve_steps(steps: &[Step], store: &dyn XmlStore, stats: &mut CompileStats) {
-    for step in steps {
-        if let NodeTest::Tag(tag) = &step.test {
-            if step.axis != Axis::Attribute {
-                stats.steps_resolved += 1;
-                stats.estimated_rows += store.compile_step(tag) as u64;
-            }
-        }
-        for pred in &step.preds {
-            if let Pred::Expr(e) = pred {
-                resolve_expr(e, store, stats);
-            }
-        }
-    }
-}
-
-fn resolve_expr(expr: &Expr, store: &dyn XmlStore, stats: &mut CompileStats) {
-    match expr {
-        Expr::Path { base, steps } => {
-            if let PathBase::Expr(e) = base {
-                resolve_expr(e, store, stats);
-            }
-            resolve_steps(steps, store, stats);
-        }
-        Expr::Flwor(f) => {
-            for c in &f.clauses {
-                match c {
-                    Clause::For(_, e) | Clause::Let(_, e) => resolve_expr(e, store, stats),
-                }
-            }
-            if let Some(w) = &f.where_clause {
-                resolve_expr(w, store, stats);
-            }
-            if let Some((k, _)) = &f.order_by {
-                resolve_expr(k, store, stats);
-            }
-            resolve_expr(&f.ret, store, stats);
-        }
-        Expr::Or(parts) | Expr::And(parts) | Expr::Sequence(parts) => {
-            for p in parts {
-                resolve_expr(p, store, stats);
-            }
-        }
-        Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::Before(a, b) => {
-            resolve_expr(a, store, stats);
-            resolve_expr(b, store, stats);
-        }
-        Expr::Neg(e) => resolve_expr(e, store, stats),
-        Expr::Call(_, args) => {
-            for a in args {
-                resolve_expr(a, store, stats);
-            }
-        }
-        Expr::Some {
-            bindings,
-            satisfies,
-        } => {
-            for (_, e) in bindings {
-                resolve_expr(e, store, stats);
-            }
-            resolve_expr(satisfies, store, stats);
-        }
-        Expr::Element(ctor) => resolve_ctor(ctor, store, stats),
-        Expr::Var(_) | Expr::Str(_) | Expr::Num(_) | Expr::Empty => {}
-    }
-}
-
-fn resolve_ctor(ctor: &ElementCtor, store: &dyn XmlStore, stats: &mut CompileStats) {
-    for (_, parts) in &ctor.attrs {
-        for p in parts {
-            if let AttrPart::Expr(e) = p {
-                resolve_expr(e, store, stats);
-            }
-        }
-    }
-    for c in &ctor.content {
-        match c {
-            Content::Expr(e) => resolve_expr(e, store, stats),
-            Content::Element(nested) => resolve_ctor(nested, store, stats),
-            Content::Text(_) => {}
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::{PlanExpr, Strategy};
     use xmark_store::{EdgeStore, FragmentedStore};
 
     const DOC: &str = r#"<site><people><person id="person0"><name>Alice</name></person><person id="person1"><name>Bob</name></person></people></site>"#;
@@ -203,6 +152,44 @@ mod tests {
         assert!(
             cb.stats.metadata_accesses > ca.stats.metadata_accesses,
             "B must touch more metadata than A (paper Table 2)"
+        );
+    }
+
+    #[test]
+    fn naive_and_optimized_modes_resolve_identical_metadata() {
+        // The statistics pass is strategy-independent: the naive plan must
+        // report the same catalog touches (Table 2 comparability).
+        let store = EdgeStore::load(DOC).unwrap();
+        let q = r#"for $b in /site/people/person return $b/name/text()"#;
+        let optimized = compile_with_mode(q, &store, PlanMode::Optimized).unwrap();
+        let naive = compile_with_mode(q, &store, PlanMode::Naive).unwrap();
+        assert_eq!(optimized.stats, naive.stats);
+    }
+
+    #[test]
+    fn naive_mode_plans_pure_nested_loops() {
+        let store = EdgeStore::load(DOC).unwrap();
+        let q = r#"for $a in /site/people/person, $b in /site/people/person
+                   where $a/@id = $b/@id return $a"#;
+        let naive = compile_with_mode(q, &store, PlanMode::Naive).unwrap();
+        let PlanExpr::Flwor(f) = &naive.plan.body else {
+            panic!("body is a FLWOR");
+        };
+        let Strategy::NestedLoop { clauses, filters } = &f.strategy else {
+            panic!("naive mode must not plan joins, got {:?}", f.strategy);
+        };
+        // No pushdown either: the single conjunct sits at the deepest level.
+        assert_eq!(clauses.len(), 2);
+        assert!(filters[..2].iter().all(Vec::is_empty));
+        assert_eq!(filters[2].len(), 1);
+
+        let optimized = compile(q, &store).unwrap();
+        let PlanExpr::Flwor(f) = &optimized.plan.body else {
+            panic!("body is a FLWOR");
+        };
+        assert!(
+            matches!(f.strategy, Strategy::HashJoin { .. }),
+            "optimized mode plans the equi-join as a hash join"
         );
     }
 

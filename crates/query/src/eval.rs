@@ -1,30 +1,29 @@
-//! The query evaluator.
+//! The plan executor.
 //!
-//! A tuple-at-a-time FLWOR interpreter over the backend-neutral
-//! [`XmlStore`] interface. Architecture-specific speed comes exclusively
-//! from the access paths the store offers:
+//! [`Evaluator`] walks a [`PhysicalPlan`] produced by the compile-time
+//! planner ([`crate::planner`]). It contains **no strategy decisions**:
+//! which FLWOR runs as a hash join, where predicates are filtered, and
+//! which store access path answers a step were all chosen when the query
+//! was compiled and are visible via [`crate::explain`]. What remains here
+//! is mechanism:
 //!
-//! * `lookup_id` for `[@id = "…"]` rewrites (Q1),
-//! * `positional_child` for `bidder[1]` / `bidder[last()]` (Q2/Q3 — the
-//!   paper's "set-valued aggregates on the index attribute"),
-//! * `typed_child_value` for `…/tag/text()` tails (System C's inlined
-//!   columns),
-//! * the streaming axis cursors (`children_named_iter`,
-//!   `descendants_named_iter`) for path steps — predicate-free steps
-//!   stream matches straight into the output sequence with no
-//!   intermediate `Vec<Node>` — and `count_descendants_named` for
-//!   `count(//tag)` (System D's structural summary).
-//!
-//! Loop-invariant absolute paths are memoized per execution — the
-//! materialization every system in the paper performs before joining.
+//! * operator execution — NestedLoop, HashJoin, IndexLookup, Sort,
+//!   Project, Aggregate, PathScan over the streaming axis cursors,
+//! * per-execution memos (loop-invariant path materialization, join hash
+//!   tables, probe key lists) keyed by the signatures the planner
+//!   computed,
+//! * graceful fallbacks where a plan annotation turns out not to cover a
+//!   node (an un-inlined value, an unsupported positional probe) — the
+//!   generic cursor path always remains correct.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use xmark_store::{Node, PositionSpec, XmlStore};
+use xmark_store::{Node, XmlStore};
 
-use crate::ast::*;
+use crate::ast::{Axis, CmpOp, NodeTest};
+use crate::plan::*;
 use crate::result::{atomize, number, CElem, Item, Sequence};
 
 /// Evaluation errors.
@@ -67,8 +66,8 @@ impl std::error::Error for EvalError {}
 
 type EResult<T> = Result<T, EvalError>;
 
-/// A lookup index for decorrelated joins: canonical key → (source
-/// position, item) pairs in source order.
+/// A lookup index for join operators: canonical key → (source position,
+/// item) pairs in source order.
 type JoinIndex = HashMap<String, Vec<(usize, Item)>>;
 
 /// Variable environment with lexical scoping.
@@ -95,70 +94,60 @@ impl Env {
     }
 }
 
-/// The evaluator, bound to one store and one compiled query's functions.
-pub struct Evaluator<'s> {
-    store: &'s dyn XmlStore,
-    functions: HashMap<String, FunctionDecl>,
-    /// Memo for loop-invariant absolute paths.
+/// The executor, bound to one store and one physical plan's functions.
+pub struct Evaluator<'a> {
+    store: &'a dyn XmlStore,
+    functions: HashMap<&'a str, &'a PlanFunction>,
+    /// Memo for loop-invariant absolute paths — the materialization every
+    /// system in the paper performs before joining.
     path_cache: RefCell<HashMap<String, Arc<Sequence>>>,
-    /// Memo for decorrelated lookup indexes (`try_correlated_lookup`) and
-    /// hash-join build sides (`try_hash_join`).
+    /// Memo for IndexLookup indexes and HashJoin build sides, keyed by the
+    /// planner's signatures.
     index_cache: RefCell<HashMap<String, Arc<JoinIndex>>>,
     /// Memo for hash-join probe-side key lists, aligned with the cached
     /// source sequence.
     key_cache: RefCell<HashMap<String, Arc<Vec<Vec<String>>>>>,
-    /// Whether the join/decorrelation rewrites are enabled. Disabling
-    /// forces pure nested-loop semantics — used by the oracle tests that
-    /// prove the rewrites preserve results.
-    optimize: bool,
 }
 
-impl<'s> Evaluator<'s> {
-    /// Create an evaluator for `query` against `store`.
-    pub fn new(store: &'s dyn XmlStore, query: &Query) -> Self {
-        Self::with_optimizations(store, query, true)
-    }
-
-    /// Create an evaluator with the FLWOR rewrites (hash join,
-    /// decorrelation, predicate pushdown) switched on or off.
-    pub fn with_optimizations(store: &'s dyn XmlStore, query: &Query, optimize: bool) -> Self {
+impl<'a> Evaluator<'a> {
+    /// Create an executor for `plan` against `store`.
+    pub fn new(store: &'a dyn XmlStore, plan: &'a PhysicalPlan) -> Self {
         Evaluator {
             store,
-            functions: query
+            functions: plan
                 .functions
                 .iter()
-                .map(|f| (f.name.clone(), f.clone()))
+                .map(|f| (f.name.as_str(), f))
                 .collect(),
             path_cache: RefCell::new(HashMap::new()),
             index_cache: RefCell::new(HashMap::new()),
             key_cache: RefCell::new(HashMap::new()),
-            optimize,
         }
     }
 
-    /// Evaluate the query body.
-    pub fn run(&self, query: &Query) -> EResult<Sequence> {
+    /// Execute the plan body.
+    pub fn run(&self, plan: &PhysicalPlan) -> EResult<Sequence> {
         let mut env = Env::default();
-        self.eval(&query.body, &mut env, None)
+        self.eval(&plan.body, &mut env, None)
     }
 
-    fn eval(&self, expr: &Expr, env: &mut Env, ctx: Option<&Item>) -> EResult<Sequence> {
+    fn eval(&self, expr: &PlanExpr, env: &mut Env, ctx: Option<&Item>) -> EResult<Sequence> {
         match expr {
-            Expr::Str(s) => Ok(vec![Item::str(s)]),
-            Expr::Num(n) => Ok(vec![Item::Num(*n)]),
-            Expr::Empty => Ok(Vec::new()),
-            Expr::Var(name) => env
+            PlanExpr::Str(s) => Ok(vec![Item::str(s)]),
+            PlanExpr::Num(n) => Ok(vec![Item::Num(*n)]),
+            PlanExpr::Empty => Ok(Vec::new()),
+            PlanExpr::Var(name) => env
                 .get(name)
                 .map(|s| s.as_ref().clone())
                 .ok_or_else(|| EvalError::UndefinedVariable(name.clone())),
-            Expr::Sequence(parts) => {
+            PlanExpr::Sequence(parts) => {
                 let mut out = Vec::new();
                 for p in parts {
                     out.extend(self.eval(p, env, ctx)?);
                 }
                 Ok(out)
             }
-            Expr::Or(parts) => {
+            PlanExpr::Or(parts) => {
                 for p in parts {
                     if ebv(&self.eval(p, env, ctx)?) {
                         return Ok(vec![Item::Bool(true)]);
@@ -166,7 +155,7 @@ impl<'s> Evaluator<'s> {
                 }
                 Ok(vec![Item::Bool(false)])
             }
-            Expr::And(parts) => {
+            PlanExpr::And(parts) => {
                 for p in parts {
                     if !ebv(&self.eval(p, env, ctx)?) {
                         return Ok(vec![Item::Bool(false)]);
@@ -174,12 +163,12 @@ impl<'s> Evaluator<'s> {
                 }
                 Ok(vec![Item::Bool(true)])
             }
-            Expr::Cmp(op, lhs, rhs) => {
+            PlanExpr::Cmp(op, lhs, rhs) => {
                 let l = self.eval(lhs, env, ctx)?;
                 let r = self.eval(rhs, env, ctx)?;
                 Ok(vec![Item::Bool(self.general_compare(*op, &l, &r))])
             }
-            Expr::Before(lhs, rhs) => {
+            PlanExpr::Before(lhs, rhs) => {
                 let l = self.eval(lhs, env, ctx)?;
                 let r = self.eval(rhs, env, ctx)?;
                 let before = l.iter().any(|a| {
@@ -190,7 +179,7 @@ impl<'s> Evaluator<'s> {
                 });
                 Ok(vec![Item::Bool(before)])
             }
-            Expr::Arith(op, lhs, rhs) => {
+            PlanExpr::Arith(op, lhs, rhs) => {
                 let l = self.eval(lhs, env, ctx)?;
                 let r = self.eval(rhs, env, ctx)?;
                 let (Some(a), Some(b)) = (
@@ -199,6 +188,7 @@ impl<'s> Evaluator<'s> {
                 ) else {
                     return Ok(Vec::new());
                 };
+                use crate::ast::ArithOp;
                 let v = match op {
                     ArithOp::Add => a + b,
                     ArithOp::Sub => a - b,
@@ -208,65 +198,149 @@ impl<'s> Evaluator<'s> {
                 };
                 Ok(vec![Item::Num(v)])
             }
-            Expr::Neg(inner) => {
+            PlanExpr::Neg(inner) => {
                 let v = self.eval(inner, env, ctx)?;
                 Ok(match singleton_number(self.store, &v) {
                     Some(n) => vec![Item::Num(-n)],
                     None => Vec::new(),
                 })
             }
-            Expr::Path { base, steps } => self.eval_path(base, steps, env, ctx),
-            Expr::Flwor(f) => self.eval_flwor(f, env, ctx),
-            Expr::Some {
+            PlanExpr::Path(p) => self.eval_path(p, env, ctx),
+            PlanExpr::Aggregate(a) => self.eval_aggregate(a, env, ctx),
+            PlanExpr::Flwor(f) => self.eval_flwor(f, env, ctx),
+            PlanExpr::Some {
                 bindings,
                 satisfies,
             } => {
                 let found = self.eval_some(bindings, 0, satisfies, env, ctx)?;
                 Ok(vec![Item::Bool(found)])
             }
-            Expr::Call(name, args) => self.eval_call(name, args, env, ctx),
-            Expr::Element(ctor) => {
+            PlanExpr::Call(name, args) => self.eval_call(name, args, env, ctx),
+            PlanExpr::Element(ctor) => {
                 let elem = self.build_element(ctor, env, ctx)?;
                 Ok(vec![Item::Elem(Arc::new(elem))])
             }
         }
     }
 
-    // ---- FLWOR -----------------------------------------------------------
+    // ---- FLWOR operators -------------------------------------------------
 
-    fn eval_flwor(&self, f: &Flwor, env: &mut Env, ctx: Option<&Item>) -> EResult<Sequence> {
+    fn eval_flwor(&self, f: &FlworPlan, env: &mut Env, ctx: Option<&Item>) -> EResult<Sequence> {
         let mut tuples: Vec<(Option<OrderKey>, Sequence)> = Vec::new();
-        let rewritten = self.optimize
-            && (self.try_correlated_lookup(f, env, ctx, &mut tuples)?
-                || self.try_hash_join(f, env, ctx, &mut tuples)?);
-        if !rewritten {
-            // Predicate pushdown: schedule each where-conjunct at the
-            // earliest clause depth where its variables are bound, so
-            // selective filters prune before expensive bindings run (the
-            // optimization that makes the paper's Q12 cheaper than Q11 on
-            // every system).
-            let conjuncts: Vec<&Expr> = match &f.where_clause {
-                None => Vec::new(),
-                Some(Expr::And(parts)) => parts.iter().collect(),
-                Some(other) => vec![other],
-            };
-            let mut scheduled: Vec<Vec<&Expr>> = vec![Vec::new(); f.clauses.len() + 1];
-            for conjunct in conjuncts {
-                let mut depth = 0;
-                for (i, clause) in f.clauses.iter().enumerate() {
-                    let var = match clause {
-                        Clause::For(v, _) | Clause::Let(v, _) => v,
-                    };
-                    if expr_uses_var(conjunct, var) {
-                        depth = i + 1;
+        match &f.strategy {
+            Strategy::NestedLoop { clauses, filters } => {
+                self.nested_loop(f, clauses, filters, 0, env, ctx, &mut tuples)?;
+            }
+            Strategy::HashJoin {
+                probe_var,
+                probe_src,
+                probe_key,
+                probe_sig,
+                build_var,
+                build_src,
+                build_key,
+                build_sig,
+                residual,
+                ..
+            } => {
+                // Build side: hash the (canonicalized) keys of the inner
+                // source. When loop-invariant, the table is built once per
+                // execution and reused — the hoisting a relational
+                // optimizer performs when the join sits inside a
+                // correlated subquery (Q9).
+                let table = self.join_build_side(
+                    build_var,
+                    build_src,
+                    build_key,
+                    build_sig.as_deref(),
+                    env,
+                    ctx,
+                )?;
+                let left = self.eval(probe_src, env, ctx)?;
+                let probe_keys = self.join_probe_keys(
+                    probe_var,
+                    probe_key,
+                    probe_sig.as_deref(),
+                    &left,
+                    env,
+                    ctx,
+                )?;
+                for (li, litem) in left.iter().enumerate() {
+                    // Distinct matched build items, preserving build order
+                    // (the nested loop visits inner items in order for each
+                    // outer item).
+                    let mut matched: Vec<(usize, &Item)> = Vec::new();
+                    for key in &probe_keys[li] {
+                        if let Some(entries) = table.get(key) {
+                            matched.extend(entries.iter().map(|(i, item)| (*i, item)));
+                        }
+                    }
+                    matched.sort_by_key(|(i, _)| *i);
+                    matched.dedup_by_key(|(i, _)| *i);
+                    env.push(probe_var, Arc::new(vec![litem.clone()]));
+                    for (_, ritem) in matched {
+                        env.push(build_var, Arc::new(vec![ritem.clone()]));
+                        let result = self.join_tail(f, residual, env, ctx, &mut tuples);
+                        env.pop();
+                        if let Err(e) = result {
+                            env.pop();
+                            return Err(e);
+                        }
+                    }
+                    env.pop();
+                }
+            }
+            Strategy::IndexLookup {
+                var,
+                source,
+                inner_key,
+                outer_key,
+                sig,
+                residual,
+                ..
+            } => {
+                // Build (or reuse) the lookup index: canonical key →
+                // (position, item) pairs in source order.
+                let cached = self.index_cache.borrow().get(sig).cloned();
+                let index = if let Some(cached) = cached {
+                    cached
+                } else {
+                    let items = self.eval(source, env, ctx)?;
+                    let mut map: JoinIndex = HashMap::new();
+                    for (i, item) in items.into_iter().enumerate() {
+                        env.push(var, Arc::new(vec![item.clone()]));
+                        let keys = self.eval(inner_key, env, ctx);
+                        env.pop();
+                        for key in keys? {
+                            map.entry(canonical_key(&atomize(self.store, &key)))
+                                .or_default()
+                                .push((i, item.clone()));
+                        }
+                    }
+                    let rc = Arc::new(map);
+                    self.index_cache
+                        .borrow_mut()
+                        .insert(sig.clone(), Arc::clone(&rc));
+                    rc
+                };
+
+                // Probe with the outer key(s).
+                let outer_keys = self.eval(outer_key, env, ctx)?;
+                let mut matched: Vec<(usize, Item)> = Vec::new();
+                for key in outer_keys {
+                    if let Some(items) = index.get(&canonical_key(&atomize(self.store, &key))) {
+                        matched.extend(items.iter().cloned());
                     }
                 }
-                if !self.optimize {
-                    depth = f.clauses.len();
+                matched.sort_by_key(|(i, _)| *i);
+                matched.dedup_by_key(|(i, _)| *i);
+                for (_, item) in matched {
+                    env.push(var, Arc::new(vec![item]));
+                    let result = self.join_tail(f, residual, env, ctx, &mut tuples);
+                    env.pop();
+                    result?;
                 }
-                scheduled[depth].push(conjunct);
             }
-            self.flwor_rec(f, 0, &scheduled, env, ctx, &mut tuples)?;
         }
         if let Some((_, ascending)) = &f.order_by {
             tuples.sort_by(|a, b| {
@@ -285,229 +359,49 @@ impl<'s> Evaluator<'s> {
         Ok(out)
     }
 
-    /// Decorrelation rewrite: a FLWOR of the shape
-    /// `for $t in <absolute path> where path($t) = <outer expr> return …`
-    /// — Q8's correlated inner query — is answered through a lookup index
-    /// on `path($t)`, built once per execution and cached. This is the
-    /// index-nested-loop plan a relational optimizer produces for
-    /// reference chasing.
-    fn try_correlated_lookup(
+    /// Clause-by-clause iteration executing the planner's Filter schedule.
+    #[allow(clippy::too_many_arguments)]
+    fn nested_loop(
         &self,
-        f: &Flwor,
+        f: &FlworPlan,
+        clauses: &[PlanClause],
+        filters: &[Vec<PlanExpr>],
+        depth: usize,
         env: &mut Env,
         ctx: Option<&Item>,
         out: &mut Vec<(Option<OrderKey>, Sequence)>,
-    ) -> EResult<bool> {
-        let [Clause::For(v, src)] = f.clauses.as_slice() else {
-            return Ok(false);
-        };
-        // The source must be a memoizable absolute path (same criterion as
-        // the path cache), so the index is valid across invocations.
-        let Expr::Path {
-            base: PathBase::Root,
-            steps: src_steps,
-        } = src
-        else {
-            return Ok(false);
-        };
-        if src_steps.iter().any(|s| !s.preds.is_empty()) {
-            return Ok(false);
-        }
-        let Some(where_clause) = &f.where_clause else {
-            return Ok(false);
-        };
-        let conjuncts: Vec<&Expr> = match where_clause {
-            Expr::And(parts) => parts.iter().collect(),
-            other => vec![other],
-        };
-        // Find `path($v) = outer` (or mirrored).
-        let mut found: Option<(usize, &Expr, &Expr)> = None;
-        for (i, conjunct) in conjuncts.iter().enumerate() {
-            let Expr::Cmp(CmpOp::Eq, a, b) = conjunct else {
-                continue;
-            };
-            let is_inner_key = |e: &Expr| match e {
-                Expr::Path {
-                    base: PathBase::Var(var),
-                    steps,
-                } => var == v && steps.iter().all(|s| s.preds.is_empty()),
-                _ => false,
-            };
-            if is_inner_key(a) && !expr_uses_var(b, v) {
-                found = Some((i, a, b));
-                break;
-            }
-            if is_inner_key(b) && !expr_uses_var(a, v) {
-                found = Some((i, b, a));
-                break;
+    ) -> EResult<()> {
+        // Filters scheduled once `depth` clauses are bound.
+        for filter in &filters[depth] {
+            if !ebv(&self.eval(filter, env, ctx)?) {
+                return Ok(());
             }
         }
-        let Some((join_idx, inner_key, outer_key)) = found else {
-            return Ok(false);
-        };
-        let residual: Vec<&Expr> = conjuncts
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != join_idx)
-            .map(|(_, e)| *e)
-            .collect();
-
-        // Build (or reuse) the lookup index: canonical key → (position,
-        // item) pairs in source order.
-        let inner_key_steps = match inner_key {
-            Expr::Path { steps, .. } => steps,
-            _ => unreachable!("is_inner_key matched a path"),
-        };
-        let index_sig = format!(
-            "{}|{}",
-            path_signature(src_steps),
-            path_signature(inner_key_steps)
-        );
-        let cached = self.index_cache.borrow().get(&index_sig).cloned();
-        let index = if let Some(cached) = cached {
-            cached
-        } else {
-            let source = self.eval(src, env, ctx)?;
-            let mut map: JoinIndex = HashMap::new();
-            for (i, item) in source.into_iter().enumerate() {
-                env.push(v, Arc::new(vec![item.clone()]));
-                let keys = self.eval(inner_key, env, ctx);
-                env.pop();
-                for key in keys? {
-                    map.entry(canonical_key(&atomize(self.store, &key)))
-                        .or_default()
-                        .push((i, item.clone()));
-                }
-            }
-            let rc = Arc::new(map);
-            self.index_cache
-                .borrow_mut()
-                .insert(index_sig, Arc::clone(&rc));
-            rc
-        };
-
-        // Probe with the outer key(s).
-        let outer_keys = self.eval(outer_key, env, ctx)?;
-        let mut matched: Vec<(usize, Item)> = Vec::new();
-        for key in outer_keys {
-            if let Some(items) = index.get(&canonical_key(&atomize(self.store, &key))) {
-                matched.extend(items.iter().cloned());
-            }
+        if depth == clauses.len() {
+            let key = self.order_key(f, env, ctx)?;
+            let result = self.eval(&f.ret, env, ctx)?;
+            out.push((key, result));
+            return Ok(());
         }
-        matched.sort_by_key(|(i, _)| *i);
-        matched.dedup_by_key(|(i, _)| *i);
-        for (_, item) in matched {
-            env.push(v, Arc::new(vec![item]));
-            let result = self.join_tail(f, &residual, env, ctx, out);
-            env.pop();
-            result?;
-        }
-        Ok(true)
-    }
-
-    /// Equi-join rewrite: a FLWOR of the shape
-    /// `for $a in s1, $b in s2 where path($a) = path($b) [and rest] …`
-    /// executes as a hash join instead of a nested loop — §7 of the paper:
-    /// "Queries Q8 and Q9 are usually implemented as joins … chasing the
-    /// references basically amounted to executing equi-joins on strings."
-    ///
-    /// Returns `false` (leaving `out` untouched) when the FLWOR does not
-    /// have the joinable shape.
-    fn try_hash_join(
-        &self,
-        f: &Flwor,
-        env: &mut Env,
-        ctx: Option<&Item>,
-        out: &mut Vec<(Option<OrderKey>, Sequence)>,
-    ) -> EResult<bool> {
-        // Exactly two `for` clauses, the second independent of the first.
-        let [Clause::For(v1, s1), Clause::For(v2, s2)] = f.clauses.as_slice() else {
-            return Ok(false);
-        };
-        if expr_uses_var(s2, v1) {
-            return Ok(false);
-        }
-        // A conjunct `path($v1) = path($v2)` in the where clause.
-        let Some(where_clause) = &f.where_clause else {
-            return Ok(false);
-        };
-        let conjuncts: Vec<&Expr> = match where_clause {
-            Expr::And(parts) => parts.iter().collect(),
-            other => vec![other],
-        };
-        let mut join_idx = None;
-        let mut key1: Option<&Expr> = None;
-        let mut key2: Option<&Expr> = None;
-        for (i, conjunct) in conjuncts.iter().enumerate() {
-            let Expr::Cmp(CmpOp::Eq, a, b) = conjunct else {
-                continue;
-            };
-            let var_of = |e: &Expr| match e {
-                Expr::Path {
-                    base: PathBase::Var(v),
-                    steps,
-                } if steps.iter().all(|s| s.preds.is_empty()) => Some(v.clone()),
-                _ => None,
-            };
-            match (var_of(a), var_of(b)) {
-                (Some(va), Some(vb)) if va == *v1 && vb == *v2 => {
-                    join_idx = Some(i);
-                    key1 = Some(a);
-                    key2 = Some(b);
-                    break;
-                }
-                (Some(va), Some(vb)) if va == *v2 && vb == *v1 => {
-                    join_idx = Some(i);
-                    key1 = Some(b);
-                    key2 = Some(a);
-                    break;
-                }
-                _ => {}
-            }
-        }
-        let (Some(join_idx), Some(key1), Some(key2)) = (join_idx, key1, key2) else {
-            return Ok(false);
-        };
-        let residual: Vec<&Expr> = conjuncts
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != join_idx)
-            .map(|(_, e)| *e)
-            .collect();
-
-        // Build side: hash the (canonicalized) keys of s2's items. When the
-        // source and key are loop-invariant, the table is built once and
-        // reused — the hoisting a relational optimizer performs when the
-        // join sits inside a correlated subquery (Q9).
-        let table = self.join_build_side(v2, s2, key2, env, ctx)?;
-
-        // Probe side, with the per-item key lists likewise memoizable.
-        let left = self.eval(s1, env, ctx)?;
-        let probe_keys = self.join_probe_keys(v1, s1, key1, &left, env, ctx)?;
-        for (li, litem) in left.iter().enumerate() {
-            // Distinct matched right items, preserving right order (the
-            // nested loop visits right items in order for each left item).
-            let mut matched: Vec<(usize, &Item)> = Vec::new();
-            for key in &probe_keys[li] {
-                if let Some(entries) = table.get(key) {
-                    matched.extend(entries.iter().map(|(i, item)| (*i, item)));
-                }
-            }
-            matched.sort_by_key(|(i, _)| *i);
-            matched.dedup_by_key(|(i, _)| *i);
-            env.push(v1, Arc::new(vec![litem.clone()]));
-            for (_, ritem) in matched {
-                env.push(v2, Arc::new(vec![ritem.clone()]));
-                let result = self.join_tail(f, &residual, env, ctx, out);
-                env.pop();
-                if let Err(e) = result {
+        match &clauses[depth] {
+            PlanClause::For(var, source) => {
+                let seq = self.eval(source, env, ctx)?;
+                for item in seq {
+                    env.push(var, Arc::new(vec![item]));
+                    let r = self.nested_loop(f, clauses, filters, depth + 1, env, ctx, out);
                     env.pop();
-                    return Err(e);
+                    r?;
                 }
             }
-            env.pop();
+            PlanClause::Let(var, source) => {
+                let seq = self.eval(source, env, ctx)?;
+                env.push(var, Arc::new(seq));
+                let r = self.nested_loop(f, clauses, filters, depth + 1, env, ctx, out);
+                env.pop();
+                r?;
+            }
         }
-        Ok(true)
+        Ok(())
     }
 
     /// Build (or fetch from cache) a hash table `canonical key → (index,
@@ -516,13 +410,13 @@ impl<'s> Evaluator<'s> {
     fn join_build_side(
         &self,
         var: &str,
-        src: &Expr,
-        key_expr: &Expr,
+        src: &PlanExpr,
+        key_expr: &PlanExpr,
+        sig: Option<&str>,
         env: &mut Env,
         ctx: Option<&Item>,
     ) -> EResult<Arc<JoinIndex>> {
-        let signature = invariant_join_signature(src, key_expr);
-        if let Some(sig) = &signature {
+        if let Some(sig) = sig {
             if let Some(cached) = self.index_cache.borrow().get(sig) {
                 return Ok(Arc::clone(cached));
             }
@@ -540,25 +434,27 @@ impl<'s> Evaluator<'s> {
             }
         }
         let rc = Arc::new(map);
-        if let Some(sig) = signature {
-            self.index_cache.borrow_mut().insert(sig, Arc::clone(&rc));
+        if let Some(sig) = sig {
+            self.index_cache
+                .borrow_mut()
+                .insert(sig.to_string(), Arc::clone(&rc));
         }
         Ok(rc)
     }
 
     /// Per-item canonical key lists for the probe side, memoized when
     /// loop-invariant (aligned with the path-cached source sequence).
+    #[allow(clippy::too_many_arguments)]
     fn join_probe_keys(
         &self,
         var: &str,
-        src: &Expr,
-        key_expr: &Expr,
+        key_expr: &PlanExpr,
+        sig: Option<&str>,
         left: &[Item],
         env: &mut Env,
         ctx: Option<&Item>,
     ) -> EResult<Arc<Vec<Vec<String>>>> {
-        let signature = invariant_join_signature(src, key_expr).map(|s| s + "#probe");
-        if let Some(sig) = &signature {
+        if let Some(sig) = sig {
             if let Some(cached) = self.key_cache.borrow().get(sig) {
                 if cached.len() == left.len() {
                     return Ok(Arc::clone(cached));
@@ -578,8 +474,10 @@ impl<'s> Evaluator<'s> {
             );
         }
         let rc = Arc::new(keys);
-        if let Some(sig) = signature {
-            self.key_cache.borrow_mut().insert(sig, Arc::clone(&rc));
+        if let Some(sig) = sig {
+            self.key_cache
+                .borrow_mut()
+                .insert(sig.to_string(), Arc::clone(&rc));
         }
         Ok(rc)
     }
@@ -588,8 +486,8 @@ impl<'s> Evaluator<'s> {
     /// one joined tuple.
     fn join_tail(
         &self,
-        f: &Flwor,
-        residual: &[&Expr],
+        f: &FlworPlan,
+        residual: &[PlanExpr],
         env: &mut Env,
         ctx: Option<&Item>,
         out: &mut Vec<(Option<OrderKey>, Sequence)>,
@@ -599,79 +497,36 @@ impl<'s> Evaluator<'s> {
                 return Ok(());
             }
         }
-        let key = match &f.order_by {
-            Some((key_expr, _)) => {
-                let key_seq = self.eval(key_expr, env, ctx)?;
-                key_seq.first().map(|item| {
-                    let s = atomize(self.store, item);
-                    let n = s.trim().parse::<f64>().ok();
-                    OrderKey { text: s, num: n }
-                })
-            }
-            None => None,
-        };
+        let key = self.order_key(f, env, ctx)?;
         let result = self.eval(&f.ret, env, ctx)?;
         out.push((key, result));
         Ok(())
     }
 
-    fn flwor_rec(
+    fn order_key(
         &self,
-        f: &Flwor,
-        depth: usize,
-        scheduled: &[Vec<&Expr>],
+        f: &FlworPlan,
         env: &mut Env,
         ctx: Option<&Item>,
-        out: &mut Vec<(Option<OrderKey>, Sequence)>,
-    ) -> EResult<()> {
-        // Conjuncts whose variables are all bound by now.
-        for conjunct in &scheduled[depth] {
-            if !ebv(&self.eval(conjunct, env, ctx)?) {
-                return Ok(());
+    ) -> EResult<Option<OrderKey>> {
+        match &f.order_by {
+            Some((key_expr, _)) => {
+                let key_seq = self.eval(key_expr, env, ctx)?;
+                Ok(key_seq.first().map(|item| {
+                    let s = atomize(self.store, item);
+                    let n = s.trim().parse::<f64>().ok();
+                    OrderKey { text: s, num: n }
+                }))
             }
+            None => Ok(None),
         }
-        if depth == f.clauses.len() {
-            let key = match &f.order_by {
-                Some((key_expr, _)) => {
-                    let key_seq = self.eval(key_expr, env, ctx)?;
-                    key_seq.first().map(|item| {
-                        let s = atomize(self.store, item);
-                        let n = s.trim().parse::<f64>().ok();
-                        OrderKey { text: s, num: n }
-                    })
-                }
-                None => None,
-            };
-            let result = self.eval(&f.ret, env, ctx)?;
-            out.push((key, result));
-            return Ok(());
-        }
-        match &f.clauses[depth] {
-            Clause::For(var, source) => {
-                let seq = self.eval(source, env, ctx)?;
-                for item in seq {
-                    env.push(var, Arc::new(vec![item]));
-                    let r = self.flwor_rec(f, depth + 1, scheduled, env, ctx, out);
-                    env.pop();
-                    r?;
-                }
-            }
-            Clause::Let(var, source) => {
-                let seq = self.eval(source, env, ctx)?;
-                env.push(var, Arc::new(seq));
-                let r = self.flwor_rec(f, depth + 1, scheduled, env, ctx, out);
-                env.pop();
-                r?;
-            }
-        }
-        Ok(())
     }
 
     fn eval_some(
         &self,
-        bindings: &[(String, Expr)],
+        bindings: &[(String, PlanExpr)],
         depth: usize,
-        satisfies: &Expr,
+        satisfies: &PlanExpr,
         env: &mut Env,
         ctx: Option<&Item>,
     ) -> EResult<bool> {
@@ -691,41 +546,33 @@ impl<'s> Evaluator<'s> {
         Ok(false)
     }
 
-    // ---- paths -----------------------------------------------------------
+    // ---- PathScan --------------------------------------------------------
 
-    fn eval_path(
-        &self,
-        base: &PathBase,
-        steps: &[Step],
-        env: &mut Env,
-        ctx: Option<&Item>,
-    ) -> EResult<Sequence> {
-        // Loop-invariant absolute paths are memoized (predicate-free ones
-        // only: predicates may reference outer variables).
-        if matches!(base, PathBase::Root) && steps.iter().all(|s| s.preds.is_empty()) {
-            let key = path_signature(steps);
-            if let Some(cached) = self.path_cache.borrow().get(&key) {
+    fn eval_path(&self, p: &PathPlan, env: &mut Env, ctx: Option<&Item>) -> EResult<Sequence> {
+        // Loop-invariant paths are memoized under the planner's signature.
+        if let Some(sig) = &p.memo {
+            if let Some(cached) = self.path_cache.borrow().get(sig) {
                 return Ok(cached.as_ref().clone());
             }
-            let result = self.eval_path_uncached(base, steps, env, ctx)?;
+            let result = self.eval_path_uncached(p, env, ctx)?;
             self.path_cache
                 .borrow_mut()
-                .insert(key, Arc::new(result.clone()));
+                .insert(sig.clone(), Arc::new(result.clone()));
             return Ok(result);
         }
-        self.eval_path_uncached(base, steps, env, ctx)
+        self.eval_path_uncached(p, env, ctx)
     }
 
     fn eval_path_uncached(
         &self,
-        base: &PathBase,
-        steps: &[Step],
+        p: &PathPlan,
         env: &mut Env,
         ctx: Option<&Item>,
     ) -> EResult<Sequence> {
+        let steps = &p.steps;
         let mut start_index = 0;
-        let mut current: Sequence = match base {
-            PathBase::Root => {
+        let mut current: Sequence = match &p.base {
+            PlanBase::Root => {
                 // Paths start at the virtual document node: the first step
                 // matches against the root *element* itself.
                 let root = self.store.root();
@@ -773,39 +620,36 @@ impl<'s> Evaluator<'s> {
                     }
                 }
             }
-            PathBase::Var(name) => env
+            PlanBase::Var(name) => env
                 .get(name)
                 .map(|s| s.as_ref().clone())
                 .ok_or_else(|| EvalError::UndefinedVariable(name.clone()))?,
-            PathBase::Context => vec![ctx.ok_or(EvalError::NoContext)?.clone()],
-            PathBase::Expr(e) => self.eval(e, env, ctx)?,
+            PlanBase::Context => vec![ctx.ok_or(EvalError::NoContext)?.clone()],
+            PlanBase::Expr(e) => self.eval(e, env, ctx)?,
         };
 
         let mut i = start_index;
         while i < steps.len() {
             let step = &steps[i];
 
-            // Fast path: `…/tag/text()` tail answered from inlined entity
-            // columns (System C).
-            if i + 2 == steps.len()
-                && step.axis == Axis::Child
-                && step.preds.is_empty()
-                && steps[i + 1].axis == Axis::Child
-                && steps[i + 1].test == NodeTest::Text
-                && steps[i + 1].preds.is_empty()
-            {
-                if let NodeTest::Tag(tag) = &step.test {
+            // Planned shortcut: `…/tag/text()` tail answered from inlined
+            // entity columns (System C). Falls back to the generic steps if
+            // a context node is not covered.
+            if i + 2 == steps.len() {
+                if let Some(tag) = &p.inlined_tail {
                     if let Some(shortcut) = self.try_inlined_tail(&current, tag)? {
                         return Ok(shortcut);
                     }
                 }
             }
 
-            // Fast path: `person[@id = "…"]` via the store's ID index.
-            if let Some(rewritten) = self.try_id_lookup(&current, step)? {
-                current = rewritten;
-                i += 1;
-                continue;
+            // Planned shortcut: `tag[@id = "…"]` via the store's ID index.
+            if let StepAccess::IdProbe(literal) = &step.access {
+                if let Some(rewritten) = self.id_probe(&current, step, literal)? {
+                    current = rewritten;
+                    i += 1;
+                    continue;
+                }
             }
 
             current = self.apply_step(&current, step, env, ctx)?;
@@ -831,43 +675,20 @@ impl<'s> Evaluator<'s> {
         Ok(Some(out))
     }
 
-    /// Rewrite `tag[@id = "literal"]` to an ID-index probe when the store
-    /// has one — the access path behind every mass-storage system's Q1.
-    fn try_id_lookup(&self, current: &[Item], step: &Step) -> EResult<Option<Sequence>> {
-        if step.preds.len() != 1 || step.axis == Axis::Attribute {
-            return Ok(None);
-        }
+    /// Execute a planned ID probe: the access path behind every
+    /// mass-storage system's Q1. Returns `None` (falling back to the
+    /// generic cursor) if the store turns out not to index IDs.
+    fn id_probe(
+        &self,
+        current: &[Item],
+        step: &PlanStep,
+        literal: &str,
+    ) -> EResult<Option<Sequence>> {
         let NodeTest::Tag(tag) = &step.test else {
             return Ok(None);
         };
-        let Pred::Expr(Expr::Cmp(CmpOp::Eq, lhs, rhs)) = &step.preds[0] else {
-            return Ok(None);
-        };
-        let (attr_path, literal) = match (lhs.as_ref(), rhs.as_ref()) {
-            (
-                Expr::Path {
-                    base: PathBase::Context,
-                    steps,
-                },
-                Expr::Str(s),
-            ) => (steps, s),
-            (
-                Expr::Str(s),
-                Expr::Path {
-                    base: PathBase::Context,
-                    steps,
-                },
-            ) => (steps, s),
-            _ => return Ok(None),
-        };
-        if attr_path.len() != 1
-            || attr_path[0].axis != Axis::Attribute
-            || attr_path[0].test != NodeTest::Tag("id".to_string())
-        {
-            return Ok(None);
-        }
         let Some(hit) = self.store.lookup_id(literal) else {
-            return Ok(None); // No ID index: evaluate generically (System G).
+            return Ok(None); // No ID index after all: evaluate generically.
         };
         let Some(node) = hit else {
             return Ok(Some(Vec::new()));
@@ -907,7 +728,7 @@ impl<'s> Evaluator<'s> {
     fn apply_step(
         &self,
         current: &[Item],
-        step: &Step,
+        step: &PlanStep,
         env: &mut Env,
         ctx: Option<&Item>,
     ) -> EResult<Sequence> {
@@ -952,20 +773,14 @@ impl<'s> Evaluator<'s> {
                     }
                 }
                 (Axis::Child, NodeTest::Tag(tag)) => {
-                    // Positional fast path (Q2/Q3 on System C).
-                    if step.preds.len() == 1 {
-                        let spec = match step.preds[0] {
-                            Pred::Position(k) => Some(PositionSpec::First(k)),
-                            Pred::Last => Some(PositionSpec::Last),
-                            _ => None,
-                        };
-                        if let Some(spec) = spec {
-                            if let Some(hit) = self.store.positional_child(*n, tag, spec) {
-                                if let Some(node) = hit {
-                                    out.push(Item::Node(node));
-                                }
-                                continue;
+                    // Planned positional probe (Q2/Q3 on System C), with
+                    // per-node fallback where the index does not apply.
+                    if let StepAccess::Positional(spec) = &step.access {
+                        if let Some(hit) = self.store.positional_child(*n, tag, *spec) {
+                            if let Some(node) = hit {
+                                out.push(Item::Node(node));
                             }
+                            continue;
                         }
                     }
                     if step.preds.is_empty() {
@@ -1033,25 +848,25 @@ impl<'s> Evaluator<'s> {
     fn apply_predicates(
         &self,
         mut nodes: Vec<Node>,
-        preds: &[Pred],
+        preds: &[PlanPred],
         env: &mut Env,
         ctx: Option<&Item>,
     ) -> EResult<Vec<Node>> {
         let _ = ctx;
         for pred in preds {
             nodes = match pred {
-                Pred::Position(k) => {
+                PlanPred::Position(k) => {
                     if *k >= 1 && *k <= nodes.len() {
                         vec![nodes[*k - 1]]
                     } else {
                         Vec::new()
                     }
                 }
-                Pred::Last => match nodes.last() {
+                PlanPred::Last => match nodes.last() {
                     Some(&n) => vec![n],
                     None => Vec::new(),
                 },
-                Pred::Expr(e) => {
+                PlanPred::Expr(e) => {
                     let mut kept = Vec::new();
                     for n in nodes {
                         let item = Item::Node(n);
@@ -1066,25 +881,36 @@ impl<'s> Evaluator<'s> {
         Ok(nodes)
     }
 
+    // ---- Aggregate -------------------------------------------------------
+
+    /// `count(prefix//tag)` through `count_descendants_named` — no node
+    /// materialization (the paper's Q6/Q7 on System D).
+    fn eval_aggregate(
+        &self,
+        a: &AggregatePlan,
+        env: &mut Env,
+        ctx: Option<&Item>,
+    ) -> EResult<Sequence> {
+        let contexts = self.eval_path(&a.input, env, ctx)?;
+        let mut total = 0usize;
+        for item in contexts {
+            let Item::Node(n) = item else {
+                return Err(EvalError::PathOverNonNode);
+            };
+            total += self.store.count_descendants_named(n, &a.tag);
+        }
+        Ok(vec![Item::Num(total as f64)])
+    }
+
     // ---- functions ---------------------------------------------------------
 
     fn eval_call(
         &self,
         name: &str,
-        args: &[Expr],
+        args: &[PlanExpr],
         env: &mut Env,
         ctx: Option<&Item>,
     ) -> EResult<Sequence> {
-        // Count with a descendant-tail path gets the summary fast path
-        // (Q6/Q7 on System D): count(//tag) needs no node materialization.
-        if name == "count" && args.len() == 1 {
-            if let Expr::Path { base, steps } = &args[0] {
-                if let Some(n) = self.try_count_fast(base, steps, env, ctx)? {
-                    return Ok(vec![Item::Num(n as f64)]);
-                }
-            }
-        }
-
         let mut evaluated: Vec<Sequence> = Vec::with_capacity(args.len());
         for a in args {
             evaluated.push(self.eval(a, env, ctx)?);
@@ -1180,45 +1006,11 @@ impl<'s> Evaluator<'s> {
         }
     }
 
-    /// `count(path)` where the path's final step is a predicate-free tag
-    /// test: answered by `count_descendants_named` when the prefix yields
-    /// plain nodes, without materializing the counted extent.
-    fn try_count_fast(
-        &self,
-        base: &PathBase,
-        steps: &[Step],
-        env: &mut Env,
-        ctx: Option<&Item>,
-    ) -> EResult<Option<usize>> {
-        let Some(last) = steps.last() else {
-            return Ok(None);
-        };
-        if last.axis != Axis::Descendant || !last.preds.is_empty() {
-            return Ok(None);
-        }
-        let NodeTest::Tag(tag) = &last.test else {
-            return Ok(None);
-        };
-        let prefix = &steps[..steps.len() - 1];
-        if prefix.iter().any(|s| !s.preds.is_empty()) {
-            return Ok(None);
-        }
-        let contexts = self.eval_path(base, prefix, env, ctx)?;
-        let mut total = 0usize;
-        for item in contexts {
-            let Item::Node(n) = item else {
-                return Err(EvalError::PathOverNonNode);
-            };
-            total += self.store.count_descendants_named(n, tag);
-        }
-        Ok(Some(total))
-    }
-
     // ---- constructors ------------------------------------------------------
 
     fn build_element(
         &self,
-        ctor: &ElementCtor,
+        ctor: &PlanElement,
         env: &mut Env,
         ctx: Option<&Item>,
     ) -> EResult<CElem> {
@@ -1227,8 +1019,8 @@ impl<'s> Evaluator<'s> {
             let mut value = String::new();
             for part in parts {
                 match part {
-                    AttrPart::Lit(s) => value.push_str(s),
-                    AttrPart::Expr(e) => {
+                    PlanAttrPart::Lit(s) => value.push_str(s),
+                    PlanAttrPart::Expr(e) => {
                         let seq = self.eval(e, env, ctx)?;
                         // AVT: items joined with single spaces.
                         for (i, item) in seq.iter().enumerate() {
@@ -1245,9 +1037,9 @@ impl<'s> Evaluator<'s> {
         let mut children = Vec::new();
         for content in &ctor.content {
             match content {
-                Content::Text(t) => children.push(Item::str(t)),
-                Content::Expr(e) => children.extend(self.eval(e, env, ctx)?),
-                Content::Element(nested) => {
+                PlanContent::Text(t) => children.push(Item::str(t)),
+                PlanContent::Expr(e) => children.extend(self.eval(e, env, ctx)?),
+                PlanContent::Element(nested) => {
                     children.push(Item::Elem(Arc::new(self.build_element(nested, env, ctx)?)));
                 }
             }
@@ -1364,36 +1156,6 @@ fn join_atomized(store: &dyn XmlStore, seq: &[Item]) -> String {
     out
 }
 
-/// A cache signature for a (source, key-path) pair, or `None` when either
-/// is not loop-invariant.
-fn invariant_join_signature(src: &Expr, key_expr: &Expr) -> Option<String> {
-    let Expr::Path {
-        base: PathBase::Root,
-        steps: src_steps,
-    } = src
-    else {
-        return None;
-    };
-    if src_steps.iter().any(|s| !s.preds.is_empty()) {
-        return None;
-    }
-    let Expr::Path {
-        base: PathBase::Var(_),
-        steps: key_steps,
-    } = key_expr
-    else {
-        return None;
-    };
-    if key_steps.iter().any(|s| !s.preds.is_empty()) {
-        return None;
-    }
-    Some(format!(
-        "{}|{}",
-        path_signature(src_steps),
-        path_signature(key_steps)
-    ))
-}
-
 /// Canonical hash-join key: numeric values are normalized so that the
 /// join agrees with the general comparison's numeric equality ("40" and
 /// "40.0" join).
@@ -1402,83 +1164,6 @@ fn canonical_key(s: &str) -> String {
         Ok(n) => crate::result::format_number(n),
         Err(_) => s.to_string(),
     }
-}
-
-/// Does `expr` reference the variable `var` anywhere?
-fn expr_uses_var(expr: &Expr, var: &str) -> bool {
-    match expr {
-        Expr::Var(v) => v == var,
-        Expr::Path { base, steps } => {
-            let base_uses = match base {
-                PathBase::Var(v) => v == var,
-                PathBase::Expr(e) => expr_uses_var(e, var),
-                PathBase::Root | PathBase::Context => false,
-            };
-            base_uses
-                || steps.iter().any(|s| {
-                    s.preds.iter().any(|p| match p {
-                        Pred::Expr(e) => expr_uses_var(e, var),
-                        _ => false,
-                    })
-                })
-        }
-        Expr::Flwor(f) => {
-            f.clauses.iter().any(|c| match c {
-                Clause::For(_, e) | Clause::Let(_, e) => expr_uses_var(e, var),
-            }) || f
-                .where_clause
-                .as_ref()
-                .is_some_and(|w| expr_uses_var(w, var))
-                || f.order_by
-                    .as_ref()
-                    .is_some_and(|(k, _)| expr_uses_var(k, var))
-                || expr_uses_var(&f.ret, var)
-        }
-        Expr::Or(parts) | Expr::And(parts) | Expr::Sequence(parts) => {
-            parts.iter().any(|p| expr_uses_var(p, var))
-        }
-        Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::Before(a, b) => {
-            expr_uses_var(a, var) || expr_uses_var(b, var)
-        }
-        Expr::Neg(e) => expr_uses_var(e, var),
-        Expr::Call(_, args) => args.iter().any(|a| expr_uses_var(a, var)),
-        Expr::Some {
-            bindings,
-            satisfies,
-        } => bindings.iter().any(|(_, e)| expr_uses_var(e, var)) || expr_uses_var(satisfies, var),
-        Expr::Element(ctor) => ctor_uses_var(ctor, var),
-        Expr::Str(_) | Expr::Num(_) | Expr::Empty => false,
-    }
-}
-
-fn ctor_uses_var(ctor: &ElementCtor, var: &str) -> bool {
-    ctor.attrs.iter().any(|(_, parts)| {
-        parts.iter().any(|p| match p {
-            AttrPart::Expr(e) => expr_uses_var(e, var),
-            AttrPart::Lit(_) => false,
-        })
-    }) || ctor.content.iter().any(|c| match c {
-        Content::Expr(e) => expr_uses_var(e, var),
-        Content::Element(nested) => ctor_uses_var(nested, var),
-        Content::Text(_) => false,
-    })
-}
-
-fn path_signature(steps: &[Step]) -> String {
-    let mut sig = String::new();
-    for s in steps {
-        sig.push(match s.axis {
-            Axis::Child => '/',
-            Axis::Descendant => 'D',
-            Axis::Attribute => '@',
-        });
-        match &s.test {
-            NodeTest::Tag(t) => sig.push_str(t),
-            NodeTest::Wildcard => sig.push('*'),
-            NodeTest::Text => sig.push_str("#t"),
-        }
-    }
-    sig
 }
 
 fn expect_arity(name: &str, args: &[Sequence], n: usize) -> EResult<()> {
@@ -1492,7 +1177,7 @@ fn expect_arity(name: &str, args: &[Sequence], n: usize) -> EResult<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse::parse_query;
+    use crate::compile::{compile, execute};
     use crate::result::serialize_sequence;
     use xmark_store::NaiveStore;
 
@@ -1500,10 +1185,15 @@ mod tests {
 
     fn run(q: &str) -> String {
         let store = NaiveStore::load(DOC).unwrap();
-        let query = parse_query(q).unwrap();
-        let eval = Evaluator::new(&store, &query);
-        let result = eval.run(&query).unwrap();
+        let compiled = compile(q, &store).unwrap();
+        let result = execute(&compiled, &store).unwrap();
         serialize_sequence(&store, &result)
+    }
+
+    fn run_err(q: &str) -> EvalError {
+        let store = NaiveStore::load(DOC).unwrap();
+        let compiled = compile(q, &store).unwrap();
+        execute(&compiled, &store).unwrap_err()
     }
 
     #[test]
@@ -1685,9 +1375,8 @@ mod tests {
             (r#"/a/s = "silver""#, "false"),
             (r#"/a/s < "halt""#, "true"),
         ] {
-            let query = parse_query(q).unwrap();
-            let eval = Evaluator::new(&store, &query);
-            let result = eval.run(&query).unwrap();
+            let compiled = compile(q, &store).unwrap();
+            let result = execute(&compiled, &store).unwrap();
             assert_eq!(serialize_sequence(&store, &result), expected, "query {q}");
         }
     }
@@ -1698,11 +1387,8 @@ mod tests {
             ("/site/people/person/@*", "@*"),
             ("/site/people/person/@text()", "@text()"),
         ] {
-            let store = NaiveStore::load(DOC).unwrap();
-            let query = parse_query(q).unwrap();
-            let eval = Evaluator::new(&store, &query);
-            match eval.run(&query) {
-                Err(EvalError::UnsupportedStep(s)) => {
+            match run_err(q) {
+                EvalError::UnsupportedStep(s) => {
                     assert_eq!(s, step);
                     assert!(
                         EvalError::UnsupportedStep(s).to_string().contains(step),
@@ -1728,21 +1414,15 @@ mod tests {
 
     #[test]
     fn zero_or_one_rejects_long_sequences() {
-        let store = NaiveStore::load(DOC).unwrap();
-        let query = parse_query("zero-or-one(/site/people/person)").unwrap();
-        let eval = Evaluator::new(&store, &query);
         assert!(matches!(
-            eval.run(&query),
-            Err(EvalError::Cardinality("zero-or-one"))
+            run_err("zero-or-one(/site/people/person)"),
+            EvalError::Cardinality("zero-or-one")
         ));
     }
 
     #[test]
     fn wrong_arity_is_reported() {
-        let store = NaiveStore::load(DOC).unwrap();
-        let query = parse_query("count(1, 2)").unwrap();
-        let eval = Evaluator::new(&store, &query);
-        assert!(matches!(eval.run(&query), Err(EvalError::Arity(_))));
+        assert!(matches!(run_err("count(1, 2)"), EvalError::Arity(_)));
     }
 
     #[test]
@@ -1780,18 +1460,13 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        let store = NaiveStore::load(DOC).unwrap();
-        let query = parse_query("$undefined").unwrap();
-        let eval = Evaluator::new(&store, &query);
         assert!(matches!(
-            eval.run(&query),
-            Err(EvalError::UndefinedVariable(_))
+            run_err("$undefined"),
+            EvalError::UndefinedVariable(_)
         ));
-        let query = parse_query("nosuchfn(1)").unwrap();
-        let eval = Evaluator::new(&store, &query);
         assert!(matches!(
-            eval.run(&query),
-            Err(EvalError::UnknownFunction(_))
+            run_err("nosuchfn(1)"),
+            EvalError::UnknownFunction(_)
         ));
     }
 }

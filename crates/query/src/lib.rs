@@ -1,17 +1,53 @@
-//! The XQuery-subset compiler and evaluator for the XMark benchmark.
+//! The XQuery-subset compiler, planner and executor for the XMark
+//! benchmark.
 //!
 //! The paper (§6) expresses its twenty queries in XQuery; this crate
-//! implements the language subset those queries need, end to end:
+//! implements the language subset those queries need as an explicit
+//! three-stage pipeline, mirroring the compile/execute split the paper's
+//! Table 2 measures:
 //!
-//! * [`parse`] — scannerless recursive-descent parser,
-//! * [`ast`] — the expression syntax (FLWOR, paths, constructors,
+//! ```text
+//!   query text
+//!      │  parse            (parse.rs — scannerless recursive descent)
+//!      ▼
+//!   ast::Query
+//!      │  plan + optimize  (planner.rs — rule/cost-based, consumes the
+//!      ▼                    store's catalog estimates + capabilities)
+//!   plan::PhysicalPlan     (plan.rs — PathScan, IdProbe, Aggregate,
+//!      │                    NestedLoop, HashJoin, IndexLookup, Sort,
+//!      │  execute           Project; explain.rs renders it)
+//!      ▼
+//!   result::Sequence       (eval.rs — decision-free plan executor over
+//!                           the streaming axis cursors)
+//! ```
+//!
+//! * [`parse`] — parser producing the [`ast`] (FLWOR, paths, constructors,
 //!   quantifiers, the `<<` node-order operator, user-defined functions),
-//! * [`compile()`] — parsing + per-backend metadata resolution, timed
-//!   separately by the harness to regenerate the paper's Table 2,
-//! * [`eval`] — the tuple-at-a-time evaluator over the backend-neutral
-//!   [`xmark_store::XmlStore`] interface,
+//! * [`planner`] — lowers the AST into a [`plan::PhysicalPlan`], making
+//!   **every** rewrite decision at compile time: equi-joins become
+//!   HashJoin operators, correlated lookups become IndexLookup joins,
+//!   where-conjuncts are scheduled by predicate pushdown, and steps are
+//!   annotated with the access paths the backend's
+//!   [`xmark_store::PlannerCaps`] affords (ID probes, positional indexes,
+//!   inlined columns, summary counts). Cardinalities come from
+//!   [`xmark_store::XmlStore::estimate_step`], the same catalog touches
+//!   Table 2 counts as metadata accesses,
+//! * [`explain`] — stable one-line-per-operator plan rendering (pinned by
+//!   golden tests so planner regressions are visible in review),
+//! * [`eval`] — the executor: operators pull from the backend-neutral
+//!   streaming cursors; it contains no pattern-matching and re-discovers
+//!   nothing per execution,
+//! * [`compile()`] — parse + plan in one call; [`compile::Compiled`] is
+//!   the reusable artifact a plan cache stores. [`compile::plan`] exposes
+//!   the planning phase alone so harnesses can time parse / plan /
+//!   execute as three columns,
 //! * [`result`] — the item/sequence model, serialization, and the
 //!   canonicalizer used for cross-backend output-equivalence testing.
+//!
+//! The optimizer oracle compiles every query twice —
+//! [`compile::compile_with_mode`] with [`plan::PlanMode::Naive`] yields
+//! the pure nested-loop specification — and requires byte-identical
+//! output on every backend.
 //!
 //! # Example
 //!
@@ -29,14 +65,32 @@
 //! ).unwrap();
 //! assert_eq!(serialize_sequence(&store, &out), "Ada");
 //! ```
+//!
+//! Inspecting a plan:
+//!
+//! ```
+//! use xmark_store::SummaryStore;
+//! use xmark_query::compile;
+//!
+//! let store = SummaryStore::load("<site><a/><a/></site>").unwrap();
+//! let compiled = compile("count(/site//a)", &store).unwrap();
+//! assert!(compiled.explain().contains("Aggregate count(//a)"));
+//! ```
 
 pub mod ast;
 pub mod compile;
 pub mod eval;
+pub mod explain;
 pub mod parse;
+pub mod plan;
+pub mod planner;
 pub mod result;
 
-pub use compile::{compile, execute, run_query, CompileError, CompileStats, Compiled};
+pub use compile::{
+    compile, compile_with_mode, execute, run_query, CompileError, CompileStats, Compiled,
+};
 pub use eval::{ebv, EvalError, Evaluator};
+pub use explain::explain_plan;
 pub use parse::{parse_query, ParseError};
+pub use plan::{PhysicalPlan, PlanMode};
 pub use result::{atomize, canonicalize, serialize_sequence, Item, Sequence};

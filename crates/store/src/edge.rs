@@ -20,7 +20,7 @@ use xmark_rel::{HashIndex, Table, Value};
 use xmark_xml::{Document, NodeId};
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
-use crate::traits::{Node, SystemId, XmlStore};
+use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
 /// Streaming cursor over a parent-index posting list. Row ids in the
 /// `node` relation *are* pre-order node ids, and posting lists are built
@@ -293,6 +293,15 @@ impl XmlStore for EdgeStore {
 
     fn metadata_accesses(&self) -> u64 {
         self.metadata.load(Ordering::Relaxed)
+    }
+
+    fn planner_caps(&self) -> PlannerCaps {
+        PlannerCaps {
+            id_index: true,
+            // The tag index stores the whole extent per tag: exact counts.
+            exact_statistics: true,
+            ..PlannerCaps::default()
+        }
     }
 }
 

@@ -21,7 +21,7 @@ use xmark_rel::{HashIndex, Table, Value};
 use xmark_xml::{Document, NodeId};
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
-use crate::traits::{Node, SystemId, XmlStore};
+use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
 const TEXT_FLAG: u16 = 1 << 15;
 
@@ -432,6 +432,15 @@ impl XmlStore for FragmentedStore {
 
     fn metadata_accesses(&self) -> u64 {
         self.metadata.load(Ordering::Relaxed)
+    }
+
+    fn planner_caps(&self) -> PlannerCaps {
+        PlannerCaps {
+            id_index: true,
+            // Per-tag fragments carry exact row counts.
+            exact_statistics: true,
+            ..PlannerCaps::default()
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use xmark_xml::{Document, NodeId};
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 use crate::fragmented::FragmentedStore;
-use crate::traits::{Node, PositionSpec, SystemId, XmlStore};
+use crate::traits::{Node, PlannerCaps, PositionSpec, SystemId, XmlStore};
 
 struct EntityTable {
     /// Scalar column names, aligned with table columns `1..`.
@@ -243,6 +243,17 @@ impl XmlStore for InlinedStore {
 
     fn metadata_accesses(&self) -> u64 {
         self.metadata.load(Ordering::Relaxed) + self.base.metadata_accesses()
+    }
+
+    fn planner_caps(&self) -> PlannerCaps {
+        PlannerCaps {
+            id_index: true,
+            positional_index: true,
+            inlined_values: true,
+            // Entity tables and fragments both know their row counts.
+            exact_statistics: true,
+            ..PlannerCaps::default()
+        }
     }
 }
 

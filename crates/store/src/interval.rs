@@ -19,7 +19,7 @@ use xmark_xml::{Document, NodeId};
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 use crate::loader::{level_array, parent_array, subtree_ends, NONE};
-use crate::traits::{Node, SystemId, XmlStore};
+use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
 const TEXT_TAG: u16 = u16::MAX;
 
@@ -361,6 +361,21 @@ impl XmlStore for IntervalStore {
         } else {
             // F has no statistics; its heuristic optimizer guesses.
             0
+        }
+    }
+
+    fn planner_caps(&self) -> PlannerCaps {
+        if self.indexed {
+            PlannerCaps {
+                id_index: true,
+                // Counting is extent partition-point arithmetic.
+                summary_counts: true,
+                exact_statistics: true,
+                ..PlannerCaps::default()
+            }
+        } else {
+            // System F: intervals only — generic plans, no statistics.
+            PlannerCaps::default()
         }
     }
 }

@@ -34,7 +34,7 @@ pub use inlined::InlinedStore;
 pub use interval::IntervalStore;
 pub use naive::NaiveStore;
 pub use summary::SummaryStore;
-pub use traits::{Node, PositionSpec, SystemId, XmlStore};
+pub use traits::{Node, PlannerCaps, PositionSpec, StepEstimate, SystemId, XmlStore};
 
 // Compile-time proof that every backend can be shared across threads:
 // `XmlStore` carries `Send + Sync` supertraits, and each concrete store

@@ -20,7 +20,7 @@ use xmark_xml::{Document, NodeId};
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 use crate::loader::{parent_array, subtree_ends, NONE};
-use crate::traits::{Node, SystemId, XmlStore};
+use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
 /// Streaming child cursor over the columnar `next_sibling` chain —
 /// pointer-chasing, no allocation.
@@ -400,6 +400,15 @@ impl XmlStore for SummaryStore {
             stack.extend(node.children.values().copied());
         }
         total
+    }
+
+    fn planner_caps(&self) -> PlannerCaps {
+        PlannerCaps {
+            id_index: true,
+            summary_counts: true,
+            exact_statistics: true,
+            ..PlannerCaps::default()
+        }
     }
 }
 

@@ -113,6 +113,40 @@ pub enum PositionSpec {
     Last,
 }
 
+/// The access paths a backend's physical mapping offers, resolved once at
+/// compile time. The planner reads this to pick plan operators (ID probes,
+/// positional indexes, inlined scalar tails, summary counts) instead of
+/// probing the store per node at execution time; the executor still falls
+/// back gracefully if a particular node is not covered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerCaps {
+    /// [`XmlStore::lookup_id`] is backed by a real ID index.
+    pub id_index: bool,
+    /// [`XmlStore::positional_child`] is backed by a positional index.
+    pub positional_index: bool,
+    /// [`XmlStore::typed_child_value`] answers inlined `tag/text()` tails
+    /// (System C's entity columns).
+    pub inlined_values: bool,
+    /// [`XmlStore::count_descendants_named`] is summary/extent arithmetic,
+    /// not a node walk (Systems D and E).
+    pub summary_counts: bool,
+    /// [`XmlStore::estimate_step`] returns exact extent cardinalities
+    /// ("perfect statistics"), not heuristic guesses.
+    pub exact_statistics: bool,
+}
+
+/// A per-step cardinality estimate the catalog resolves during query
+/// compilation — the selectivity input of the cost-based planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepEstimate {
+    /// Estimated extent cardinality of the step's tag. `0` with
+    /// `exact == false` means the backend has no statistics (System F's
+    /// "heuristic optimizer guesses").
+    pub rows: u64,
+    /// Whether `rows` is an exact count.
+    pub exact: bool,
+}
+
 /// The storage contract. Handles are only meaningful within the store that
 /// produced them.
 ///
@@ -326,5 +360,23 @@ pub trait XmlStore: Send + Sync {
     /// Metadata accesses since [`XmlStore::begin_compile`].
     fn metadata_accesses(&self) -> u64 {
         0
+    }
+
+    /// The access paths this mapping offers the planner. Resolved once per
+    /// compilation; the default claims nothing, forcing generic plans
+    /// (System G).
+    fn planner_caps(&self) -> PlannerCaps {
+        PlannerCaps::default()
+    }
+
+    /// Resolve catalog statistics for one path step — the selectivity
+    /// estimate the cost-based planner consumes. Counts as metadata access
+    /// exactly like [`XmlStore::compile_step`] (it *is* the same catalog
+    /// touch, plus the exactness flag).
+    fn estimate_step(&self, tag: &str) -> StepEstimate {
+        StepEstimate {
+            rows: self.compile_step(tag) as u64,
+            exact: self.planner_caps().exact_statistics,
+        }
     }
 }

@@ -47,9 +47,14 @@ fn main() {
     println!("{}", query(1).text.trim());
     let m = report.measurement(SystemId::D, 1).expect("Q1 measured");
     println!(
-        "\n  -> {} item(s) in {:?} compile + {:?} execute",
-        m.result_items, m.compile_time, m.execute_time,
+        "\n  -> {} item(s) in {:?} parse + {:?} plan + {:?} execute",
+        m.result_items, m.parse_time, m.plan_time, m.execute_time,
     );
+    let compiled = compile(query(1).text, loaded.store.as_ref()).expect("Q1 compiles");
+    println!("  plan (EXPLAIN):");
+    for line in compiled.explain().lines() {
+        println!("    {line}");
+    }
     let out = run_query(query(1).text, loaded.store.as_ref()).expect("Q1 runs");
     println!(
         "  result: {}",

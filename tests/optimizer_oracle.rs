@@ -1,71 +1,82 @@
-//! Optimizer oracle: every FLWOR rewrite the evaluator applies (hash
-//! join, decorrelated lookup, predicate pushdown) must be *semantically
-//! invisible* — the optimized and the pure nested-loop evaluation of all
-//! twenty queries must produce byte-identical canonical output.
+//! Optimizer oracle: every decision the planner makes (hash join,
+//! decorrelated index lookup, predicate pushdown, ID/positional/inlined
+//! access paths, summary aggregates) must be *semantically invisible* —
+//! the optimized and the pure nested-loop execution of all twenty queries
+//! must produce byte-identical canonical output on **every** backend A–G.
 //!
 //! This is the reproduction-side analogue of the paper's §1 concern that
-//! query-processor verification is hard: the naive evaluator is the
-//! executable specification; the optimized one is the implementation under
-//! test.
+//! query-processor verification is hard: the naive plan
+//! ([`PlanMode::Naive`] — generic cursors, no joins, no pushdown) is the
+//! executable specification; the optimized plan is the implementation
+//! under test.
 
 use xmark::prelude::*;
-use xmark::query::{canonicalize, parse_query, Evaluator};
+use xmark::query::{canonicalize, compile_with_mode};
 
-fn run_with(store: &dyn XmlStore, text: &str, optimize: bool) -> String {
-    let query = parse_query(text).expect("query parses");
-    let evaluator = Evaluator::with_optimizations(store, &query, optimize);
-    let result = evaluator.run(&query).expect("query runs");
+fn run_with(store: &dyn XmlStore, text: &str, mode: PlanMode) -> String {
+    let compiled = compile_with_mode(text, store, mode).expect("query compiles");
+    let result = execute(&compiled, store).expect("query runs");
     canonicalize(store, &result)
 }
 
-#[test]
-fn rewrites_preserve_all_twenty_queries() {
-    let doc = generate_document(0.002);
-    let store = build_store(SystemId::D, &doc.xml).unwrap();
-    for q in &ALL_QUERIES {
-        let optimized = run_with(store.as_ref(), q.text, true);
-        let naive = run_with(store.as_ref(), q.text, false);
-        assert_eq!(
-            optimized, naive,
-            "Q{}: the optimizer changed the result",
-            q.number
-        );
-    }
+fn assert_planned_matches_naive(store: &dyn XmlStore, number: usize, text: &str) {
+    let optimized = run_with(store, text, PlanMode::Optimized);
+    let naive = run_with(store, text, PlanMode::Naive);
+    assert_eq!(
+        optimized,
+        naive,
+        "Q{number}: the planner changed the result on {}",
+        store.system()
+    );
 }
 
 #[test]
-fn rewrites_preserve_results_on_other_seeds() {
-    for seed in [3u64, 1999] {
-        let xml = xmark::gen::generate_string(&xmark::gen::GeneratorConfig {
-            factor: 0.001,
-            seed,
-        });
-        let store = build_store(SystemId::E, &xml).unwrap();
-        // The rewrite-sensitive queries: joins (8, 9, 10), pushdown (11,
-        // 12), quantifiers (4) and positional access (2, 3).
-        for q in [2, 3, 4, 8, 9, 10, 11, 12] {
-            let optimized = run_with(store.as_ref(), query(q).text, true);
-            let naive = run_with(store.as_ref(), query(q).text, false);
-            assert_eq!(optimized, naive, "Q{q} differs at seed {seed}");
+fn planned_plans_preserve_all_twenty_queries_on_every_backend() {
+    let doc = generate_document(0.002);
+    for system in SystemId::ALL {
+        let store = build_store(system, &doc.xml).unwrap();
+        for q in &ALL_QUERIES {
+            assert_planned_matches_naive(store.as_ref(), q.number, q.text);
         }
     }
 }
 
 #[test]
-fn join_rewrite_handles_duplicate_keys() {
+fn planned_plans_preserve_results_on_other_seeds() {
+    for seed in [3u64, 1999] {
+        let xml = xmark::gen::generate_string(&xmark::gen::GeneratorConfig {
+            factor: 0.001,
+            seed,
+        });
+        for system in SystemId::ALL {
+            let store = build_store(system, &xml).unwrap();
+            // The plan-sensitive queries: joins (8, 9, 10), pushdown (11,
+            // 12), quantifiers (4), positional access (2, 3) and summary
+            // counts (6, 7).
+            for q in [2, 3, 4, 6, 7, 8, 9, 10, 11, 12] {
+                assert_planned_matches_naive(store.as_ref(), q, query(q).text);
+            }
+        }
+    }
+}
+
+#[test]
+fn join_plan_handles_duplicate_keys() {
     // Hand-built document where join keys repeat on both sides: the
     // nested loop emits one tuple per matching *pair*, and so must the
     // hash join.
     let xml = r#"<site><l><x k="a"/><x k="a"/><x k="b"/></l><r><y k="a"/><y k="a"/><y k="c"/></r></site>"#;
-    let store = build_store(SystemId::G, xml).unwrap();
     let q = r#"for $l in document("d")/site/l/x, $r in document("d")/site/r/y
                where $l/@k = $r/@k
                return <pair l="{$l/@k}" r="{$r/@k}"/>"#;
-    let optimized = run_with(store.as_ref(), q, true);
-    let naive = run_with(store.as_ref(), q, false);
-    assert_eq!(optimized, naive);
-    // 2 left "a" × 2 right "a" = 4 pairs.
-    assert_eq!(optimized.lines().count(), 4);
+    for system in SystemId::ALL {
+        let store = build_store(system, xml).unwrap();
+        let optimized = run_with(store.as_ref(), q, PlanMode::Optimized);
+        let naive = run_with(store.as_ref(), q, PlanMode::Naive);
+        assert_eq!(optimized, naive, "{system}");
+        // 2 left "a" × 2 right "a" = 4 pairs.
+        assert_eq!(optimized.lines().count(), 4, "{system}");
+    }
 }
 
 #[test]
@@ -73,29 +84,33 @@ fn pushdown_respects_clause_scoping() {
     // A where-conjunct that only involves the *outer* variable must not
     // change results when evaluated before the inner binding.
     let xml = r#"<site><p v="1"/><p v="2"/><q w="9"/></site>"#;
-    let store = build_store(SystemId::G, xml).unwrap();
     let q = r#"for $p in document("d")/site/p
                let $a := for $q in document("d")/site/q return $q
                where $p/@v = "2"
                return <hit n="{count($a)}"/>"#;
-    let optimized = run_with(store.as_ref(), q, true);
-    let naive = run_with(store.as_ref(), q, false);
-    assert_eq!(optimized, naive);
-    assert_eq!(optimized, r#"<hit n="1"/>"#);
+    for system in SystemId::ALL {
+        let store = build_store(system, xml).unwrap();
+        let optimized = run_with(store.as_ref(), q, PlanMode::Optimized);
+        let naive = run_with(store.as_ref(), q, PlanMode::Naive);
+        assert_eq!(optimized, naive, "{system}");
+        assert_eq!(optimized, r#"<hit n="1"/>"#, "{system}");
+    }
 }
 
 #[test]
 fn decorrelation_handles_empty_probe_keys() {
     // Outer items without the probed attribute must simply match nothing.
     let xml = r#"<site><p id="p1"/><p/><t ref="p1"/><t ref="p2"/></site>"#;
-    let store = build_store(SystemId::G, xml).unwrap();
     let q = r#"for $p in document("d")/site/p
                let $a := for $t in document("d")/site/t
                          where $t/@ref = $p/@id
                          return $t
                return <n c="{count($a)}"/>"#;
-    let optimized = run_with(store.as_ref(), q, true);
-    let naive = run_with(store.as_ref(), q, false);
-    assert_eq!(optimized, naive);
-    assert_eq!(optimized, "<n c=\"1\"/>\n<n c=\"0\"/>");
+    for system in SystemId::ALL {
+        let store = build_store(system, xml).unwrap();
+        let optimized = run_with(store.as_ref(), q, PlanMode::Optimized);
+        let naive = run_with(store.as_ref(), q, PlanMode::Naive);
+        assert_eq!(optimized, naive, "{system}");
+        assert_eq!(optimized, "<n c=\"1\"/>\n<n c=\"0\"/>", "{system}");
+    }
 }
