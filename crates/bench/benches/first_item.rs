@@ -1,0 +1,90 @@
+//! Time-to-first-item: streamed vs materialized result delivery — the
+//! microbench behind the pull-based result API.
+//!
+//! On a serialization-heavy, multi-item query (Q13: every australia item
+//! reconstructed with its description; Q14: a `//item` scan with a
+//! contains-filter) compare what a consumer waits for its first result:
+//!
+//! * `materialized` — the old contract: `execute()` the whole query into
+//!   a `Sequence`, serialize the first item (nothing can be delivered
+//!   before the last item is computed),
+//! * `streamed` — open a [`ResultStream`], pull one item off the operator
+//!   cursors and serialize it; the rest of the query never runs,
+//! * `full_drain` is benchmarked alongside as the sanity baseline: a
+//!   drained stream must cost about the same as `execute`, showing the
+//!   cursor overhead is in the noise.
+//!
+//! The interesting number is `materialized / streamed` within a backend:
+//! that ratio is the paper's whole-result latency divided by the
+//! time-to-first-byte a streaming client actually experiences.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xmark::prelude::*;
+
+const QUERIES: [usize; 2] = [13, 14];
+
+fn bench_first_item(c: &mut Criterion) {
+    let session = Benchmark::at_scale("mini")
+        .systems(&[SystemId::D, SystemId::E, SystemId::G])
+        .generate();
+    let loaded = session.load_all();
+
+    let mut group = c.benchmark_group("first_item");
+    for l in &loaded {
+        let store = l.store.as_ref();
+        for number in QUERIES {
+            let compiled = compile(query(number).text, store).unwrap();
+            let label = format!("{:?}/Q{number}", l.system);
+
+            group.bench_with_input(
+                BenchmarkId::new("materialized", &label),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        // Whole result first; only then can byte one leave.
+                        let all = execute(black_box(compiled), store).unwrap();
+                        let mut out = String::new();
+                        write_item(store, &all[0], &mut out).unwrap();
+                        (all.len(), out.len())
+                    })
+                },
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new("streamed", &label),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        // One pull, one item serialized; the cursors never
+                        // produce the rest.
+                        let mut s = black_box(compiled).stream(store);
+                        let first = s.next_item().expect("non-empty").unwrap();
+                        let mut out = String::new();
+                        write_item(store, &first, &mut out).unwrap();
+                        out.len()
+                    })
+                },
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new("full_drain", &label),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        let mut sink = String::new();
+                        black_box(compiled)
+                            .write_to(store, &mut sink)
+                            .unwrap()
+                            .items
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_first_item);
+criterion_main!(benches);

@@ -70,6 +70,7 @@ fn main() {
     let mut header = vec!["System".to_string()];
     header.extend(sweep.iter().map(|w| format!("{w}w QPS")));
     header.push("p95 @max".to_string());
+    header.push("ttfi p95".to_string());
     header.push("scale 1→max".to_string());
     header.push("cache hit".to_string());
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -97,6 +98,16 @@ fn main() {
             .max()
             .unwrap_or_default();
         row.push(xmark_bench::ms(worst_p95));
+        // Time-to-first-item at the same pool size: what a streaming
+        // client waits before its first byte (workers serialize straight
+        // into sinks, so this is far below p95 on large-result queries).
+        let worst_ttfi = last
+            .per_query
+            .iter()
+            .map(|s| s.ttfi_p95)
+            .max()
+            .unwrap_or_default();
+        row.push(xmark_bench::ms(worst_ttfi));
         row.push(format!("{:.2}x", last.qps() / first_qps.max(1e-12)));
         row.push(format!("{:.0}%", last.plan_cache_hit_rate() * 100.0));
         table.row(row);

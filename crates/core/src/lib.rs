@@ -23,6 +23,29 @@
 //! assert_eq!(m.result_items, 1); // Q1: the name of person0
 //! ```
 //!
+//! ## Streaming results
+//!
+//! Execution is pull-based end to end: [`spec::Session::stream`] (and
+//! [`spec::PreparedQuery::stream`]) open a cursor over the physical plan
+//! whose `take(n)` / `exists()` / `count()` fast paths stop executing as
+//! soon as the answer is known, and `write_to(sink)` serializes item by
+//! item into any `fmt::Write` (or `io::Write` via `IoSink`) without
+//! materializing the result. `execute()` remains as the materializing
+//! wrapper — byte-identical, just eager.
+//!
+//! ```
+//! use xmark::prelude::*;
+//!
+//! let session = Benchmark::at_scale("mini").generate();
+//! let people = session.stream(SystemId::E, "/site/people/person");
+//! assert!(people.exists());          // pulls one person, stops
+//! let preview = people.take(10);     // pulls ten, stops
+//! assert_eq!(preview.len(), 10);
+//! let mut out = String::new();
+//! let stats = people.write_to(&mut out);
+//! assert_eq!(stats.items, people.count());
+//! ```
+//!
 //! ## Serving concurrent traffic
 //!
 //! The paper measures single-user latency; production serves many users
@@ -68,9 +91,11 @@
 //!   `Send + Sync`, each reporting its planner capabilities and catalog
 //!   selectivity estimates,
 //! * [`xmark_query`] — the XQuery subset (§6) as an explicit
-//!   parse → plan → execute pipeline: a cost-based planner lowers each
+//!   parse → plan → pull pipeline: a cost-based planner lowers each
 //!   query into a physical plan (`EXPLAIN`-renderable, cached by the
-//!   service layer) that a decision-free executor runs,
+//!   service layer) executed through pull-based operator cursors — a
+//!   [`xmark_query::ResultStream`] with early-terminating
+//!   `take`/`exists`/`count` and sink-generic `write_to` serialization,
 //! * [`queries`] — the twenty benchmark queries,
 //! * [`spec`] — scales, workload driver, three-phase measurement types,
 //!   prepared queries,
@@ -106,12 +131,13 @@ pub mod prelude {
     };
     pub use crate::spec::{
         canonical_output, generate_document, load_system, measure_query, scale, Benchmark,
-        BenchmarkReport, GeneratedDocument, LoadedStore, PreparedQuery, QueryMeasurement, Scale,
-        Session, SCALES,
+        BenchmarkReport, GeneratedDocument, LoadedStore, PreparedQuery, QueryMeasurement,
+        QueryStream, Scale, Session, SCALES,
     };
     pub use xmark_gen::{generate_split, generate_string, Generator, GeneratorConfig, AUCTION_DTD};
     pub use xmark_query::{
-        compile, compile_with_mode, execute, explain_plan, run_query, serialize_sequence, PlanMode,
+        compile, compile_with_mode, execute, explain_plan, run_query, serialize_sequence, stream,
+        write_item, write_sequence, IoSink, PlanMode, ResultStream, StreamStats,
     };
     pub use xmark_store::{build_store, PlannerCaps, SystemId, XmlStore};
 }

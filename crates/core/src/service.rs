@@ -22,6 +22,14 @@
 //! cache hit rate and the resulting cold-vs-warm throughput gap are
 //! reported per run ([`ThroughputReport::plan_cache_hit_rate`]).
 //!
+//! Workers **stream**: each request opens a pull-based
+//! [`xmark_query::ResultStream`] over the cached plan and serializes
+//! items one by one into a byte sink — no materialized result sequence,
+//! no output `String`. Besides the total-latency percentiles, each
+//! query's [`LatencyStats`] therefore reports time-to-first-item p50/p95
+//! ([`LatencyStats::ttfi_p50`]): what a streaming client waits before
+//! its first byte, which for large results is far below the total.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use xmark::prelude::*;
@@ -42,7 +50,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use xmark_query::{compile, execute, Compiled};
+use xmark_query::{compile, Compiled};
 use xmark_store::{SystemId, XmlStore};
 
 use crate::queries::query;
@@ -153,17 +161,23 @@ impl PlanCache {
 }
 
 /// One completed request: which query ran and how long it took. On a
-/// plan-cache miss that is compile + execute (the Table 3 total); on a
-/// hit it is cache lookup + execute.
+/// plan-cache miss that is compile + stream-serialize (the Table 3
+/// total); on a hit it is cache lookup + stream-serialize.
 #[derive(Debug, Clone, Copy)]
 pub struct RequestMeasurement {
     /// Query number (1–20).
     pub query: usize,
-    /// End-to-end request latency.
+    /// End-to-end request latency (through serialization of the last
+    /// byte).
     pub latency: Duration,
+    /// Time to the first serialized result item — what a streaming client
+    /// waits before its first byte. Equals `latency` for empty results.
+    pub first_item: Duration,
     /// Result cardinality (sanity signal: concurrent runs must agree with
     /// sequential ones).
     pub result_items: usize,
+    /// Serialized result bytes the worker streamed to its sink.
+    pub result_bytes: u64,
 }
 
 /// Latency distribution of one query within a throughput run.
@@ -181,6 +195,11 @@ pub struct LatencyStats {
     pub p99: Duration,
     /// Arithmetic mean.
     pub mean: Duration,
+    /// Median time-to-first-item: how long a streaming consumer waited
+    /// for the first serialized result item.
+    pub ttfi_p50: Duration,
+    /// 95th-percentile time-to-first-item.
+    pub ttfi_p95: Duration,
     /// Result cardinality the workers observed. Queries are deterministic
     /// per store, so every request of the same query must agree —
     /// [`QueryService::run_mix`] panics on divergence (a thread-safety
@@ -205,6 +224,8 @@ pub struct ThroughputReport {
     pub plan_cache_hits: u64,
     /// Plan-cache misses during this run (cold compilations).
     pub plan_cache_misses: u64,
+    /// Total serialized result bytes the workers streamed.
+    pub result_bytes: u64,
     /// Per-query latency distributions, ordered by query number.
     pub per_query: Vec<LatencyStats>,
 }
@@ -329,16 +350,27 @@ impl QueryService {
             jobs.send(Job::Run(mix[i % mix.len()]))
                 .expect("workers outlive the run");
         }
-        let mut by_query: HashMap<usize, (Vec<Duration>, usize)> = HashMap::new();
+        // Per query: (latency, time-to-first-item) samples plus the
+        // result cardinality/bytes every request must agree on.
+        type QuerySamples = (Vec<(Duration, Duration)>, usize, u64);
+        let mut by_query: HashMap<usize, QuerySamples> = HashMap::new();
+        let mut result_bytes = 0u64;
         for _ in 0..requests {
             let m = self.recv_measurement();
+            result_bytes += m.result_bytes;
             let entry = by_query
                 .entry(m.query)
-                .or_insert_with(|| (Vec::new(), m.result_items));
-            entry.0.push(m.latency);
+                .or_insert_with(|| (Vec::new(), m.result_items, m.result_bytes));
+            entry.0.push((m.latency, m.first_item));
             assert_eq!(
                 entry.1, m.result_items,
                 "Q{} returned differing cardinalities across concurrent requests \
+                 — thread-safety bug",
+                m.query
+            );
+            assert_eq!(
+                entry.2, m.result_bytes,
+                "Q{} streamed differing byte counts across concurrent requests \
                  — thread-safety bug",
                 m.query
             );
@@ -346,7 +378,7 @@ impl QueryService {
         let elapsed = start.elapsed();
         let mut per_query: Vec<LatencyStats> = by_query
             .into_iter()
-            .map(|(query, (latencies, result_items))| latency_stats(query, latencies, result_items))
+            .map(|(query, (samples, result_items, _))| latency_stats(query, samples, result_items))
             .collect();
         per_query.sort_by_key(|s| s.query);
         ThroughputReport {
@@ -356,6 +388,7 @@ impl QueryService {
             elapsed,
             plan_cache_hits: self.cache.hits() - hits_before,
             plan_cache_misses: self.cache.misses() - misses_before,
+            result_bytes,
             per_query,
         }
     }
@@ -400,6 +433,24 @@ impl Drop for QueryService {
     }
 }
 
+/// The sink production workers stream serialized results into (a network
+/// worker would hand the same `fmt::Write` surface to its socket): bytes
+/// are not retained, only the instant of the first write — the
+/// client-visible time-to-first-byte.
+#[derive(Default)]
+struct ByteSink {
+    first_write: Option<Instant>,
+}
+
+impl std::fmt::Write for ByteSink {
+    fn write_str(&mut self, _s: &str) -> std::fmt::Result {
+        if self.first_write.is_none() {
+            self.first_write = Some(Instant::now());
+        }
+        Ok(())
+    }
+}
+
 fn worker_loop(
     store: Arc<dyn XmlStore>,
     cache: Arc<PlanCache>,
@@ -428,14 +479,23 @@ fn worker_loop(
                 compiled
             }
         };
-        let result = execute(&compiled, store.as_ref())
+        // Stream: `write_to` serializes items straight off the operator
+        // cursors into the sink — no materialized result sequence — and
+        // the sink's first-write timestamp is the client-visible TTFB.
+        let mut sink = ByteSink::default();
+        let stats = xmark_query::stream(&compiled, store.as_ref())
+            .write_to(&mut sink)
             .unwrap_or_else(|e| panic!("Q{number} failed to execute: {e}"));
         let latency = start.elapsed();
         if results
             .send(RequestMeasurement {
                 query: number,
                 latency,
-                result_items: result.len(),
+                first_item: sink
+                    .first_write
+                    .map_or(latency, |at| at.duration_since(start)),
+                result_items: stats.items,
+                result_bytes: stats.bytes,
             })
             .is_err()
         {
@@ -444,22 +504,32 @@ fn worker_loop(
     }
 }
 
-fn latency_stats(query: usize, mut latencies: Vec<Duration>, result_items: usize) -> LatencyStats {
+/// Aggregate one query's `(latency, time-to-first-item)` samples.
+fn latency_stats(
+    query: usize,
+    samples: Vec<(Duration, Duration)>,
+    result_items: usize,
+) -> LatencyStats {
+    let count = samples.len();
+    let mut latencies: Vec<Duration> = samples.iter().map(|(l, _)| *l).collect();
+    let mut firsts: Vec<Duration> = samples.iter().map(|(_, f)| *f).collect();
     latencies.sort_unstable();
-    let count = latencies.len();
+    firsts.sort_unstable();
     let total: Duration = latencies.iter().sum();
-    let percentile = |p: f64| -> Duration {
+    let percentile = |sorted: &[Duration], p: f64| -> Duration {
         // Nearest-rank on the sorted sample.
         let rank = ((p * count as f64).ceil() as usize).clamp(1, count);
-        latencies[rank - 1]
+        sorted[rank - 1]
     };
     LatencyStats {
         query,
         count,
-        p50: percentile(0.50),
-        p95: percentile(0.95),
-        p99: percentile(0.99),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
         mean: total / count.max(1) as u32,
+        ttfi_p50: percentile(&firsts, 0.50),
+        ttfi_p95: percentile(&firsts, 0.95),
         result_items,
     }
 }
@@ -562,7 +632,9 @@ mod tests {
     fn percentiles_are_nearest_rank() {
         let stats = latency_stats(
             3,
-            (1..=100).map(Duration::from_millis).collect::<Vec<_>>(),
+            (1..=100)
+                .map(|ms| (Duration::from_millis(ms), Duration::from_millis(ms / 2)))
+                .collect::<Vec<_>>(),
             7,
         );
         assert_eq!(stats.count, 100);
@@ -570,5 +642,26 @@ mod tests {
         assert_eq!(stats.p50, Duration::from_millis(50));
         assert_eq!(stats.p95, Duration::from_millis(95));
         assert_eq!(stats.p99, Duration::from_millis(99));
+        assert_eq!(stats.ttfi_p50, Duration::from_millis(25));
+        assert_eq!(stats.ttfi_p95, Duration::from_millis(47));
+    }
+
+    #[test]
+    fn workers_stream_bytes_and_report_ttfi() {
+        let doc = generate_document(0.001);
+        let loaded = load_system(SystemId::D, &doc.xml);
+        // The sequential reference: serialized size of Q5's result.
+        let compiled = compile(crate::queries::query(5).text, loaded.store.as_ref()).unwrap();
+        let expected = xmark_query::serialize_sequence(
+            loaded.store.as_ref(),
+            &xmark_query::execute(&compiled, loaded.store.as_ref()).unwrap(),
+        );
+        let store: Arc<dyn XmlStore> = Arc::from(loaded.store);
+        let service = QueryService::start(store, 2);
+        let report = service.run_mix(&[5], 6);
+        assert_eq!(report.result_bytes, 6 * expected.len() as u64);
+        let stats = report.stats(5).unwrap();
+        assert!(stats.ttfi_p50 <= stats.p50, "first item precedes the last");
+        assert!(stats.ttfi_p95 <= stats.p95);
     }
 }

@@ -6,11 +6,14 @@
 //! systems and queries and produce the measurements the harness formats
 //! into the paper's tables.
 
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use xmark_gen::{GenStats, Generator, GeneratorConfig};
-use xmark_query::{compile, execute, CompileStats, Compiled, PlanMode, Sequence};
+use xmark_query::{
+    compile, execute, CompileStats, Compiled, PlanMode, ResultStream, Sequence, StreamStats,
+};
 use xmark_store::{build_store, SystemId, XmlStore};
 
 use crate::queries::query;
@@ -139,6 +142,10 @@ pub struct QueryMeasurement {
     pub plan_time: Duration,
     /// Execution wall time.
     pub execute_time: Duration,
+    /// Wall time from execution start to the *first* result item leaving
+    /// the operator cursors — what a streaming consumer waits before the
+    /// first byte. Equals `execute_time` for empty results.
+    pub first_item_time: Duration,
     /// Metadata accesses during planning.
     pub metadata_accesses: u64,
     /// Result cardinality.
@@ -190,9 +197,18 @@ pub fn measure_query(loaded: &LoadedStore, number: usize) -> QueryMeasurement {
     let metadata_accesses = compiled.stats.metadata_accesses;
 
     let execute_start = Instant::now();
-    let result: Sequence = execute(&compiled, store)
-        .unwrap_or_else(|e| panic!("Q{number} failed on {}: {e}", loaded.system));
+    let mut stream = xmark_query::stream(&compiled, store);
+    let mut result: Sequence = Vec::new();
+    let mut first_item_time = None;
+    while let Some(item) = stream.next_item() {
+        let item = item.unwrap_or_else(|e| panic!("Q{number} failed on {}: {e}", loaded.system));
+        if first_item_time.is_none() {
+            first_item_time = Some(execute_start.elapsed());
+        }
+        result.push(item);
+    }
     let execute_time = execute_start.elapsed();
+    let first_item_time = first_item_time.unwrap_or(execute_time);
 
     let rendered = xmark_query::serialize_sequence(store, &result);
     QueryMeasurement {
@@ -201,6 +217,7 @@ pub fn measure_query(loaded: &LoadedStore, number: usize) -> QueryMeasurement {
         parse_time,
         plan_time,
         execute_time,
+        first_item_time,
         metadata_accesses,
         result_items: result.len(),
         result_bytes: rendered.len(),
@@ -248,13 +265,63 @@ impl PreparedQuery {
         }
     }
 
-    /// Execute the prepared plan (no parse, no plan).
+    /// Execute the prepared plan (no parse, no plan), materializing the
+    /// whole result — a thin wrapper draining [`PreparedQuery::stream`].
     ///
     /// # Panics
     /// Panics on evaluation errors, mirroring the façade's other helpers.
     pub fn execute(&self) -> Sequence {
         execute(&self.compiled, self.store.as_ref())
             .unwrap_or_else(|e| panic!("prepared query failed to execute: {e}"))
+    }
+
+    /// Open a pull-based result stream over the prepared plan: items are
+    /// produced on demand, so `stream().take(n)` / `.exists()` stop
+    /// executing as soon as the answer is known.
+    pub fn stream(&self) -> ResultStream<'_> {
+        xmark_query::stream(&self.compiled, self.store.as_ref())
+    }
+
+    /// At most the first `n` result items, pulling nothing past them.
+    ///
+    /// # Panics
+    /// Panics on evaluation errors.
+    pub fn take(&self, n: usize) -> Sequence {
+        self.stream()
+            .take(n)
+            .unwrap_or_else(|e| panic!("prepared query failed to execute: {e}"))
+    }
+
+    /// Whether the result has at least one item — pulls at most one.
+    ///
+    /// # Panics
+    /// Panics on evaluation errors.
+    pub fn exists(&self) -> bool {
+        self.stream()
+            .exists()
+            .unwrap_or_else(|e| panic!("prepared query failed to execute: {e}"))
+    }
+
+    /// The result cardinality, without keeping or serializing any item.
+    ///
+    /// # Panics
+    /// Panics on evaluation errors.
+    pub fn count(&self) -> usize {
+        self.stream()
+            .count()
+            .unwrap_or_else(|e| panic!("prepared query failed to execute: {e}"))
+    }
+
+    /// Execute and serialize straight into `sink`, one item per line,
+    /// byte-identical to serializing [`PreparedQuery::execute`]'s result —
+    /// without materializing it.
+    ///
+    /// # Panics
+    /// Panics on evaluation errors or sink failures.
+    pub fn write_to<W: fmt::Write + ?Sized>(&self, sink: &mut W) -> StreamStats {
+        self.stream()
+            .write_to(sink)
+            .unwrap_or_else(|e| panic!("prepared query failed to stream: {e}"))
     }
 
     /// The physical plan, one line per operator.
@@ -275,6 +342,67 @@ impl PreparedQuery {
     /// The store the query was planned against.
     pub fn store(&self) -> &Arc<dyn XmlStore> {
         &self.store
+    }
+}
+
+/// A reusable streaming handle over one (store, compiled query) pair,
+/// produced by [`Session::stream`]. Each accessor opens a fresh pull over
+/// the prepared plan; nothing is materialized unless the consumer drains.
+///
+/// ```
+/// use xmark::prelude::*;
+///
+/// let session = Benchmark::at_scale("mini").generate();
+/// let people = session.stream(SystemId::G, "/site/people/person");
+/// assert!(people.exists());            // pulls one person, stops
+/// let first_two = people.take(2);      // pulls two, stops
+/// assert_eq!(first_two.len(), 2);
+/// ```
+pub struct QueryStream {
+    prepared: PreparedQuery,
+}
+
+impl QueryStream {
+    /// A fresh pull-based iterator over the results.
+    pub fn iter(&self) -> ResultStream<'_> {
+        self.prepared.stream()
+    }
+
+    /// At most the first `n` items (see [`PreparedQuery::take`]).
+    ///
+    /// # Panics
+    /// Panics on evaluation errors.
+    pub fn take(&self, n: usize) -> Sequence {
+        self.prepared.take(n)
+    }
+
+    /// Whether any result item exists — pulls at most one.
+    ///
+    /// # Panics
+    /// Panics on evaluation errors.
+    pub fn exists(&self) -> bool {
+        self.prepared.exists()
+    }
+
+    /// The result cardinality, draining without keeping items.
+    ///
+    /// # Panics
+    /// Panics on evaluation errors.
+    pub fn count(&self) -> usize {
+        self.prepared.count()
+    }
+
+    /// Serialize everything into `sink` (see [`PreparedQuery::write_to`]).
+    ///
+    /// # Panics
+    /// Panics on evaluation errors or sink failures.
+    pub fn write_to<W: fmt::Write + ?Sized>(&self, sink: &mut W) -> StreamStats {
+        self.prepared.write_to(sink)
+    }
+
+    /// The underlying prepared query (plan, stats, store).
+    pub fn prepared(&self) -> &PreparedQuery {
+        &self.prepared
     }
 }
 
@@ -454,6 +582,33 @@ impl Session {
         PreparedQuery::new(self.load_shared(system), text)
     }
 
+    /// Bulkload `system`, compile `text`, and return a reusable streaming
+    /// handle: [`QueryStream::iter`] opens a fresh pull-based
+    /// [`ResultStream`] per call, and the `take`/`exists`/`count`/
+    /// `write_to` fast paths stop executing as soon as the answer is
+    /// known.
+    pub fn stream(&self, system: SystemId, text: &str) -> QueryStream {
+        QueryStream {
+            prepared: self.prepare(system, text),
+        }
+    }
+
+    /// Bulkload `system`, compile `text`, and serialize the whole result
+    /// into `sink` item by item (one item per line) without materializing
+    /// it. Returns the item/byte counts.
+    ///
+    /// # Panics
+    /// Panics if the query fails to compile, execute, or the sink rejects
+    /// a write.
+    pub fn write_to<W: fmt::Write + ?Sized>(
+        &self,
+        system: SystemId,
+        text: &str,
+        sink: &mut W,
+    ) -> StreamStats {
+        self.prepare(system, text).write_to(sink)
+    }
+
     /// Bulkload `system`, spawn `workers` threads, and run `requests`
     /// closed-loop requests cycling through this session's selected
     /// queries — the Table 4 cell for one (system, worker-count) pair.
@@ -626,6 +781,57 @@ mod tests {
         assert_eq!(m.compile_time(), m.parse_time + m.plan_time);
         assert_eq!(m.total(), m.parse_time + m.plan_time + m.execute_time);
         assert!(m.metadata_accesses > 0, "planning touches the catalog");
+        assert!(
+            m.first_item_time <= m.execute_time,
+            "the first item cannot arrive after the last"
+        );
+    }
+
+    #[test]
+    fn prepared_stream_agrees_with_execute_and_short_circuits() {
+        let session = Benchmark::at_factor(0.001).generate();
+        let prepared = session.prepare(SystemId::E, query(2).text);
+        let materialized = prepared.execute();
+        // Byte-identical serialization through the sink path.
+        let mut sunk = String::new();
+        let stats = prepared.write_to(&mut sunk);
+        let store = prepared.store().as_ref();
+        assert_eq!(sunk, xmark_query::serialize_sequence(store, &materialized));
+        assert_eq!(stats.items, materialized.len());
+        assert_eq!(stats.bytes, sunk.len() as u64);
+        // Fast paths agree with the materialized result.
+        assert_eq!(prepared.count(), materialized.len());
+        assert_eq!(prepared.exists(), !materialized.is_empty());
+        assert_eq!(prepared.take(3), materialized[..3.min(materialized.len())]);
+        // And pulling one item costs strictly fewer cursor pulls than a
+        // full drain.
+        let mut partial = prepared.stream();
+        let _ = partial.next_item();
+        let partial_pulls = partial.pulls();
+        let mut full = prepared.stream();
+        while full.next_item().is_some() {}
+        let full_pulls = full.pulls();
+        assert!(
+            partial_pulls < full_pulls,
+            "one pulled item must cost fewer cursor pulls ({partial_pulls} vs {full_pulls})"
+        );
+    }
+
+    #[test]
+    fn session_stream_handle_round_trips() {
+        let session = Benchmark::at_factor(0.001).generate();
+        let stream = session.stream(SystemId::G, "/site/people/person");
+        assert!(stream.exists());
+        let two = stream.take(2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(stream.count(), stream.prepared().execute().len());
+        let mut direct = String::new();
+        let stats = session.write_to(SystemId::G, "/site/people/person", &mut direct);
+        assert_eq!(stats.items, stream.count());
+        assert!(stats.bytes > 0 && direct.len() as u64 == stats.bytes);
+        // Iterator access yields the same first item as take(1).
+        let first = stream.iter().next().unwrap().unwrap();
+        assert_eq!(vec![first], stream.take(1));
     }
 
     #[test]

@@ -19,11 +19,12 @@
 use xmark_store::XmlStore;
 
 use crate::ast::Query;
-use crate::eval::{EvalError, Evaluator};
+use crate::eval::EvalError;
 use crate::parse::{parse_query, ParseError};
 use crate::plan::{PhysicalPlan, PlanMode};
 use crate::planner::plan_query;
 use crate::result::Sequence;
+use crate::stream::{ResultStream, StreamStats, WriteError};
 
 /// Compilation statistics (the "metadata" column of Table 2).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -53,6 +54,23 @@ impl Compiled {
     /// [`crate::explain`]).
     pub fn explain(&self) -> String {
         crate::explain::explain_plan(&self.plan)
+    }
+
+    /// Open a pull-based [`ResultStream`] over this plan against `store`.
+    /// Items are produced on demand; `stream(store).take(n)` /
+    /// `.exists()` stop executing as soon as the answer is known.
+    pub fn stream<'a>(&'a self, store: &'a dyn XmlStore) -> ResultStream<'a> {
+        ResultStream::new(&self.plan, store)
+    }
+
+    /// Execute against `store`, serializing straight into `sink` item by
+    /// item (one item per line) without materializing the result.
+    pub fn write_to<W: std::fmt::Write + ?Sized>(
+        &self,
+        store: &dyn XmlStore,
+        sink: &mut W,
+    ) -> Result<StreamStats, WriteError> {
+        self.stream(store).write_to(sink)
     }
 }
 
@@ -107,10 +125,19 @@ pub fn plan(query: &Query, store: &dyn XmlStore, mode: PlanMode) -> Compiled {
     Compiled { plan, stats }
 }
 
-/// Execute a compiled query.
+/// Execute a compiled query, materializing the whole result — a thin
+/// wrapper draining [`stream`]. Callers that can consume items
+/// incrementally (or stop early) should prefer the stream.
 pub fn execute(compiled: &Compiled, store: &dyn XmlStore) -> Result<Sequence, EvalError> {
-    let evaluator = Evaluator::new(store, &compiled.plan);
-    evaluator.run(&compiled.plan)
+    stream(compiled, store).collect_seq()
+}
+
+/// Open a pull-based [`ResultStream`] over a compiled query: the
+/// streaming counterpart of [`execute`]. Draining it yields exactly the
+/// sequence `execute` returns; `take(n)`/`exists()`/`count()` stop
+/// pulling from the operator cursors as soon as the answer is known.
+pub fn stream<'a>(compiled: &'a Compiled, store: &'a dyn XmlStore) -> ResultStream<'a> {
+    ResultStream::new(&compiled.plan, store)
 }
 
 /// Compile and execute in one call.

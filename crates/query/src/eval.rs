@@ -7,17 +7,26 @@
 //! was compiled and are visible via [`crate::explain`]. What remains here
 //! is mechanism:
 //!
-//! * operator execution — NestedLoop, HashJoin, IndexLookup, Sort,
-//!   Project, Aggregate, PathScan over the streaming axis cursors,
+//! * operator execution — the pipelining operators (PathScan, NestedLoop,
+//!   HashJoin probe sides, IndexLookup probes, Project) run as pull-based
+//!   cursors defined in [`crate::stream`]; this module supplies the
+//!   shared per-context mechanics they call into (step expansion,
+//!   predicate application, join build sides, order keys),
 //! * per-execution memos (loop-invariant path materialization, join hash
 //!   tables, probe key lists) keyed by the signatures the planner
 //!   computed,
 //! * graceful fallbacks where a plan annotation turns out not to cover a
 //!   node (an un-inlined value, an unsupported positional probe) — the
 //!   generic cursor path always remains correct.
+//!
+//! Scalar contexts (comparison operands, arithmetic, function arguments)
+//! still evaluate to materialized [`Sequence`]s via [`Evaluator::eval`];
+//! boolean contexts (where-filters, predicates, quantifiers, `and`/`or`)
+//! go through the short-circuiting `eval_ebv`, which pulls at most two
+//! items from a streaming cursor instead of draining the operand.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use xmark_store::{Node, XmlStore};
@@ -25,6 +34,7 @@ use xmark_store::{Node, XmlStore};
 use crate::ast::{Axis, CmpOp, NodeTest};
 use crate::plan::*;
 use crate::result::{atomize, number, CElem, Item, Sequence};
+use crate::stream::{flwor_cursor, path_cursor, Cursor};
 
 /// Evaluation errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,39 +74,45 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-type EResult<T> = Result<T, EvalError>;
+pub(crate) type EResult<T> = Result<T, EvalError>;
 
 /// A lookup index for join operators: canonical key → (source position,
 /// item) pairs in source order.
-type JoinIndex = HashMap<String, Vec<(usize, Item)>>;
+pub(crate) type JoinIndex = HashMap<String, Vec<(usize, Item)>>;
 
-/// Variable environment with lexical scoping.
-#[derive(Default)]
-struct Env {
-    bindings: Vec<(String, Arc<Sequence>)>,
+/// Variable environment with lexical scoping, borrowing its names from
+/// the plan (`'a`).
+///
+/// Bindings hold `&'a str` names and `Arc<Sequence>` values, so pushing
+/// a binding and cloning an environment (operator cursors own a snapshot
+/// each, once per tuple) copy a few pointers — no per-tuple name
+/// allocations, and never the bound sequences.
+#[derive(Default, Clone)]
+pub(crate) struct Env<'a> {
+    bindings: Vec<(&'a str, Arc<Sequence>)>,
 }
 
-impl Env {
-    fn push(&mut self, name: &str, value: Arc<Sequence>) {
-        self.bindings.push((name.to_string(), value));
+impl<'a> Env<'a> {
+    pub(crate) fn push(&mut self, name: &'a str, value: Arc<Sequence>) {
+        self.bindings.push((name, value));
     }
 
-    fn pop(&mut self) {
+    pub(crate) fn pop(&mut self) {
         self.bindings.pop();
     }
 
-    fn get(&self, name: &str) -> Option<&Arc<Sequence>> {
+    pub(crate) fn get(&self, name: &str) -> Option<&Arc<Sequence>> {
         self.bindings
             .iter()
             .rev()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| *n == name)
             .map(|(_, v)| v)
     }
 }
 
 /// The executor, bound to one store and one physical plan's functions.
 pub struct Evaluator<'a> {
-    store: &'a dyn XmlStore,
+    pub(crate) store: &'a dyn XmlStore,
     functions: HashMap<&'a str, &'a PlanFunction>,
     /// Memo for loop-invariant absolute paths — the materialization every
     /// system in the paper performs before joining.
@@ -107,6 +123,18 @@ pub struct Evaluator<'a> {
     /// Memo for hash-join probe-side key lists, aligned with the cached
     /// source sequence.
     key_cache: RefCell<HashMap<String, Arc<Vec<Vec<String>>>>>,
+    /// Items pulled through operator cursors (path-step expansions and
+    /// clause bindings). The probe behind the early-termination tests:
+    /// `exists()`/`take(n)` must pull strictly fewer items than a full
+    /// evaluation.
+    pulls: Cell<u64>,
+    /// Memoized-path signatures already opened by a streaming cursor
+    /// this execution. A second open proves the loop-invariant path is
+    /// being re-evaluated (an inner FLWOR clause restarted per outer
+    /// binding), at which point it materializes into `path_cache`; first
+    /// opens stay lazy so one-shot top-level paths keep their
+    /// time-to-first-item.
+    streamed_paths: RefCell<HashSet<String>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -122,16 +150,44 @@ impl<'a> Evaluator<'a> {
             path_cache: RefCell::new(HashMap::new()),
             index_cache: RefCell::new(HashMap::new()),
             key_cache: RefCell::new(HashMap::new()),
+            pulls: Cell::new(0),
+            streamed_paths: RefCell::new(HashSet::new()),
         }
     }
 
-    /// Execute the plan body.
-    pub fn run(&self, plan: &PhysicalPlan) -> EResult<Sequence> {
+    /// Execute the plan body, materializing the whole result — equivalent
+    /// to draining [`crate::stream::ResultStream`].
+    pub fn run(&self, plan: &'a PhysicalPlan) -> EResult<Sequence> {
         let mut env = Env::default();
         self.eval(&plan.body, &mut env, None)
     }
 
-    fn eval(&self, expr: &PlanExpr, env: &mut Env, ctx: Option<&Item>) -> EResult<Sequence> {
+    /// Items pulled through operator cursors so far (see
+    /// [`crate::stream::ResultStream::pulls`]).
+    pub fn pulls(&self) -> u64 {
+        self.pulls.get()
+    }
+
+    /// Record `n` items pulled through an operator cursor.
+    pub(crate) fn count_pulls(&self, n: u64) {
+        self.pulls.set(self.pulls.get() + n);
+    }
+
+    /// Drain a cursor into a materialized sequence.
+    pub(crate) fn drain(&self, mut cur: Cursor<'a>) -> EResult<Sequence> {
+        let mut out = Vec::new();
+        while let Some(r) = cur.next(self) {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn eval(
+        &self,
+        expr: &'a PlanExpr,
+        env: &mut Env<'a>,
+        ctx: Option<&Item>,
+    ) -> EResult<Sequence> {
         match expr {
             PlanExpr::Str(s) => Ok(vec![Item::str(s)]),
             PlanExpr::Num(n) => Ok(vec![Item::Num(*n)]),
@@ -149,7 +205,7 @@ impl<'a> Evaluator<'a> {
             }
             PlanExpr::Or(parts) => {
                 for p in parts {
-                    if ebv(&self.eval(p, env, ctx)?) {
+                    if self.eval_ebv(p, env, ctx)? {
                         return Ok(vec![Item::Bool(true)]);
                     }
                 }
@@ -157,7 +213,7 @@ impl<'a> Evaluator<'a> {
             }
             PlanExpr::And(parts) => {
                 for p in parts {
-                    if !ebv(&self.eval(p, env, ctx)?) {
+                    if !self.eval_ebv(p, env, ctx)? {
                         return Ok(vec![Item::Bool(false)]);
                     }
                 }
@@ -207,7 +263,7 @@ impl<'a> Evaluator<'a> {
             }
             PlanExpr::Path(p) => self.eval_path(p, env, ctx),
             PlanExpr::Aggregate(a) => self.eval_aggregate(a, env, ctx),
-            PlanExpr::Flwor(f) => self.eval_flwor(f, env, ctx),
+            PlanExpr::Flwor(f) => self.drain(flwor_cursor(f, env, ctx, false)),
             PlanExpr::Some {
                 bindings,
                 satisfies,
@@ -223,197 +279,64 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    // ---- FLWOR operators -------------------------------------------------
-
-    fn eval_flwor(&self, f: &FlworPlan, env: &mut Env, ctx: Option<&Item>) -> EResult<Sequence> {
-        let mut tuples: Vec<(Option<OrderKey>, Sequence)> = Vec::new();
-        match &f.strategy {
-            Strategy::NestedLoop { clauses, filters } => {
-                self.nested_loop(f, clauses, filters, 0, env, ctx, &mut tuples)?;
-            }
-            Strategy::HashJoin {
-                probe_var,
-                probe_src,
-                probe_key,
-                probe_sig,
-                build_var,
-                build_src,
-                build_key,
-                build_sig,
-                residual,
-                ..
-            } => {
-                // Build side: hash the (canonicalized) keys of the inner
-                // source. When loop-invariant, the table is built once per
-                // execution and reused — the hoisting a relational
-                // optimizer performs when the join sits inside a
-                // correlated subquery (Q9).
-                let table = self.join_build_side(
-                    build_var,
-                    build_src,
-                    build_key,
-                    build_sig.as_deref(),
-                    env,
-                    ctx,
-                )?;
-                let left = self.eval(probe_src, env, ctx)?;
-                let probe_keys = self.join_probe_keys(
-                    probe_var,
-                    probe_key,
-                    probe_sig.as_deref(),
-                    &left,
-                    env,
-                    ctx,
-                )?;
-                for (li, litem) in left.iter().enumerate() {
-                    // Distinct matched build items, preserving build order
-                    // (the nested loop visits inner items in order for each
-                    // outer item).
-                    let mut matched: Vec<(usize, &Item)> = Vec::new();
-                    for key in &probe_keys[li] {
-                        if let Some(entries) = table.get(key) {
-                            matched.extend(entries.iter().map(|(i, item)| (*i, item)));
-                        }
-                    }
-                    matched.sort_by_key(|(i, _)| *i);
-                    matched.dedup_by_key(|(i, _)| *i);
-                    env.push(probe_var, Arc::new(vec![litem.clone()]));
-                    for (_, ritem) in matched {
-                        env.push(build_var, Arc::new(vec![ritem.clone()]));
-                        let result = self.join_tail(f, residual, env, ctx, &mut tuples);
-                        env.pop();
-                        if let Err(e) = result {
-                            env.pop();
-                            return Err(e);
-                        }
-                    }
-                    env.pop();
-                }
-            }
-            Strategy::IndexLookup {
-                var,
-                source,
-                inner_key,
-                outer_key,
-                sig,
-                residual,
-                ..
-            } => {
-                // Build (or reuse) the lookup index: canonical key →
-                // (position, item) pairs in source order.
-                let cached = self.index_cache.borrow().get(sig).cloned();
-                let index = if let Some(cached) = cached {
-                    cached
-                } else {
-                    let items = self.eval(source, env, ctx)?;
-                    let mut map: JoinIndex = HashMap::new();
-                    for (i, item) in items.into_iter().enumerate() {
-                        env.push(var, Arc::new(vec![item.clone()]));
-                        let keys = self.eval(inner_key, env, ctx);
-                        env.pop();
-                        for key in keys? {
-                            map.entry(canonical_key(&atomize(self.store, &key)))
-                                .or_default()
-                                .push((i, item.clone()));
-                        }
-                    }
-                    let rc = Arc::new(map);
-                    self.index_cache
-                        .borrow_mut()
-                        .insert(sig.clone(), Arc::clone(&rc));
-                    rc
-                };
-
-                // Probe with the outer key(s).
-                let outer_keys = self.eval(outer_key, env, ctx)?;
-                let mut matched: Vec<(usize, Item)> = Vec::new();
-                for key in outer_keys {
-                    if let Some(items) = index.get(&canonical_key(&atomize(self.store, &key))) {
-                        matched.extend(items.iter().cloned());
-                    }
-                }
-                matched.sort_by_key(|(i, _)| *i);
-                matched.dedup_by_key(|(i, _)| *i);
-                for (_, item) in matched {
-                    env.push(var, Arc::new(vec![item]));
-                    let result = self.join_tail(f, residual, env, ctx, &mut tuples);
-                    env.pop();
-                    result?;
-                }
-            }
-        }
-        if let Some((_, ascending)) = &f.order_by {
-            tuples.sort_by(|a, b| {
-                let ord = compare_keys(a.0.as_ref(), b.0.as_ref());
-                if *ascending {
-                    ord
-                } else {
-                    ord.reverse()
-                }
-            });
-        }
-        let mut out = Vec::new();
-        for (_, seq) in tuples {
-            out.extend(seq);
-        }
-        Ok(out)
-    }
-
-    /// Clause-by-clause iteration executing the planner's Filter schedule.
-    #[allow(clippy::too_many_arguments)]
-    fn nested_loop(
+    /// Effective boolean value of `expr`, short-circuiting: for the
+    /// streamable operators (paths, FLWORs, comma sequences) this pulls at
+    /// most two items from a cursor instead of draining the operand — an
+    /// existential predicate like `[bidder]` stops at the first child.
+    ///
+    /// Consequence (shared with the `exists`/`empty` fast paths and
+    /// permitted by XQuery's errors-and-optimization rules): an
+    /// evaluation error lurking in the *un-pulled tail* of the operand is
+    /// never raised — `exists((/site/a, $undefined))` answers `true`
+    /// from the first item without touching `$undefined`. Pinned by
+    /// `short_circuits_skip_errors_in_unpulled_tails`.
+    pub(crate) fn eval_ebv(
         &self,
-        f: &FlworPlan,
-        clauses: &[PlanClause],
-        filters: &[Vec<PlanExpr>],
-        depth: usize,
-        env: &mut Env,
+        expr: &'a PlanExpr,
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
-        out: &mut Vec<(Option<OrderKey>, Sequence)>,
-    ) -> EResult<()> {
-        // Filters scheduled once `depth` clauses are bound.
-        for filter in &filters[depth] {
-            if !ebv(&self.eval(filter, env, ctx)?) {
-                return Ok(());
-            }
-        }
-        if depth == clauses.len() {
-            let key = self.order_key(f, env, ctx)?;
-            let result = self.eval(&f.ret, env, ctx)?;
-            out.push((key, result));
-            return Ok(());
-        }
-        match &clauses[depth] {
-            PlanClause::For(var, source) => {
-                let seq = self.eval(source, env, ctx)?;
-                for item in seq {
-                    env.push(var, Arc::new(vec![item]));
-                    let r = self.nested_loop(f, clauses, filters, depth + 1, env, ctx, out);
-                    env.pop();
-                    r?;
+    ) -> EResult<bool> {
+        match expr {
+            PlanExpr::Path(_) | PlanExpr::Flwor(_) | PlanExpr::Sequence(_) => {
+                // `order by` cannot change whether any tuple exists, so the
+                // EBV cursor for a FLWOR skips the Sort buffer entirely.
+                let mut cur = match expr {
+                    PlanExpr::Flwor(f) => flwor_cursor(f, env, ctx, true),
+                    _ => Cursor::build(self, expr, env, ctx),
+                };
+                let Some(first) = cur.next(self).transpose()? else {
+                    return Ok(false);
+                };
+                match first {
+                    Item::Node(_) | Item::Elem(_) => Ok(true),
+                    atom => {
+                        // A second item of any kind makes the sequence true;
+                        // a singleton atom follows the atomic EBV rules.
+                        if cur.next(self).transpose()?.is_some() {
+                            Ok(true)
+                        } else {
+                            Ok(ebv(&[atom]))
+                        }
+                    }
                 }
             }
-            PlanClause::Let(var, source) => {
-                let seq = self.eval(source, env, ctx)?;
-                env.push(var, Arc::new(seq));
-                let r = self.nested_loop(f, clauses, filters, depth + 1, env, ctx, out);
-                env.pop();
-                r?;
-            }
+            _ => Ok(ebv(&self.eval(expr, env, ctx)?)),
         }
-        Ok(())
     }
+
+    // ---- FLWOR support ---------------------------------------------------
 
     /// Build (or fetch from cache) a hash table `canonical key → (index,
     /// item)` over the items of `src`, keyed by `key_expr` evaluated with
-    /// `var` bound to each item.
-    fn join_build_side(
+    /// `var` bound to each item. Blocking by nature: the build side of a
+    /// hash join buffers before the first probe.
+    pub(crate) fn join_build_side(
         &self,
-        var: &str,
-        src: &PlanExpr,
-        key_expr: &PlanExpr,
+        var: &'a str,
+        src: &'a PlanExpr,
+        key_expr: &'a PlanExpr,
         sig: Option<&str>,
-        env: &mut Env,
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<Arc<JoinIndex>> {
         if let Some(sig) = sig {
@@ -442,16 +365,48 @@ impl<'a> Evaluator<'a> {
         Ok(rc)
     }
 
+    /// Build (or fetch from cache) the IndexLookup operator's index over
+    /// `source`: canonical key → (position, item) pairs in source order.
+    pub(crate) fn lookup_index(
+        &self,
+        var: &'a str,
+        source: &'a PlanExpr,
+        inner_key: &'a PlanExpr,
+        sig: &str,
+        env: &mut Env<'a>,
+        ctx: Option<&Item>,
+    ) -> EResult<Arc<JoinIndex>> {
+        if let Some(cached) = self.index_cache.borrow().get(sig) {
+            return Ok(Arc::clone(cached));
+        }
+        let items = self.eval(source, env, ctx)?;
+        let mut map: JoinIndex = HashMap::new();
+        for (i, item) in items.into_iter().enumerate() {
+            env.push(var, Arc::new(vec![item.clone()]));
+            let keys = self.eval(inner_key, env, ctx);
+            env.pop();
+            for key in keys? {
+                map.entry(canonical_key(&atomize(self.store, &key)))
+                    .or_default()
+                    .push((i, item.clone()));
+            }
+        }
+        let rc = Arc::new(map);
+        self.index_cache
+            .borrow_mut()
+            .insert(sig.to_string(), Arc::clone(&rc));
+        Ok(rc)
+    }
+
     /// Per-item canonical key lists for the probe side, memoized when
     /// loop-invariant (aligned with the path-cached source sequence).
-    #[allow(clippy::too_many_arguments)]
-    fn join_probe_keys(
+    pub(crate) fn join_probe_keys(
         &self,
-        var: &str,
-        key_expr: &PlanExpr,
+        var: &'a str,
+        key_expr: &'a PlanExpr,
         sig: Option<&str>,
         left: &[Item],
-        env: &mut Env,
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<Arc<Vec<Vec<String>>>> {
         if let Some(sig) = sig {
@@ -482,31 +437,16 @@ impl<'a> Evaluator<'a> {
         Ok(rc)
     }
 
-    /// Evaluate residual predicates, order key and return expression for
-    /// one joined tuple.
-    fn join_tail(
-        &self,
-        f: &FlworPlan,
-        residual: &[PlanExpr],
-        env: &mut Env,
-        ctx: Option<&Item>,
-        out: &mut Vec<(Option<OrderKey>, Sequence)>,
-    ) -> EResult<()> {
-        for pred in residual {
-            if !ebv(&self.eval(pred, env, ctx)?) {
-                return Ok(());
-            }
-        }
-        let key = self.order_key(f, env, ctx)?;
-        let result = self.eval(&f.ret, env, ctx)?;
-        out.push((key, result));
-        Ok(())
+    /// Canonicalize an atomized value for join lookup.
+    pub(crate) fn canonical_join_key(&self, item: &Item) -> String {
+        canonical_key(&atomize(self.store, item))
     }
 
-    fn order_key(
+    /// Evaluate the Sort operator's key for the current tuple.
+    pub(crate) fn order_key(
         &self,
-        f: &FlworPlan,
-        env: &mut Env,
+        f: &'a FlworPlan,
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<Option<OrderKey>> {
         match &f.order_by {
@@ -524,18 +464,22 @@ impl<'a> Evaluator<'a> {
 
     fn eval_some(
         &self,
-        bindings: &[(String, PlanExpr)],
+        bindings: &'a [(String, PlanExpr)],
         depth: usize,
-        satisfies: &PlanExpr,
-        env: &mut Env,
+        satisfies: &'a PlanExpr,
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<bool> {
         if depth == bindings.len() {
-            return Ok(ebv(&self.eval(satisfies, env, ctx)?));
+            return self.eval_ebv(satisfies, env, ctx);
         }
         let (var, source) = &bindings[depth];
-        let seq = self.eval(source, env, ctx)?;
-        for item in seq {
+        // Pull bindings lazily: the quantifier stops at the first witness
+        // without draining the binding sequence.
+        let mut cur = Cursor::build(self, source, env, ctx);
+        while let Some(next) = cur.next(self) {
+            let item = next?;
+            self.count_pulls(1);
             env.push(var, Arc::new(vec![item]));
             let found = self.eval_some(bindings, depth + 1, satisfies, env, ctx);
             env.pop();
@@ -548,33 +492,95 @@ impl<'a> Evaluator<'a> {
 
     // ---- PathScan --------------------------------------------------------
 
-    fn eval_path(&self, p: &PathPlan, env: &mut Env, ctx: Option<&Item>) -> EResult<Sequence> {
-        // Loop-invariant paths are memoized under the planner's signature.
+    /// Materializing path evaluation with the loop-invariant memo; drains
+    /// a [`crate::stream`] path cursor on a miss.
+    pub(crate) fn eval_path(
+        &self,
+        p: &'a PathPlan,
+        env: &mut Env<'a>,
+        ctx: Option<&Item>,
+    ) -> EResult<Sequence> {
         if let Some(sig) = &p.memo {
             if let Some(cached) = self.path_cache.borrow().get(sig) {
                 return Ok(cached.as_ref().clone());
             }
-            let result = self.eval_path_uncached(p, env, ctx)?;
+            let result = self.drain(path_cursor(self, p, env, ctx))?;
             self.path_cache
                 .borrow_mut()
                 .insert(sig.clone(), Arc::new(result.clone()));
             return Ok(result);
         }
-        self.eval_path_uncached(p, env, ctx)
+        self.drain(path_cursor(self, p, env, ctx))
     }
 
-    fn eval_path_uncached(
+    /// The memoized path sequence for `sig`, if already materialized.
+    pub(crate) fn cached_path(&self, sig: &str) -> Option<Arc<Sequence>> {
+        self.path_cache.borrow().get(sig).cloned()
+    }
+
+    /// Note a streaming open of the memoized path `sig`, returning
+    /// whether it had been opened before this execution — the signal that
+    /// the loop-invariant path is being re-evaluated and should
+    /// materialize into the cache instead of re-walking the store.
+    pub(crate) fn note_streamed_path(&self, sig: &str) -> bool {
+        !self.streamed_paths.borrow_mut().insert(sig.to_string())
+    }
+
+    /// Materializing step-by-step path evaluation — the fallback the
+    /// streaming path cursor uses when its ordering invariants do not
+    /// hold (multi-item bases).
+    pub(crate) fn eval_path_uncached(
         &self,
-        p: &PathPlan,
-        env: &mut Env,
+        p: &'a PathPlan,
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<Sequence> {
         let steps = &p.steps;
+        let (mut current, start_index) = self.root_base(p, env, ctx)?;
+
+        let mut i = start_index;
+        while i < steps.len() {
+            let step = &steps[i];
+
+            // Planned shortcut: `…/tag/text()` tail answered from inlined
+            // entity columns (System C). Falls back to the generic steps if
+            // a context node is not covered.
+            if i + 2 == steps.len() {
+                if let Some(tag) = &p.inlined_tail {
+                    if let Some(shortcut) = self.try_inlined_tail(&current, tag)? {
+                        return Ok(shortcut);
+                    }
+                }
+            }
+
+            // Planned shortcut: `tag[@id = "…"]` via the store's ID index.
+            if let StepAccess::IdProbe(literal) = &step.access {
+                if let Some(rewritten) = self.id_probe(&current, step, literal)? {
+                    current = rewritten;
+                    i += 1;
+                    continue;
+                }
+            }
+
+            current = self.apply_step(&current, step, env, ctx)?;
+            i += 1;
+        }
+        Ok(current)
+    }
+
+    /// Resolve a path's base items and the index of the first unapplied
+    /// step (the root base consumes its first step specially: the first
+    /// step matches against the root *element* itself).
+    pub(crate) fn root_base(
+        &self,
+        p: &'a PathPlan,
+        env: &mut Env<'a>,
+        ctx: Option<&Item>,
+    ) -> EResult<(Sequence, usize)> {
+        let steps = &p.steps;
         let mut start_index = 0;
-        let mut current: Sequence = match &p.base {
+        let current: Sequence = match &p.base {
             PlanBase::Root => {
-                // Paths start at the virtual document node: the first step
-                // matches against the root *element* itself.
                 let root = self.store.root();
                 match steps.first() {
                     None => vec![Item::Node(root)],
@@ -627,40 +633,16 @@ impl<'a> Evaluator<'a> {
             PlanBase::Context => vec![ctx.ok_or(EvalError::NoContext)?.clone()],
             PlanBase::Expr(e) => self.eval(e, env, ctx)?,
         };
-
-        let mut i = start_index;
-        while i < steps.len() {
-            let step = &steps[i];
-
-            // Planned shortcut: `…/tag/text()` tail answered from inlined
-            // entity columns (System C). Falls back to the generic steps if
-            // a context node is not covered.
-            if i + 2 == steps.len() {
-                if let Some(tag) = &p.inlined_tail {
-                    if let Some(shortcut) = self.try_inlined_tail(&current, tag)? {
-                        return Ok(shortcut);
-                    }
-                }
-            }
-
-            // Planned shortcut: `tag[@id = "…"]` via the store's ID index.
-            if let StepAccess::IdProbe(literal) = &step.access {
-                if let Some(rewritten) = self.id_probe(&current, step, literal)? {
-                    current = rewritten;
-                    i += 1;
-                    continue;
-                }
-            }
-
-            current = self.apply_step(&current, step, env, ctx)?;
-            i += 1;
-        }
-        Ok(current)
+        Ok((current, start_index))
     }
 
     /// `…/tag/text()` over inlined columns. Returns `Some` only if *every*
     /// context node could be answered from the entity tables.
-    fn try_inlined_tail(&self, current: &[Item], tag: &str) -> EResult<Option<Sequence>> {
+    pub(crate) fn try_inlined_tail(
+        &self,
+        current: &[Item],
+        tag: &str,
+    ) -> EResult<Option<Sequence>> {
         let mut out = Vec::new();
         for item in current {
             let Item::Node(n) = item else {
@@ -678,10 +660,10 @@ impl<'a> Evaluator<'a> {
     /// Execute a planned ID probe: the access path behind every
     /// mass-storage system's Q1. Returns `None` (falling back to the
     /// generic cursor) if the store turns out not to index IDs.
-    fn id_probe(
+    pub(crate) fn id_probe(
         &self,
         current: &[Item],
-        step: &PlanStep,
+        step: &'a PlanStep,
         literal: &str,
     ) -> EResult<Option<Sequence>> {
         let NodeTest::Tag(tag) = &step.test else {
@@ -725,11 +707,13 @@ impl<'a> Evaluator<'a> {
         }))
     }
 
-    fn apply_step(
+    /// Apply one step to a whole context sequence: per-context expansion
+    /// plus document order and set semantics across merged contexts.
+    pub(crate) fn apply_step(
         &self,
         current: &[Item],
-        step: &PlanStep,
-        env: &mut Env,
+        step: &'a PlanStep,
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<Sequence> {
         let mut out: Sequence = Vec::new();
@@ -738,104 +722,7 @@ impl<'a> Evaluator<'a> {
             let Item::Node(n) = item else {
                 return Err(EvalError::PathOverNonNode);
             };
-            // Where this context node's matches begin: predicates are
-            // per-context (positional `[1]` selects within each node's
-            // children, not across the merged output).
-            let context_start = out.len();
-            match (&step.axis, &step.test) {
-                (Axis::Attribute, NodeTest::Tag(name)) => {
-                    if let Some(v) = self.store.attribute(*n, name) {
-                        out.push(Item::str(v));
-                    }
-                }
-                (Axis::Attribute, test) => {
-                    // `@*` / `@text()`: a real step form we don't implement —
-                    // say so, instead of the misleading `PathOverNonNode`.
-                    let rendered = match test {
-                        NodeTest::Wildcard => "@*",
-                        NodeTest::Text => "@text()",
-                        NodeTest::Tag(_) => unreachable!("handled by the arm above"),
-                    };
-                    return Err(EvalError::UnsupportedStep(rendered.to_string()));
-                }
-                (Axis::Child, NodeTest::Text) => {
-                    for c in self.store.children_iter(*n) {
-                        if self.store.text(c).is_some() {
-                            out.push(Item::Node(c));
-                        }
-                    }
-                }
-                (Axis::Child, NodeTest::Wildcard) => {
-                    for c in self.store.children_iter(*n) {
-                        if self.store.tag_of(c).is_some() {
-                            out.push(Item::Node(c));
-                        }
-                    }
-                }
-                (Axis::Child, NodeTest::Tag(tag)) => {
-                    // Planned positional probe (Q2/Q3 on System C), with
-                    // per-node fallback where the index does not apply.
-                    if let StepAccess::Positional(spec) = &step.access {
-                        if let Some(hit) = self.store.positional_child(*n, tag, *spec) {
-                            if let Some(node) = hit {
-                                out.push(Item::Node(node));
-                            }
-                            continue;
-                        }
-                    }
-                    if step.preds.is_empty() {
-                        // The hot path: stream matches straight into the
-                        // output — no intermediate Vec<Node> per step.
-                        out.extend(self.store.children_named_iter(*n, tag).map(Item::Node));
-                        continue;
-                    }
-                    let matched: Vec<Node> = self.store.children_named_iter(*n, tag).collect();
-                    let filtered = self.apply_predicates(matched, &step.preds, env, ctx)?;
-                    out.extend(filtered.into_iter().map(Item::Node));
-                    continue;
-                }
-                (Axis::Descendant, NodeTest::Tag(tag)) => {
-                    if step.preds.is_empty() {
-                        out.extend(self.store.descendants_named_iter(*n, tag).map(Item::Node));
-                        continue;
-                    }
-                    let matched: Vec<Node> = self.store.descendants_named_iter(*n, tag).collect();
-                    let filtered = self.apply_predicates(matched, &step.preds, env, ctx)?;
-                    out.extend(filtered.into_iter().map(Item::Node));
-                    continue;
-                }
-                (Axis::Descendant, NodeTest::Text) => {
-                    collect_descendant_text(self.store, *n, &mut out);
-                }
-                (Axis::Descendant, NodeTest::Wildcard) => {
-                    let mut stack: Vec<Node> = self.store.children_iter(*n).collect();
-                    while let Some(c) = stack.pop() {
-                        if self.store.tag_of(c).is_some() {
-                            out.push(Item::Node(c));
-                            stack.extend(self.store.children_iter(c));
-                        }
-                    }
-                    out[context_start..].sort_by(node_order);
-                }
-            }
-            // Predicates for the non-tag axes above, applied to this
-            // context node's matches only.
-            if !step.preds.is_empty()
-                && !matches!(
-                    (&step.axis, &step.test),
-                    (Axis::Child | Axis::Descendant, NodeTest::Tag(_))
-                )
-            {
-                let nodes: Vec<Node> = out
-                    .drain(context_start..)
-                    .filter_map(|i| match i {
-                        Item::Node(n) => Some(n),
-                        _ => None,
-                    })
-                    .collect();
-                let filtered = self.apply_predicates(nodes, &step.preds, env, ctx)?;
-                out.extend(filtered.into_iter().map(Item::Node));
-            }
+            self.expand_step(*n, step, env, ctx, &mut out)?;
         }
         // Document order + set semantics across merged contexts.
         if multi_context && out.iter().all(|i| matches!(i, Item::Node(_))) {
@@ -845,11 +732,119 @@ impl<'a> Evaluator<'a> {
         Ok(out)
     }
 
+    /// Expand one step for a single context node, appending the matches
+    /// to `out` with this context's predicates already applied —
+    /// predicates are per-context (positional `[1]` selects within each
+    /// node's children, not across the merged output). Shared by the
+    /// materializing [`Evaluator::apply_step`] and the streaming path
+    /// cursor.
+    pub(crate) fn expand_step(
+        &self,
+        n: Node,
+        step: &'a PlanStep,
+        env: &mut Env<'a>,
+        ctx: Option<&Item>,
+        out: &mut Sequence,
+    ) -> EResult<()> {
+        // Where this context node's matches begin.
+        let context_start = out.len();
+        match (&step.axis, &step.test) {
+            (Axis::Attribute, NodeTest::Tag(name)) => {
+                if let Some(v) = self.store.attribute(n, name) {
+                    out.push(Item::str(v));
+                }
+            }
+            (Axis::Attribute, test) => {
+                // `@*` / `@text()`: a real step form we don't implement —
+                // say so, instead of the misleading `PathOverNonNode`.
+                let rendered = match test {
+                    NodeTest::Wildcard => "@*",
+                    NodeTest::Text => "@text()",
+                    NodeTest::Tag(_) => unreachable!("handled by the arm above"),
+                };
+                return Err(EvalError::UnsupportedStep(rendered.to_string()));
+            }
+            (Axis::Child, NodeTest::Text) => {
+                for c in self.store.children_iter(n) {
+                    if self.store.text(c).is_some() {
+                        out.push(Item::Node(c));
+                    }
+                }
+            }
+            (Axis::Child, NodeTest::Wildcard) => {
+                for c in self.store.children_iter(n) {
+                    if self.store.tag_of(c).is_some() {
+                        out.push(Item::Node(c));
+                    }
+                }
+            }
+            (Axis::Child, NodeTest::Tag(tag)) => {
+                // Planned positional probe (Q2/Q3 on System C), with
+                // per-node fallback where the index does not apply.
+                if let StepAccess::Positional(spec) = &step.access {
+                    if let Some(hit) = self.store.positional_child(n, tag, *spec) {
+                        if let Some(node) = hit {
+                            out.push(Item::Node(node));
+                        }
+                        return Ok(());
+                    }
+                }
+                if step.preds.is_empty() {
+                    // The hot path: stream matches straight into the
+                    // output — no intermediate Vec<Node> per step.
+                    out.extend(self.store.children_named_iter(n, tag).map(Item::Node));
+                    return Ok(());
+                }
+                let matched: Vec<Node> = self.store.children_named_iter(n, tag).collect();
+                let filtered = self.apply_predicates(matched, &step.preds, env, ctx)?;
+                out.extend(filtered.into_iter().map(Item::Node));
+                return Ok(());
+            }
+            (Axis::Descendant, NodeTest::Tag(tag)) => {
+                if step.preds.is_empty() {
+                    out.extend(self.store.descendants_named_iter(n, tag).map(Item::Node));
+                    return Ok(());
+                }
+                let matched: Vec<Node> = self.store.descendants_named_iter(n, tag).collect();
+                let filtered = self.apply_predicates(matched, &step.preds, env, ctx)?;
+                out.extend(filtered.into_iter().map(Item::Node));
+                return Ok(());
+            }
+            (Axis::Descendant, NodeTest::Text) => {
+                collect_descendant_text(self.store, n, out);
+            }
+            (Axis::Descendant, NodeTest::Wildcard) => {
+                let mut stack: Vec<Node> = self.store.children_iter(n).collect();
+                while let Some(c) = stack.pop() {
+                    if self.store.tag_of(c).is_some() {
+                        out.push(Item::Node(c));
+                        stack.extend(self.store.children_iter(c));
+                    }
+                }
+                out[context_start..].sort_by(node_order);
+            }
+        }
+        // Predicates for the non-tag axes above, applied to this context
+        // node's matches only.
+        if !step.preds.is_empty() {
+            let nodes: Vec<Node> = out
+                .drain(context_start..)
+                .filter_map(|i| match i {
+                    Item::Node(n) => Some(n),
+                    _ => None,
+                })
+                .collect();
+            let filtered = self.apply_predicates(nodes, &step.preds, env, ctx)?;
+            out.extend(filtered.into_iter().map(Item::Node));
+        }
+        Ok(())
+    }
+
     fn apply_predicates(
         &self,
         mut nodes: Vec<Node>,
-        preds: &[PlanPred],
-        env: &mut Env,
+        preds: &'a [PlanPred],
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<Vec<Node>> {
         let _ = ctx;
@@ -870,7 +865,9 @@ impl<'a> Evaluator<'a> {
                     let mut kept = Vec::new();
                     for n in nodes {
                         let item = Item::Node(n);
-                        if ebv(&self.eval(e, env, Some(&item))?) {
+                        // Short-circuit: an existential predicate stops at
+                        // its first witness instead of draining the axis.
+                        if self.eval_ebv(e, env, Some(&item))? {
                             kept.push(n);
                         }
                     }
@@ -884,11 +881,12 @@ impl<'a> Evaluator<'a> {
     // ---- Aggregate -------------------------------------------------------
 
     /// `count(prefix//tag)` through `count_descendants_named` — no node
-    /// materialization (the paper's Q6/Q7 on System D).
+    /// materialization (the paper's Q6/Q7 on System D). Blocking by
+    /// nature: the answer is one number.
     fn eval_aggregate(
         &self,
-        a: &AggregatePlan,
-        env: &mut Env,
+        a: &'a AggregatePlan,
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<Sequence> {
         let contexts = self.eval_path(&a.input, env, ctx)?;
@@ -906,11 +904,23 @@ impl<'a> Evaluator<'a> {
 
     fn eval_call(
         &self,
-        name: &str,
-        args: &[PlanExpr],
-        env: &mut Env,
+        name: &'a str,
+        args: &'a [PlanExpr],
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<Sequence> {
+        // `exists`/`empty` are existence checks: pull at most one item
+        // from the argument instead of materializing it.
+        if let ("exists" | "empty", [arg]) = (name, args) {
+            let mut cur = Cursor::build(self, arg, env, ctx);
+            let has_item = cur.next(self).transpose()?.is_some();
+            return Ok(vec![Item::Bool(if name == "exists" {
+                has_item
+            } else {
+                !has_item
+            })]);
+        }
+
         let mut evaluated: Vec<Sequence> = Vec::with_capacity(args.len());
         for a in args {
             evaluated.push(self.eval(a, env, ctx)?);
@@ -1010,8 +1020,8 @@ impl<'a> Evaluator<'a> {
 
     fn build_element(
         &self,
-        ctor: &PlanElement,
-        env: &mut Env,
+        ctor: &'a PlanElement,
+        env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<CElem> {
         let mut attrs = Vec::with_capacity(ctor.attrs.len());
@@ -1077,12 +1087,12 @@ impl<'a> Evaluator<'a> {
 }
 
 /// XQuery order key: numeric when the value parses, else string.
-struct OrderKey {
+pub(crate) struct OrderKey {
     text: String,
     num: Option<f64>,
 }
 
-fn compare_keys(a: Option<&OrderKey>, b: Option<&OrderKey>) -> std::cmp::Ordering {
+pub(crate) fn compare_keys(a: Option<&OrderKey>, b: Option<&OrderKey>) -> std::cmp::Ordering {
     use std::cmp::Ordering;
     match (a, b) {
         (None, None) => Ordering::Equal,
@@ -1405,6 +1415,34 @@ mod tests {
         assert_eq!(run("exists(/site/people/person)"), "true");
         assert_eq!(run("exists(/site/ghosts)"), "false");
         assert_eq!(run("not(empty(/site/people/person))"), "true");
+    }
+
+    #[test]
+    fn short_circuits_skip_errors_in_unpulled_tails() {
+        // Short-circuiting means an error in the never-pulled tail of an
+        // existence check is not raised (XQuery allows this: errors need
+        // not surface from unevaluated subexpressions). The eager
+        // contract still reports it.
+        assert_eq!(run("exists((/site/people/person, $undefined))"), "true");
+        assert_eq!(run("empty((/site/people/person, $undefined))"), "false");
+        assert!(matches!(
+            run_err("(/site/people/person, $undefined)"),
+            EvalError::UndefinedVariable(_)
+        ));
+        // An empty head cannot satisfy the check, so the tail is pulled
+        // and its error does surface.
+        assert!(matches!(
+            run_err("exists((/site/nosuch, $undefined))"),
+            EvalError::UndefinedVariable(_)
+        ));
+    }
+
+    #[test]
+    fn exists_and_empty_reject_wrong_arity() {
+        // The streaming fast path only fires for the unary form; wrong
+        // arities still fall through to the arity check.
+        assert!(matches!(run_err("exists(1, 2)"), EvalError::Arity(_)));
+        assert!(matches!(run_err("empty(1, 2)"), EvalError::Arity(_)));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! The paper (§6) expresses its twenty queries in XQuery; this crate
 //! implements the language subset those queries need as an explicit
-//! three-stage pipeline, mirroring the compile/execute split the paper's
-//! Table 2 measures:
+//! pipeline, mirroring the compile/execute split the paper's Table 2
+//! measures — with execution redesigned around **pull-based operator
+//! cursors**, so results leave the engine item by item:
 //!
 //! ```text
 //!   query text
@@ -15,11 +16,31 @@
 //!      ▼                    store's catalog estimates + capabilities)
 //!   plan::PhysicalPlan     (plan.rs — PathScan, IdProbe, Aggregate,
 //!      │                    NestedLoop, HashJoin, IndexLookup, Sort,
-//!      │  execute           Project; explain.rs renders it)
+//!      │  open cursors      Project; explain.rs renders it)
 //!      ▼
-//!   result::Sequence       (eval.rs — decision-free plan executor over
-//!                           the streaming axis cursors)
+//!   stream::ResultStream   (stream.rs — Volcano-style next() per
+//!      │        │           operator; eval.rs supplies the shared
+//!      │        │           step/join/memo mechanics)
+//!      │        └─ write_to(sink)   one item serialized at a time into
+//!      │                            any fmt::Write (IoSink adapts
+//!      │  collect                   io::Write)
+//!      ▼
+//!   result::Sequence       (execute() ≡ stream().collect_seq())
 //! ```
+//!
+//! **Consumption modes.** [`compile::execute`] materializes the whole
+//! sequence (kept as a thin wrapper draining the stream);
+//! [`compile::stream`] / [`Compiled::stream`] opens a
+//! [`stream::ResultStream`] whose [`take`](stream::ResultStream::take),
+//! [`exists`](stream::ResultStream::exists) and
+//! [`count`](stream::ResultStream::count) fast paths stop pulling as soon
+//! as the answer is known; [`Compiled::write_to`] serializes straight
+//! into a sink without ever holding the result. Pipelining operators
+//! (path steps, FLWOR clause iteration, join probes, the `return`
+//! projection) never buffer; blocking operators (Sort, Aggregate, hash
+//! build sides, lookup indexes) buffer internally but still expose a
+//! cursor. Boolean contexts short-circuit the same way: an existential
+//! predicate like `[bidder]` pulls one child, not the whole axis.
 //!
 //! * [`parse`] — parser producing the [`ast`] (FLWOR, paths, constructors,
 //!   quantifiers, the `<<` node-order operator, user-defined functions),
@@ -34,15 +55,17 @@
 //!   Table 2 counts as metadata accesses,
 //! * [`explain`] — stable one-line-per-operator plan rendering (pinned by
 //!   golden tests so planner regressions are visible in review),
-//! * [`eval`] — the executor: operators pull from the backend-neutral
-//!   streaming cursors; it contains no pattern-matching and re-discovers
-//!   nothing per execution,
+//! * [`stream`] — the pull-based operator cursors and the public
+//!   [`ResultStream`]; [`eval`] supplies the shared execution mechanics
+//!   (step expansion, join build sides, per-execution memos) and contains
+//!   no pattern-matching — it re-discovers nothing per execution,
 //! * [`compile()`] — parse + plan in one call; [`compile::Compiled`] is
 //!   the reusable artifact a plan cache stores. [`compile::plan`] exposes
 //!   the planning phase alone so harnesses can time parse / plan /
 //!   execute as three columns,
-//! * [`result`] — the item/sequence model, serialization, and the
-//!   canonicalizer used for cross-backend output-equivalence testing.
+//! * [`result`] — the item/sequence model, sink-generic serialization
+//!   ([`write_sequence`], [`IoSink`]), and the canonicalizer used for
+//!   cross-backend output-equivalence testing.
 //!
 //! The optimizer oracle compiles every query twice —
 //! [`compile::compile_with_mode`] with [`plan::PlanMode::Naive`] yields
@@ -66,6 +89,25 @@
 //! assert_eq!(serialize_sequence(&store, &out), "Ada");
 //! ```
 //!
+//! Streaming with early termination — `take`/`exists` stop the operator
+//! cursors as soon as the answer is known:
+//!
+//! ```
+//! use xmark_store::NaiveStore;
+//! use xmark_query::compile;
+//!
+//! let store = NaiveStore::load(
+//!     "<site><people><person/><person/><person/></people></site>",
+//! ).unwrap();
+//! let compiled = compile("/site/people/person", &store).unwrap();
+//! assert!(compiled.stream(&store).exists().unwrap()); // pulls one item
+//! let two = compiled.stream(&store).take(2).unwrap();
+//! assert_eq!(two.len(), 2);
+//! let mut out = String::new();
+//! compiled.write_to(&store, &mut out).unwrap();       // sink serialization
+//! assert_eq!(out, "<person/>\n<person/>\n<person/>");
+//! ```
+//!
 //! Inspecting a plan:
 //!
 //! ```
@@ -85,12 +127,16 @@ pub mod parse;
 pub mod plan;
 pub mod planner;
 pub mod result;
+pub mod stream;
 
 pub use compile::{
-    compile, compile_with_mode, execute, run_query, CompileError, CompileStats, Compiled,
+    compile, compile_with_mode, execute, run_query, stream, CompileError, CompileStats, Compiled,
 };
 pub use eval::{ebv, EvalError, Evaluator};
 pub use explain::explain_plan;
 pub use parse::{parse_query, ParseError};
 pub use plan::{PhysicalPlan, PlanMode};
-pub use result::{atomize, canonicalize, serialize_sequence, Item, Sequence};
+pub use result::{
+    atomize, canonicalize, serialize_sequence, write_item, write_sequence, IoSink, Item, Sequence,
+};
+pub use stream::{ResultStream, StreamStats, WriteError};

@@ -309,35 +309,44 @@ pub trait XmlStore: Send + Sync {
     }
 
     /// Serialize the subtree rooted at `n` as XML text (Q13
-    /// "reconstruction"). The default reconstructs through the streaming
-    /// cursors — which is precisely the cost the paper says Q13 measures.
+    /// "reconstruction"). Thin wrapper over
+    /// [`XmlStore::serialize_node_to`]; writing to a `String` cannot fail.
     fn serialize_node(&self, n: Node, out: &mut String) {
+        let _ = self.serialize_node_to(n, out);
+    }
+
+    /// Serialize the subtree rooted at `n` into an arbitrary
+    /// [`fmt::Write`] sink — the primitive behind the query layer's
+    /// streaming `write_to` serialization: result bytes flow to the sink
+    /// item by item instead of accumulating in one output `String`. The
+    /// default reconstructs through the streaming cursors — which is
+    /// precisely the cost the paper says Q13 measures.
+    fn serialize_node_to(&self, n: Node, out: &mut dyn fmt::Write) -> fmt::Result {
         if let Some(t) = self.text(n) {
-            xmark_xml::escape::escape_text_into(t, out);
-            return;
+            return xmark_xml::escape::escape_text_to(t, out);
         }
         let tag = self.tag_of(n).expect("serialize of non-node");
-        out.push('<');
-        out.push_str(tag);
+        out.write_char('<')?;
+        out.write_str(tag)?;
         for (name, value) in self.attributes_iter(n) {
-            out.push(' ');
-            out.push_str(name);
-            out.push_str("=\"");
-            xmark_xml::escape::escape_attr_into(value, out);
-            out.push('"');
+            out.write_char(' ')?;
+            out.write_str(name)?;
+            out.write_str("=\"")?;
+            xmark_xml::escape::escape_attr_to(value, out)?;
+            out.write_char('"')?;
         }
         let mut children = self.children_iter(n);
         match children.next() {
-            None => out.push_str("/>"),
+            None => out.write_str("/>"),
             Some(first) => {
-                out.push('>');
-                self.serialize_node(first, out);
+                out.write_char('>')?;
+                self.serialize_node_to(first, out)?;
                 for child in children {
-                    self.serialize_node(child, out);
+                    self.serialize_node_to(child, out)?;
                 }
-                out.push_str("</");
-                out.push_str(tag);
-                out.push('>');
+                out.write_str("</")?;
+                out.write_str(tag)?;
+                out.write_char('>')
             }
         }
     }

@@ -92,6 +92,45 @@ proptest! {
     }
 
     #[test]
+    fn sink_serialization_matches_string_serialization(xml in arb_document()) {
+        // `serialize_node_to` (the streaming-write primitive behind the
+        // query layer's `write_to`) must produce exactly the bytes of the
+        // String-building `serialize_node`, on every backend and every
+        // element of the document — including through a sink that records
+        // write granularity, proving no backend depends on buffering the
+        // whole subtree.
+        struct CountingSink {
+            out: String,
+            writes: usize,
+        }
+        impl std::fmt::Write for CountingSink {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.writes += 1;
+                self.out.push_str(s);
+                Ok(())
+            }
+        }
+
+        for store in stores(&xml) {
+            let mut stack = vec![store.root()];
+            while let Some(n) = stack.pop() {
+                let mut expected = String::new();
+                store.serialize_node(n, &mut expected);
+                let mut sink = CountingSink { out: String::new(), writes: 0 };
+                store.serialize_node_to(n, &mut sink).unwrap();
+                prop_assert_eq!(
+                    &sink.out,
+                    &expected,
+                    "{} sink bytes diverge",
+                    store.system()
+                );
+                prop_assert!(sink.writes >= 1, "nothing reached the sink");
+                stack.extend(store.children(n));
+            }
+        }
+    }
+
+    #[test]
     fn all_stores_agree_on_string_values(xml in arb_document()) {
         let all = stores(&xml);
         let reference = all[0].string_value(all[0].root());

@@ -4,33 +4,65 @@
 //! the five predefined entities, so this module deliberately implements just
 //! `&lt; &gt; &amp; &apos; &quot;` plus decimal/hex character references.
 
+use std::fmt;
+
 use crate::error::{Error, Result};
+
+/// Escape `text` into an arbitrary [`fmt::Write`] sink, replacing the
+/// characters that are unsafe in element content (`<`, `>`, `&`).
+///
+/// Safe runs are written as whole slices, so the per-character dispatch
+/// cost of a `dyn` sink is only paid at the (rare) metacharacters.
+pub fn escape_text_to(text: &str, out: &mut dyn fmt::Write) -> fmt::Result {
+    escape_runs(text, out, |b| matches!(b, b'<' | b'>' | b'&'))
+}
+
+/// Escape `value` into an arbitrary [`fmt::Write`] sink, replacing the
+/// characters that are unsafe inside a double-quoted attribute value.
+pub fn escape_attr_to(value: &str, out: &mut dyn fmt::Write) -> fmt::Result {
+    escape_runs(value, out, |b| matches!(b, b'<' | b'>' | b'&' | b'"'))
+}
+
+/// Write `text` as alternating safe slices and entity replacements. The
+/// metacharacters are all ASCII, so scanning bytes never splits a UTF-8
+/// sequence.
+fn escape_runs(
+    text: &str,
+    out: &mut dyn fmt::Write,
+    unsafe_byte: impl Fn(u8) -> bool,
+) -> fmt::Result {
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if unsafe_byte(b) {
+            if start < i {
+                out.write_str(&text[start..i])?;
+            }
+            out.write_str(match b {
+                b'<' => "&lt;",
+                b'>' => "&gt;",
+                b'&' => "&amp;",
+                _ => "&quot;",
+            })?;
+            start = i + 1;
+        }
+    }
+    if start < bytes.len() {
+        out.write_str(&text[start..])?;
+    }
+    Ok(())
+}
 
 /// Append `text` to `out`, escaping the characters that are unsafe in
 /// element content (`<`, `>`, `&`).
 pub fn escape_text_into(text: &str, out: &mut String) {
-    for ch in text.chars() {
-        match ch {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            _ => out.push(ch),
-        }
-    }
+    let _ = escape_text_to(text, out); // writing to a String cannot fail
 }
 
 /// Append `value` to `out`, escaping the characters that are unsafe inside
 /// a double-quoted attribute value.
 pub fn escape_attr_into(value: &str, out: &mut String) {
-    for ch in value.chars() {
-        match ch {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            '"' => out.push_str("&quot;"),
-            _ => out.push(ch),
-        }
-    }
+    let _ = escape_attr_to(value, out); // writing to a String cannot fail
 }
 
 /// Escape element content, returning a new string.

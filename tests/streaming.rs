@@ -1,0 +1,191 @@
+//! Streaming oracle: the pull-based result API must be *observationally
+//! identical* to the materializing one, and genuinely lazy.
+//!
+//! Two families of assertions:
+//!
+//! * **Byte identity** — for all twenty queries on every backend A–G,
+//!   draining a [`ResultStream`] yields exactly the sequence `execute`
+//!   returns, and `write_to` produces exactly the bytes
+//!   `serialize_sequence` produces from the materialized result.
+//! * **Early termination** — the stream's pull counter proves that
+//!   `exists()` / `take(n)` stop the operator cursors early: they pull
+//!   strictly fewer items than a full drain on real XMark queries, and an
+//!   existential predicate (`[bidder]`-shaped) stops at its first witness
+//!   instead of draining the axis.
+
+use xmark::prelude::*;
+use xmark::query::Compiled;
+use xmark::store::NaiveStore;
+
+fn compiled(store: &dyn XmlStore, text: &str) -> Compiled {
+    compile(text, store).expect("query compiles")
+}
+
+#[test]
+fn stream_matches_execute_on_all_twenty_queries_and_backends() {
+    let doc = generate_document(0.002);
+    for system in SystemId::ALL {
+        let store = build_store(system, &doc.xml).unwrap();
+        let store = store.as_ref();
+        for q in &ALL_QUERIES {
+            let c = compiled(store, q.text);
+            let materialized = execute(&c, store).expect("query runs");
+            let expected = serialize_sequence(store, &materialized);
+
+            // Draining the stream yields the same item sequence …
+            let streamed = c.stream(store).collect_seq().expect("stream runs");
+            assert_eq!(
+                serialize_sequence(store, &streamed),
+                expected,
+                "Q{} streamed items diverge on {system}",
+                q.number
+            );
+
+            // … and sink serialization produces the same bytes without
+            // ever materializing the sequence.
+            let mut sunk = String::new();
+            let stats = c.write_to(store, &mut sunk).expect("write_to runs");
+            assert_eq!(
+                sunk, expected,
+                "Q{} write_to bytes diverge on {system}",
+                q.number
+            );
+            assert_eq!(stats.items, materialized.len());
+            assert_eq!(stats.bytes, expected.len() as u64);
+        }
+    }
+}
+
+#[test]
+fn write_to_reaches_io_sinks() {
+    // The fmt::Write-generic path serves io::Write targets through IoSink
+    // — same bytes, counted, no intermediate String.
+    let doc = generate_document(0.001);
+    let loaded = load_system(SystemId::E, &doc.xml);
+    let store = loaded.store.as_ref();
+    let c = compiled(store, query(13).text);
+    let expected = serialize_sequence(store, &execute(&c, store).unwrap());
+
+    let mut sink = IoSink::new(Vec::<u8>::new());
+    let stats = c.write_to(store, &mut sink).expect("streams to io::Write");
+    assert!(sink.take_error().is_none());
+    assert_eq!(stats.bytes, sink.bytes());
+    assert_eq!(String::from_utf8(sink.into_inner()).unwrap(), expected);
+}
+
+/// Drain a stream completely, returning (items, pulls).
+fn drain_counting(mut s: ResultStream<'_>) -> (usize, u64) {
+    let mut items = 0;
+    while let Some(r) = s.next_item() {
+        r.expect("query runs");
+        items += 1;
+    }
+    (items, s.pulls())
+}
+
+/// Pull the first `n` items only, returning the pull count.
+fn pulls_after_taking(mut s: ResultStream<'_>, n: usize) -> u64 {
+    for _ in 0..n {
+        s.next_item()
+            .expect("result is non-empty")
+            .expect("query runs");
+    }
+    s.pulls()
+}
+
+#[test]
+fn take_and_exists_pull_strictly_fewer_items_than_full_evaluation() {
+    let doc = generate_document(0.002);
+    let loaded = load_system(SystemId::D, &doc.xml);
+    let store = loaded.store.as_ref();
+
+    // Q13 (serialization-heavy projection over australia's items) and Q14
+    // (descendant scan with a contains-filter) both have streaming
+    // pipelines and multi-item results.
+    for number in [13, 14] {
+        let c = compiled(store, query(number).text);
+        let (items, full_pulls) = drain_counting(c.stream(store));
+        assert!(items > 1, "Q{number} must have a multi-item result");
+
+        let first_pulls = pulls_after_taking(c.stream(store), 1);
+        assert!(
+            first_pulls < full_pulls,
+            "Q{number}: pulling one item cost {first_pulls} pulls, \
+             no fewer than the full drain's {full_pulls}"
+        );
+
+        // The public fast paths agree with the materialized prefix.
+        let all = execute(&c, store).unwrap();
+        assert_eq!(
+            serialize_sequence(store, &c.stream(store).take(2).unwrap()),
+            serialize_sequence(store, &all[..2.min(all.len())]),
+            "Q{number}: take(2) diverges from the materialized prefix"
+        );
+        assert!(c.stream(store).exists().unwrap());
+        assert_eq!(c.stream(store).count().unwrap(), all.len());
+    }
+}
+
+#[test]
+fn existential_predicate_stops_at_the_first_witness() {
+    // Every <a> holds many <b> children; `[b]` only asks whether one
+    // exists. The pull counter proves the predicate cursor stops at its
+    // first witness instead of draining the child axis.
+    const FANOUT: usize = 40;
+    let body: String = (0..3)
+        .map(|_| format!("<a>{}</a>", "<b/>".repeat(FANOUT)))
+        .collect();
+    let store = NaiveStore::load(&format!("<site>{body}</site>")).unwrap();
+    let c = compiled(&store, r#"document("auction.xml")/site/a[b]"#);
+
+    let (items, pulls) = drain_counting(c.stream(&store));
+    assert_eq!(items, 3, "all three <a> elements qualify");
+    assert!(
+        (pulls as usize) < 3 * FANOUT,
+        "predicate evaluation pulled {pulls} items — it drained the \
+         b-axis instead of stopping at the first witness"
+    );
+}
+
+#[test]
+fn exists_function_pulls_at_most_one_item() {
+    // Same probe through the XQuery surface: exists(...) and the
+    // where-clause EBV both go through the short-circuiting cursor.
+    let doc = generate_document(0.002);
+    let loaded = load_system(SystemId::G, &doc.xml);
+    let store = loaded.store.as_ref();
+
+    let c = compiled(store, r#"exists(document("auction.xml")/site//item)"#);
+    let (_, pulls) = drain_counting(c.stream(store));
+
+    let scan = compiled(store, r#"document("auction.xml")/site//item"#);
+    let (items, scan_pulls) = drain_counting(scan.stream(store));
+    assert!(items > 1);
+    assert!(
+        pulls < scan_pulls,
+        "exists() pulled {pulls} items, no fewer than the {scan_pulls} \
+         of a full //item scan"
+    );
+}
+
+#[test]
+fn session_stream_facade_short_circuits() {
+    // The façade surface: Session::stream wires the same fast paths.
+    let session = Benchmark::at_scale("mini").generate();
+    let people = session.stream(SystemId::D, "/site/people/person");
+    assert!(people.exists());
+    let two = people.take(2);
+    assert_eq!(two.len(), 2);
+    assert_eq!(people.count(), people.prepared().execute().len());
+
+    let mut sunk = String::new();
+    let stats = people.write_to(&mut sunk);
+    assert_eq!(stats.items, people.count());
+    assert_eq!(
+        sunk,
+        serialize_sequence(
+            people.prepared().store().as_ref(),
+            &people.prepared().execute()
+        )
+    );
+}
