@@ -70,6 +70,14 @@
 //! into one call; the `table4_throughput` report binary sweeps worker
 //! counts 1→#cores across all seven backends.)
 //!
+//! Serving composes with the **persistent index layer**: every store
+//! owns an [`xmark_store::IndexManager`] whose element postings,
+//! attribute values, and join-side value indexes build lazily, exactly
+//! once, and are shared by all workers. `Session::build_indexes(system)`
+//! and [`service::QueryService::build_indexes`] warm the store-walk
+//! indexes off the request path; [`service::ThroughputReport`] reports
+//! index builds and hits per run (zero builds once warm).
+//!
 //! The loaded stores stay alive in the report, and navigation is exposed
 //! as **streaming axis cursors** — no intermediate node sets:
 //!
@@ -139,5 +147,5 @@ pub mod prelude {
         compile, compile_with_mode, execute, explain_plan, run_query, serialize_sequence, stream,
         write_item, write_sequence, IoSink, PlanMode, ResultStream, StreamStats,
     };
-    pub use xmark_store::{build_store, PlannerCaps, SystemId, XmlStore};
+    pub use xmark_store::{build_store, IndexManager, IndexStats, PlannerCaps, SystemId, XmlStore};
 }

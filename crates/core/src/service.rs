@@ -51,7 +51,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use xmark_query::{compile, Compiled};
-use xmark_store::{SystemId, XmlStore};
+use xmark_store::{IndexStats, SystemId, XmlStore};
 
 use crate::queries::query;
 
@@ -224,6 +224,13 @@ pub struct ThroughputReport {
     pub plan_cache_hits: u64,
     /// Plan-cache misses during this run (cold compilations).
     pub plan_cache_misses: u64,
+    /// Shared-index structures built during this run (element postings,
+    /// attribute indexes, join build sides). Zero on a warm service: the
+    /// whole point of the store-resident [`xmark_store::IndexManager`].
+    pub index_builds: u64,
+    /// Probes served from already-built shared index structures during
+    /// this run.
+    pub index_hits: u64,
     /// Total serialized result bytes the workers streamed.
     pub result_bytes: u64,
     /// Per-query latency distributions, ordered by query number.
@@ -264,6 +271,7 @@ enum Job {
 pub struct QueryService {
     system: SystemId,
     workers: usize,
+    store: Arc<dyn XmlStore>,
     cache: Arc<PlanCache>,
     jobs: Option<mpsc::Sender<Job>>,
     results: mpsc::Receiver<RequestMeasurement>,
@@ -309,11 +317,28 @@ impl QueryService {
         QueryService {
             system,
             workers,
+            store,
             cache,
             jobs: Some(job_tx),
             results: result_rx,
             handles,
         }
+    }
+
+    /// The shared store this pool serves.
+    pub fn store(&self) -> &Arc<dyn XmlStore> {
+        &self.store
+    }
+
+    /// Explicit index warmup: eagerly build the store-walk indexes
+    /// (element postings + `@id` values) off the request path, returning
+    /// the build time. Join-side value indexes warm on their first
+    /// probing request; after one pass of a mix, a service performs zero
+    /// index builds ([`ThroughputReport::index_builds`]).
+    pub fn build_indexes(&self) -> Duration {
+        let start = Instant::now();
+        self.store.indexes().build_all(self.store.as_ref());
+        start.elapsed()
     }
 
     /// The system this pool serves.
@@ -345,6 +370,10 @@ impl QueryService {
         let jobs = self.jobs.as_ref().expect("service is running");
         let hits_before = self.cache.hits();
         let misses_before = self.cache.misses();
+        let IndexStats {
+            builds: index_builds_before,
+            hits: index_hits_before,
+        } = self.store.indexes().stats();
         let start = Instant::now();
         for i in 0..requests {
             jobs.send(Job::Run(mix[i % mix.len()]))
@@ -381,6 +410,7 @@ impl QueryService {
             .map(|(query, (samples, result_items, _))| latency_stats(query, samples, result_items))
             .collect();
         per_query.sort_by_key(|s| s.query);
+        let index_after = self.store.indexes().stats();
         ThroughputReport {
             system: self.system,
             workers: self.workers,
@@ -388,6 +418,8 @@ impl QueryService {
             elapsed,
             plan_cache_hits: self.cache.hits() - hits_before,
             plan_cache_misses: self.cache.misses() - misses_before,
+            index_builds: index_after.builds - index_builds_before,
+            index_hits: index_after.hits - index_hits_before,
             result_bytes,
             per_query,
         }
@@ -644,6 +676,32 @@ mod tests {
         assert_eq!(stats.p99, Duration::from_millis(99));
         assert_eq!(stats.ttfi_p50, Duration::from_millis(25));
         assert_eq!(stats.ttfi_p95, Duration::from_millis(47));
+    }
+
+    #[test]
+    fn warm_service_performs_zero_index_builds() {
+        // The acceptance probe for the store-resident index layer:
+        // repeated execution of the join-heavy queries through the
+        // service performs zero index rebuilds after warmup.
+        let doc = generate_document(0.002);
+        let store: Arc<dyn XmlStore> = Arc::from(load_system(SystemId::A, &doc.xml).store);
+        let service = QueryService::start(Arc::clone(&store), 2);
+        let build_time = service.build_indexes();
+        assert!(build_time.as_nanos() > 0);
+        let mix = [8, 9, 10, 11, 12];
+        let cold = service.run_mix(&mix, mix.len());
+        // The warmup pass may build the join-side value indexes once…
+        let warm = service.run_mix(&mix, mix.len() * 3);
+        // …after which every request probes shared structures.
+        assert_eq!(
+            warm.index_builds, 0,
+            "warm service must not rebuild indexes (cold pass built {})",
+            cold.index_builds
+        );
+        assert!(
+            warm.index_hits > 0,
+            "warm requests must probe the shared indexes"
+        );
     }
 
     #[test]

@@ -569,6 +569,16 @@ impl Session {
         Arc::from(self.load(system).store)
     }
 
+    /// Bulkload `system` and eagerly warm its shared store-resident
+    /// indexes (element postings + `@id` attribute values) so no later
+    /// query — or service request — pays an index build on its critical
+    /// path. Join-side value indexes warm on their first execution.
+    pub fn build_indexes(&self, system: SystemId) -> Arc<dyn XmlStore> {
+        let store = self.load_shared(system);
+        store.indexes().build_all(store.as_ref());
+        store
+    }
+
     /// Spawn a [`QueryService`] worker pool over a freshly loaded
     /// `system`.
     pub fn serve(&self, system: SystemId, workers: usize) -> QueryService {

@@ -25,11 +25,12 @@
 //! go through the short-circuiting `eval_ebv`, which pulls at most two
 //! items from a streaming cursor instead of draining the operand.
 
+use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use xmark_store::{Node, XmlStore};
+use xmark_store::{ChildValues, DescendantsNamed, IndexManager, Node, XmlStore};
 
 use crate::ast::{Axis, CmpOp, NodeTest};
 use crate::plan::*;
@@ -113,16 +114,38 @@ impl<'a> Env<'a> {
 /// The executor, bound to one store and one physical plan's functions.
 pub struct Evaluator<'a> {
     pub(crate) store: &'a dyn XmlStore,
+    /// The store's persistent index subsystem: shared element postings
+    /// (IndexScan), the `@id` attribute index, and the cross-execution
+    /// value indexes the join operators probe.
+    indexes: &'a IndexManager,
+    /// Whether this execution consults (and feeds) the shared value
+    /// indexes: requires both the backend capability
+    /// ([`xmark_store::PlannerCaps::value_index`]) and an optimized
+    /// plan. Naive-mode executions stay fully independent of every
+    /// shared structure, so the planned-vs-naive oracles compare two
+    /// genuinely separate evaluations — the specification must never
+    /// replay the implementation's cached results. The per-execution
+    /// memos below remain as a lock-free first level either way.
+    shared_values: bool,
     functions: HashMap<&'a str, &'a PlanFunction>,
     /// Memo for loop-invariant absolute paths — the materialization every
     /// system in the paper performs before joining.
     path_cache: RefCell<HashMap<String, Arc<Sequence>>>,
-    /// Memo for IndexLookup indexes and HashJoin build sides, keyed by the
-    /// planner's signatures.
+    /// Per-execution (L1) memo for IndexLookup indexes and HashJoin build
+    /// sides, keyed by the planner's signatures. Populated from the
+    /// store-resident value indexes (L2) when those are enabled, so after
+    /// warmup an execution performs zero builds — only probes.
     index_cache: RefCell<HashMap<String, Arc<JoinIndex>>>,
-    /// Memo for hash-join probe-side key lists, aligned with the cached
-    /// source sequence.
+    /// Per-execution (L1) memo for hash-join probe-side key lists,
+    /// aligned with the cached source sequence.
     key_cache: RefCell<HashMap<String, Arc<Vec<Vec<String>>>>>,
+    /// The element index, resolved once per execution (see
+    /// [`Evaluator::index_postings`]).
+    element_index: std::cell::OnceCell<&'a xmark_store::ElementIndex>,
+    /// Per-execution memo of resolved child-value indexes by tag
+    /// (`None` = unavailable), so the per-open resolution never touches
+    /// the manager's locks on the hot path.
+    child_values_cache: RefCell<HashMap<String, Option<Arc<ChildValues>>>>,
     /// Items pulled through operator cursors (path-step expansions and
     /// clause bindings). The probe behind the early-termination tests:
     /// `exists()`/`take(n)` must pull strictly fewer items than a full
@@ -142,6 +165,9 @@ impl<'a> Evaluator<'a> {
     pub fn new(store: &'a dyn XmlStore, plan: &'a PhysicalPlan) -> Self {
         Evaluator {
             store,
+            indexes: store.indexes(),
+            shared_values: store.planner_caps().value_index
+                && plan.mode == crate::plan::PlanMode::Optimized,
             functions: plan
                 .functions
                 .iter()
@@ -150,6 +176,8 @@ impl<'a> Evaluator<'a> {
             path_cache: RefCell::new(HashMap::new()),
             index_cache: RefCell::new(HashMap::new()),
             key_cache: RefCell::new(HashMap::new()),
+            element_index: std::cell::OnceCell::new(),
+            child_values_cache: RefCell::new(HashMap::new()),
             pulls: Cell::new(0),
             streamed_paths: RefCell::new(HashSet::new()),
         }
@@ -326,10 +354,16 @@ impl<'a> Evaluator<'a> {
 
     // ---- FLWOR support ---------------------------------------------------
 
-    /// Build (or fetch from cache) a hash table `canonical key → (index,
-    /// item)` over the items of `src`, keyed by `key_expr` evaluated with
-    /// `var` bound to each item. Blocking by nature: the build side of a
-    /// hash join buffers before the first probe.
+    /// Fetch — or build exactly once — the hash table `canonical key →
+    /// (index, item)` over the items of `src`, keyed by `key_expr`
+    /// evaluated with `var` bound to each item. Blocking by nature: the
+    /// build side of a hash join buffers before the first probe.
+    ///
+    /// Lookup order: the per-execution memo (L1, lock-free), then the
+    /// store-resident value index (L2, [`IndexManager`]) when the planner
+    /// produced a loop-invariance signature and the backend persists
+    /// values — so after warmup, repeated executions (and every worker of
+    /// a service pool) probe one shared structure and never rebuild.
     pub(crate) fn join_build_side(
         &self,
         var: &'a str,
@@ -344,19 +378,19 @@ impl<'a> Evaluator<'a> {
                 return Ok(Arc::clone(cached));
             }
         }
-        let source = self.eval(src, env, ctx)?;
-        let mut map: JoinIndex = HashMap::with_capacity(source.len());
-        for (i, item) in source.into_iter().enumerate() {
-            env.push(var, Arc::new(vec![item.clone()]));
-            let keys = self.eval(key_expr, env, ctx);
-            env.pop();
-            for key in keys? {
-                map.entry(canonical_key(&atomize(self.store, &key)))
-                    .or_default()
-                    .push((i, item.clone()));
+        let rc = match sig.filter(|_| self.shared_values) {
+            Some(sig) => {
+                let erased = self.indexes.value_or_build(&format!("idx|{sig}"), || {
+                    let map = self.build_join_index(var, src, key_expr, env, ctx)?;
+                    let bytes = join_index_bytes(&map);
+                    Ok::<_, EvalError>((Arc::new(map) as Arc<dyn Any + Send + Sync>, bytes))
+                })?;
+                erased
+                    .downcast::<JoinIndex>()
+                    .expect("value slot idx|… holds a JoinIndex")
             }
-        }
-        let rc = Arc::new(map);
+            None => Arc::new(self.build_join_index(var, src, key_expr, env, ctx)?),
+        };
         if let Some(sig) = sig {
             self.index_cache
                 .borrow_mut()
@@ -365,8 +399,10 @@ impl<'a> Evaluator<'a> {
         Ok(rc)
     }
 
-    /// Build (or fetch from cache) the IndexLookup operator's index over
-    /// `source`: canonical key → (position, item) pairs in source order.
+    /// The IndexLookup operator's index over `source`: canonical key →
+    /// (position, item) pairs in source order. Identical structure and
+    /// identical caching discipline to a hash-join build side, so it *is*
+    /// one — the planner's signature makes it persistent.
     pub(crate) fn lookup_index(
         &self,
         var: &'a str,
@@ -376,30 +412,36 @@ impl<'a> Evaluator<'a> {
         env: &mut Env<'a>,
         ctx: Option<&Item>,
     ) -> EResult<Arc<JoinIndex>> {
-        if let Some(cached) = self.index_cache.borrow().get(sig) {
-            return Ok(Arc::clone(cached));
-        }
-        let items = self.eval(source, env, ctx)?;
-        let mut map: JoinIndex = HashMap::new();
-        for (i, item) in items.into_iter().enumerate() {
-            env.push(var, Arc::new(vec![item.clone()]));
-            let keys = self.eval(inner_key, env, ctx);
-            env.pop();
-            for key in keys? {
-                map.entry(canonical_key(&atomize(self.store, &key)))
-                    .or_default()
-                    .push((i, item.clone()));
-            }
-        }
-        let rc = Arc::new(map);
-        self.index_cache
-            .borrow_mut()
-            .insert(sig.to_string(), Arc::clone(&rc));
-        Ok(rc)
+        self.join_build_side(var, source, inner_key, Some(sig), env, ctx)
     }
 
-    /// Per-item canonical key lists for the probe side, memoized when
-    /// loop-invariant (aligned with the path-cached source sequence).
+    /// The actual build walk behind [`Evaluator::join_build_side`].
+    fn build_join_index(
+        &self,
+        var: &'a str,
+        src: &'a PlanExpr,
+        key_expr: &'a PlanExpr,
+        env: &mut Env<'a>,
+        ctx: Option<&Item>,
+    ) -> EResult<JoinIndex> {
+        let source = self.eval(src, env, ctx)?;
+        let mut map: JoinIndex = HashMap::with_capacity(source.len());
+        for (i, item) in source.into_iter().enumerate() {
+            env.push(var, Arc::new(vec![item.clone()]));
+            let keys = self.eval(key_expr, env, ctx);
+            env.pop();
+            for key in keys? {
+                if let Some(canonical) = canonical_key(&atomize(self.store, &key)) {
+                    map.entry(canonical).or_default().push((i, item.clone()));
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Per-item canonical key lists for the probe side, memoized like the
+    /// build sides: per-execution first, store-resident when
+    /// loop-invariant (aligned with the deterministic source sequence).
     pub(crate) fn join_probe_keys(
         &self,
         var: &'a str,
@@ -416,19 +458,31 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
-        let mut keys = Vec::with_capacity(left.len());
-        for item in left {
-            env.push(var, Arc::new(vec![item.clone()]));
-            let evaluated = self.eval(key_expr, env, ctx);
-            env.pop();
-            keys.push(
-                evaluated?
-                    .iter()
-                    .map(|k| canonical_key(&atomize(self.store, k)))
-                    .collect::<Vec<String>>(),
-            );
-        }
-        let rc = Arc::new(keys);
+        let rc = match sig.filter(|_| self.shared_values) {
+            Some(sig) => {
+                let erased = self.indexes.value_or_build(&format!("keys|{sig}"), || {
+                    let keys = self.build_probe_keys(var, key_expr, left, env, ctx)?;
+                    let bytes: usize = keys
+                        .iter()
+                        .flatten()
+                        .map(|k| k.capacity() + 24)
+                        .sum::<usize>()
+                        + keys.capacity() * 24;
+                    Ok::<_, EvalError>((Arc::new(keys) as Arc<dyn Any + Send + Sync>, bytes))
+                })?;
+                let shared = erased
+                    .downcast::<Vec<Vec<String>>>()
+                    .expect("value slot keys|… holds probe key lists");
+                if shared.len() == left.len() {
+                    shared
+                } else {
+                    // Defensive: a probe side whose cardinality diverged
+                    // from the shared structure rebuilds locally.
+                    Arc::new(self.build_probe_keys(var, key_expr, left, env, ctx)?)
+                }
+            }
+            None => Arc::new(self.build_probe_keys(var, key_expr, left, env, ctx)?),
+        };
         if let Some(sig) = sig {
             self.key_cache
                 .borrow_mut()
@@ -437,8 +491,33 @@ impl<'a> Evaluator<'a> {
         Ok(rc)
     }
 
-    /// Canonicalize an atomized value for join lookup.
-    pub(crate) fn canonical_join_key(&self, item: &Item) -> String {
+    /// The actual key-evaluation walk behind [`Evaluator::join_probe_keys`].
+    fn build_probe_keys(
+        &self,
+        var: &'a str,
+        key_expr: &'a PlanExpr,
+        left: &[Item],
+        env: &mut Env<'a>,
+        ctx: Option<&Item>,
+    ) -> EResult<Vec<Vec<String>>> {
+        let mut keys = Vec::with_capacity(left.len());
+        for item in left {
+            env.push(var, Arc::new(vec![item.clone()]));
+            let evaluated = self.eval(key_expr, env, ctx);
+            env.pop();
+            keys.push(
+                evaluated?
+                    .iter()
+                    .filter_map(|k| canonical_key(&atomize(self.store, k)))
+                    .collect::<Vec<String>>(),
+            );
+        }
+        Ok(keys)
+    }
+
+    /// Canonicalize an atomized value for join lookup (`None` = NaN,
+    /// which matches nothing).
+    pub(crate) fn canonical_join_key(&self, item: &Item) -> Option<String> {
         canonical_key(&atomize(self.store, item))
     }
 
@@ -492,8 +571,42 @@ impl<'a> Evaluator<'a> {
 
     // ---- PathScan --------------------------------------------------------
 
+    /// The shared element index, resolved (and hit-counted) once per
+    /// execution instead of once per expanded context node — IndexScan
+    /// expansion is the hottest path in the executor and must not
+    /// contend on the manager's counters across worker threads.
+    fn element_index(&self) -> &'a xmark_store::ElementIndex {
+        self.element_index
+            .get_or_init(|| self.indexes.element(self.store))
+    }
+
+    /// The shared element index's posting slice for `tag` under `n`, or
+    /// `None` when subtree stabbing cannot serve this store.
+    pub(crate) fn index_postings(&self, n: Node, tag: &str) -> Option<&'a [u32]> {
+        self.element_index().postings_in(tag, n)
+    }
+
+    /// The descendant cursor for one planned step: an IndexScan streams
+    /// the stabbed posting slice; everything else (and the fallback when
+    /// stabbing is invalid) walks the store's native axis cursor.
+    pub(crate) fn descendant_iter(
+        &self,
+        n: Node,
+        tag: &'a str,
+        access: &StepAccess,
+    ) -> DescendantsNamed<'a> {
+        if matches!(access, StepAccess::IndexScan) {
+            if let Some(slice) = self.index_postings(n, tag) {
+                return DescendantsNamed::Extent(slice.iter());
+            }
+        }
+        self.store.descendants_named_iter(n, tag)
+    }
+
     /// Materializing path evaluation with the loop-invariant memo; drains
-    /// a [`crate::stream`] path cursor on a miss.
+    /// a [`crate::stream`] path cursor on a miss and publishes the result
+    /// to the store-resident value index, so later executions replay a
+    /// shared sequence instead of re-walking the store.
     pub(crate) fn eval_path(
         &self,
         p: &'a PathPlan,
@@ -501,21 +614,53 @@ impl<'a> Evaluator<'a> {
         ctx: Option<&Item>,
     ) -> EResult<Sequence> {
         if let Some(sig) = &p.memo {
-            if let Some(cached) = self.path_cache.borrow().get(sig) {
+            if let Some(cached) = self.cached_path(sig) {
                 return Ok(cached.as_ref().clone());
             }
-            let result = self.drain(path_cursor(self, p, env, ctx))?;
-            self.path_cache
-                .borrow_mut()
-                .insert(sig.clone(), Arc::new(result.clone()));
-            return Ok(result);
+            let result = self.drain(path_cursor(self, p, env, ctx, true))?;
+            let shared = Arc::new(result);
+            self.publish_path(sig, Arc::clone(&shared));
+            return Ok(shared.as_ref().clone());
         }
-        self.drain(path_cursor(self, p, env, ctx))
+        self.drain(path_cursor(self, p, env, ctx, true))
     }
 
-    /// The memoized path sequence for `sig`, if already materialized.
+    /// The memoized path sequence for `sig`, if already materialized —
+    /// this execution (L1) or any earlier one (the store-resident L2).
     pub(crate) fn cached_path(&self, sig: &str) -> Option<Arc<Sequence>> {
-        self.path_cache.borrow().get(sig).cloned()
+        if let Some(cached) = self.path_cache.borrow().get(sig) {
+            return Some(Arc::clone(cached));
+        }
+        if self.shared_values {
+            if let Some(erased) = self.indexes.value_if_built(&format!("path|{sig}")) {
+                let shared = erased
+                    .downcast::<Sequence>()
+                    .expect("value slot path|… holds a Sequence");
+                self.path_cache
+                    .borrow_mut()
+                    .insert(sig.to_string(), Arc::clone(&shared));
+                return Some(shared);
+            }
+        }
+        None
+    }
+
+    /// Record a fully materialized loop-invariant path in both memo
+    /// levels. Streaming cursors call this when a lazy first open drains
+    /// to completion (the tee in [`crate::stream`]); `eval_path` calls it
+    /// on every materializing miss.
+    pub(crate) fn publish_path(&self, sig: &str, seq: Arc<Sequence>) {
+        self.path_cache
+            .borrow_mut()
+            .insert(sig.to_string(), Arc::clone(&seq));
+        if self.shared_values {
+            let bytes = seq.len() * std::mem::size_of::<Item>() + 24;
+            let result: Result<_, std::convert::Infallible> =
+                self.indexes.value_or_build(&format!("path|{sig}"), || {
+                    Ok((Arc::clone(&seq) as Arc<dyn Any + Send + Sync>, bytes))
+                });
+            let _ = result;
+        }
     }
 
     /// Note a streaming open of the memoized path `sig`, returning
@@ -543,11 +688,16 @@ impl<'a> Evaluator<'a> {
             let step = &steps[i];
 
             // Planned shortcut: `…/tag/text()` tail answered from inlined
-            // entity columns (System C). Falls back to the generic steps if
-            // a context node is not covered.
+            // entity columns (System C) or the shared child-value index.
+            // Falls back to the generic steps if not covered.
             if i + 2 == steps.len() {
                 if let Some(tag) = &p.inlined_tail {
                     if let Some(shortcut) = self.try_inlined_tail(&current, tag)? {
+                        return Ok(shortcut);
+                    }
+                }
+                if let Some(tag) = &p.value_tail {
+                    if let Some(shortcut) = self.try_value_tail(&current, tag)? {
                         return Ok(shortcut);
                     }
                 }
@@ -598,7 +748,8 @@ impl<'a> Evaluator<'a> {
                                     seq.push(Item::Node(root));
                                 }
                                 seq.extend(
-                                    self.store.descendants_named_iter(root, tag).map(Item::Node),
+                                    self.descendant_iter(root, tag, &first.access)
+                                        .map(Item::Node),
                                 );
                             }
                             _ => {
@@ -634,6 +785,64 @@ impl<'a> Evaluator<'a> {
             PlanBase::Expr(e) => self.eval(e, env, ctx)?,
         };
         Ok((current, start_index))
+    }
+
+    /// The child-value index for `tag`, memoized per execution (`None`
+    /// = unavailable: value persistence off, or a naive plan). With
+    /// `build` false this only *peeks* at an already-built index — the
+    /// contract of a streaming cursor open, which must not pay an
+    /// extent walk before its first item; materializing (blocking)
+    /// consumers pass `build` true and pay the one-time build where a
+    /// full drain is already owed.
+    pub(crate) fn child_values(&self, tag: &str, build: bool) -> Option<Arc<ChildValues>> {
+        if !self.shared_values {
+            return None;
+        }
+        if let Some(cached) = self.child_values_cache.borrow().get(tag) {
+            return cached.clone();
+        }
+        let resolved = if build {
+            self.indexes.child_values(self.store, tag)
+        } else {
+            // A peek miss is not cached: a later materializing consumer
+            // may still build within this execution.
+            match self.indexes.child_values_if_built(tag) {
+                Some(values) => Some(values),
+                None => return None,
+            }
+        };
+        self.child_values_cache
+            .borrow_mut()
+            .insert(tag.to_string(), resolved.clone());
+        resolved
+    }
+
+    /// `…/tag/text()` over the shared typed child-value index. `None`
+    /// when the index is unavailable — the generic two-step expansion
+    /// remains the fallback. The index holds the real text *nodes*, so
+    /// the rewrite is invisible even to node-order operators; a
+    /// monotonicity guard bails out to the generic steps on the exotic
+    /// context sets (nested or duplicated nodes) where the generic
+    /// expansion would re-sort and deduplicate across contexts.
+    pub(crate) fn try_value_tail(&self, current: &[Item], tag: &str) -> EResult<Option<Sequence>> {
+        let Some(values) = self.child_values(tag, true) else {
+            return Ok(None);
+        };
+        let mut out = Vec::new();
+        let mut last: Option<u32> = None;
+        for item in current {
+            let Item::Node(n) = item else {
+                return Err(EvalError::PathOverNonNode);
+            };
+            for &id in values.get(*n) {
+                if last.is_some_and(|l| id <= l) {
+                    return Ok(None);
+                }
+                last = Some(id);
+                out.push(Item::Node(Node(id)));
+            }
+        }
+        Ok(Some(out))
     }
 
     /// `…/tag/text()` over inlined columns. Returns `Some` only if *every*
@@ -801,11 +1010,14 @@ impl<'a> Evaluator<'a> {
                 return Ok(());
             }
             (Axis::Descendant, NodeTest::Tag(tag)) => {
+                // IndexScan and native walks share this arm: the helper
+                // streams the stabbed posting slice when the plan chose
+                // the shared element index.
                 if step.preds.is_empty() {
-                    out.extend(self.store.descendants_named_iter(n, tag).map(Item::Node));
+                    out.extend(self.descendant_iter(n, tag, &step.access).map(Item::Node));
                     return Ok(());
                 }
-                let matched: Vec<Node> = self.store.descendants_named_iter(n, tag).collect();
+                let matched: Vec<Node> = self.descendant_iter(n, tag, &step.access).collect();
                 let filtered = self.apply_predicates(matched, &step.preds, env, ctx)?;
                 out.extend(filtered.into_iter().map(Item::Node));
                 return Ok(());
@@ -880,9 +1092,11 @@ impl<'a> Evaluator<'a> {
 
     // ---- Aggregate -------------------------------------------------------
 
-    /// `count(prefix//tag)` through `count_descendants_named` — no node
-    /// materialization (the paper's Q6/Q7 on System D). Blocking by
-    /// nature: the answer is one number.
+    /// `count(prefix//tag)` without node materialization: summary/extent
+    /// arithmetic where the backend has it (the paper's Q6/Q7 on System
+    /// D), a posting-range length of the shared element index on walking
+    /// backends, and a counting cursor walk as the last resort. Blocking
+    /// by nature: the answer is one number.
     fn eval_aggregate(
         &self,
         a: &'a AggregatePlan,
@@ -895,7 +1109,14 @@ impl<'a> Evaluator<'a> {
             let Item::Node(n) = item else {
                 return Err(EvalError::PathOverNonNode);
             };
-            total += self.store.count_descendants_named(n, &a.tag);
+            let indexed = a
+                .indexed
+                .then(|| self.element_index().count_in(&a.tag, n))
+                .flatten();
+            total += match indexed {
+                Some(count) => count,
+                None => self.store.count_descendants_named(n, &a.tag),
+            };
         }
         Ok(vec![Item::Num(total as f64)])
     }
@@ -1166,13 +1387,24 @@ fn join_atomized(store: &dyn XmlStore, seq: &[Item]) -> String {
     out
 }
 
-/// Canonical hash-join key: numeric values are normalized so that the
-/// join agrees with the general comparison's numeric equality ("40" and
-/// "40.0" join).
-fn canonical_key(s: &str) -> String {
+/// Approximate resident bytes of a join index, for the store's index
+/// accounting (keys, entry overhead, and per-posting item slots).
+fn join_index_bytes(map: &JoinIndex) -> usize {
+    map.iter()
+        .map(|(k, v)| k.capacity() + 48 + v.len() * 48)
+        .sum()
+}
+
+/// Canonical hash-join key, aligned with the general comparison the
+/// nested-loop specification evaluates: numeric values normalize ("40"
+/// and "40.0" join, "-0" joins "0"), non-numeric values compare
+/// *trimmed* exactly like the string fallback. `None` for NaN — NaN
+/// equals nothing, so a NaN key must never enter or probe a join index.
+fn canonical_key(s: &str) -> Option<String> {
     match s.trim().parse::<f64>() {
-        Ok(n) => crate::result::format_number(n),
-        Err(_) => s.to_string(),
+        Ok(n) if n.is_nan() => None,
+        Ok(n) => Some(crate::result::format_number(if n == 0.0 { 0.0 } else { n })),
+        Err(_) => Some(s.trim().to_string()),
     }
 }
 

@@ -17,9 +17,15 @@
 //! * `~N` — the planner's cardinality estimate (omitted when unknown),
 //! * `[memo]` — loop-invariant path, materialized once per execution,
 //! * `->id("x")` — ID-index probe for that step,
+//! * `->idx` — IndexScan: the step streams off the shared element-name
+//!   index's posting list instead of walking descendants,
 //! * `->pos(1)` / `->pos(last)` — positional-index probe for that step,
 //! * `->inlined("tag")` — entity-column read for a `tag/text()` tail,
-//! * `[summary]` — Aggregate answered by summary/extent arithmetic.
+//! * `->vals("tag")` — a `tag/text()` tail answered from the shared typed
+//!   child-value index,
+//! * `[summary]` — Aggregate answered by summary/extent arithmetic,
+//! * `[idx]` — Aggregate answered by a posting-range length of the shared
+//!   element-name index.
 
 use crate::ast::{ArithOp, Axis, CmpOp, NodeTest};
 use crate::plan::*;
@@ -80,6 +86,8 @@ fn render_operator(expr: &PlanExpr, indent: usize, out: &mut String) {
             }
             if a.summary {
                 text.push_str(" [summary]");
+            } else if a.indexed {
+                text.push_str(" [idx]");
             }
             line(indent, text, out);
             line(indent + 1, path_line(&a.input), out);
@@ -131,6 +139,7 @@ fn render_flwor(f: &FlworPlan, indent: usize, out: &mut String) {
             build_src,
             build_key,
             build_sig,
+            hoisted,
             residual,
             est_probe,
             est_build,
@@ -157,6 +166,18 @@ fn render_flwor(f: &FlworPlan, indent: usize, out: &mut String) {
                 indent,
                 out,
             );
+            for h in hoisted {
+                line(
+                    indent,
+                    format!(
+                        "Filter@probe {} = {}{}",
+                        inline(&h.probe_key),
+                        inline(&h.outer),
+                        if h.sig.is_some() { " [memo]" } else { "" }
+                    ),
+                    out,
+                );
+            }
             for r in residual {
                 line(indent, format!("Filter {}", inline(r)), out);
             }
@@ -304,6 +325,9 @@ fn path_inline(p: &PathPlan) -> String {
     if let Some(tag) = &p.inlined_tail {
         text.push_str(&format!("->inlined({tag:?})"));
     }
+    if let Some(tag) = &p.value_tail {
+        text.push_str(&format!("->vals({tag:?})"));
+    }
     text
 }
 
@@ -329,6 +353,7 @@ fn steps_inline(steps: &[PlanStep]) -> String {
         }
         match &s.access {
             StepAccess::Generic => {}
+            StepAccess::IndexScan => out.push_str("->idx"),
             StepAccess::IdProbe(lit) => out.push_str(&format!("->id({lit:?})")),
             StepAccess::Positional(spec) => {
                 let rendered = match spec {

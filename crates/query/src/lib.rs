@@ -46,19 +46,28 @@
 //!   quantifiers, the `<<` node-order operator, user-defined functions),
 //! * [`planner`] — lowers the AST into a [`plan::PhysicalPlan`], making
 //!   **every** rewrite decision at compile time: equi-joins become
-//!   HashJoin operators, correlated lookups become IndexLookup joins,
-//!   where-conjuncts are scheduled by predicate pushdown, and steps are
-//!   annotated with the access paths the backend's
-//!   [`xmark_store::PlannerCaps`] affords (ID probes, positional indexes,
-//!   inlined columns, summary counts). Cardinalities come from
+//!   HashJoin operators (with probe-side residual equalities hoisted
+//!   into precomputed key filters), correlated lookups become
+//!   IndexLookup joins, where-conjuncts are scheduled by predicate
+//!   pushdown, and steps are annotated with the access paths the
+//!   backend's [`xmark_store::PlannerCaps`] affords (ID probes,
+//!   positional indexes, inlined columns, summary counts, and the
+//!   shared element index's IndexScan — costed on exact posting
+//!   cardinalities, falling back to streamed scans when postings are
+//!   dense). Cardinalities come from
 //!   [`xmark_store::XmlStore::estimate_step`], the same catalog touches
 //!   Table 2 counts as metadata accesses,
 //! * [`explain`] — stable one-line-per-operator plan rendering (pinned by
 //!   golden tests so planner regressions are visible in review),
 //! * [`stream`] — the pull-based operator cursors and the public
 //!   [`ResultStream`]; [`eval`] supplies the shared execution mechanics
-//!   (step expansion, join build sides, per-execution memos) and contains
-//!   no pattern-matching — it re-discovers nothing per execution,
+//!   (step expansion, join build sides, two-level memos) and contains
+//!   no pattern-matching — it re-discovers nothing per execution. Join
+//!   build sides, lookup indexes, probe-key lists and loop-invariant
+//!   path materializations live in the store's persistent
+//!   [`xmark_store::IndexManager`] (L2) behind a per-execution memo
+//!   (L1): after warmup an execution probes shared structures and
+//!   builds nothing,
 //! * [`compile()`] — parse + plan in one call; [`compile::Compiled`] is
 //!   the reusable artifact a plan cache stores. [`compile::plan`] exposes
 //!   the planning phase alone so harnesses can time parse / plan /

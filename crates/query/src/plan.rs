@@ -143,6 +143,12 @@ pub struct PathPlan {
     /// `Some(tag)` when the final `tag/text()` tail should be attempted
     /// through [`xmark_store::XmlStore::typed_child_value`] (System C).
     pub inlined_tail: Option<String>,
+    /// `Some(tag)` when the final `tag/text()` tail should be attempted
+    /// through the shared typed child-value index
+    /// ([`xmark_store::index::ChildValues`]) — the store-layer
+    /// generalization available on every backend; entity columns
+    /// (`inlined_tail`) take precedence where both apply.
+    pub value_tail: Option<String>,
     /// Estimated output cardinality (0 = unknown).
     pub est_rows: u64,
 }
@@ -185,6 +191,13 @@ pub enum StepAccess {
     /// `tag[1]` / `tag[last()]` through the store's positional index,
     /// falling back per node where unsupported.
     Positional(PositionSpec),
+    /// Predicate-free `descendant::tag` served from the store's shared
+    /// element-name index ([`xmark_store::IndexManager`]): the context's
+    /// subtree range stabs the tag's posting list (two binary searches)
+    /// and matches stream off the slice — no walk. Chosen only when the
+    /// posting list is sparse relative to the store; the executor falls
+    /// back to the native axis cursor if stabbing turns out invalid.
+    IndexScan,
 }
 
 /// The Aggregate operator: `count(prefix//tag)` without materializing.
@@ -197,6 +210,9 @@ pub struct AggregatePlan {
     /// Whether the store answers from summary/extent arithmetic
     /// (Systems D/E) rather than a counting cursor walk.
     pub summary: bool,
+    /// Whether the shared element-name index answers the count as a
+    /// posting-range length (backends without native summaries).
+    pub indexed: bool,
     /// Estimated extent cardinality of the counted tag (0 = unknown).
     pub est_rows: u64,
 }
@@ -255,6 +271,13 @@ pub enum Strategy {
         build_key: PlanExpr,
         /// Cache signature for the hash table when loop-invariant.
         build_sig: Option<String>,
+        /// Probe-side residual equalities (`path($probe) = outer-expr`)
+        /// hoisted out of the per-pair filter: the probe-var key lists
+        /// are computed once per execution — and persisted in the store's
+        /// value indexes when loop-invariant — instead of re-evaluating
+        /// the path for every (pair × outer binding). Q9's correlated
+        /// `$t/buyer/@person = $p/@id` is the motivating case.
+        hoisted: Vec<HoistedEq>,
         /// Remaining where-conjuncts, evaluated per joined tuple.
         residual: Vec<PlanExpr>,
         /// Estimated probe/build cardinalities (0 = unknown).
@@ -282,6 +305,20 @@ pub enum Strategy {
         /// Estimated indexed-source cardinality (0 = unknown).
         est_build: u64,
     },
+}
+
+/// One hoisted probe-side residual equality of a hash join (see
+/// [`Strategy::HashJoin`]).
+#[derive(Debug, Clone)]
+pub struct HoistedEq {
+    /// Canonical-key path over the probe variable.
+    pub probe_key: PlanExpr,
+    /// The enclosing-scope side — free of both join variables, so it is
+    /// evaluated once per producer open, not per pair.
+    pub outer: PlanExpr,
+    /// Persistence signature when the probe source is loop-invariant
+    /// (same keying as the join's probe-key lists).
+    pub sig: Option<String>,
 }
 
 /// A planned element constructor.

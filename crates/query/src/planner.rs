@@ -22,11 +22,24 @@
 //!   inlined-column read, and `count(…//tag)` an Aggregate over summary
 //!   counts — each only when [`XmlStore::planner_caps`] says the backend
 //!   affords it.
+//! * **IndexScan** — a predicate-free `descendant::tag` step on a backend
+//!   whose native descendant access walks (Systems A/B/C/F/G,
+//!   `PlannerCaps::element_index`) is costed against the shared
+//!   element-name index using the posting list's **exact** cardinality —
+//!   not an estimate, even on the statistics-free System F. Sparse
+//!   postings win (two binary searches + a slice); dense postings (more
+//!   than one element in [`INDEX_SCAN_DENSITY`]) fall back to the
+//!   streamed axis scan, whose sequential locality beats posting jumps
+//!   when most of the store matches anyway.
 //!
 //! [`PlanMode::Naive`] suppresses every rewrite and produces the pure
 //! nested-loop plan the optimizer oracle executes as the specification.
 
 use xmark_store::{PlannerCaps, PositionSpec, XmlStore};
+
+/// IndexScan density gate: the posting list must cover at most one node
+/// in this many for the stab to beat the streamed axis scan.
+pub const INDEX_SCAN_DENSITY: usize = 4;
 
 use crate::ast::*;
 use crate::compile::CompileStats;
@@ -162,11 +175,15 @@ impl Planner<'_> {
         let counted = path.steps.pop().expect("last step exists");
         path.memo = path.memo.is_some().then(|| path_signature(&path.steps));
         path.inlined_tail = None;
+        path.value_tail = None;
         path.est_rows = last_tag_estimate(&path.steps);
         Some(AggregatePlan {
             input: path,
             tag,
             summary: self.caps.summary_counts,
+            // Walking backends answer the count as a posting-range length
+            // of the shared element-name index instead.
+            indexed: matches!(counted.access, StepAccess::IndexScan),
             est_rows: counted.est_rows,
         })
     }
@@ -184,19 +201,35 @@ impl Planner<'_> {
         let pred_free = steps.iter().all(|s| s.preds.is_empty());
         let memo = (matches!(base, PlanBase::Root) && pred_free).then(|| path_signature(&planned));
         let inlined_tail = self.inlined_tail_of(steps);
+        let value_tail = if inlined_tail.is_none() && self.caps.child_values {
+            self.tail_tag_of(steps)
+        } else {
+            None
+        };
         let est_rows = last_tag_estimate(&planned);
         PathPlan {
             base,
             steps: planned,
             memo,
             inlined_tail,
+            value_tail,
             est_rows,
         }
     }
 
     /// Annotate `…/tag/text()` tails for System C's entity columns.
     fn inlined_tail_of(&self, steps: &[Step]) -> Option<String> {
-        if !self.optimized() || !self.caps.inlined_values || steps.len() < 2 {
+        if !self.caps.inlined_values {
+            return None;
+        }
+        self.tail_tag_of(steps)
+    }
+
+    /// The tag of a final predicate-free `tag/text()` tail (child axes
+    /// only) — the shape both the entity columns and the shared
+    /// child-value index answer. `None` in naive mode.
+    fn tail_tag_of(&self, steps: &[Step]) -> Option<String> {
+        if !self.optimized() || steps.len() < 2 {
             return None;
         }
         let tag_step = &steps[steps.len() - 2];
@@ -219,7 +252,7 @@ impl Planner<'_> {
     fn plan_step(&mut self, step: &Step) -> PlanStep {
         // Catalog resolution: one estimate per non-attribute tag step —
         // the Table 2 metadata-access accounting.
-        let est_rows = match (&step.test, step.axis) {
+        let mut est_rows = match (&step.test, step.axis) {
             (NodeTest::Tag(_), Axis::Attribute) => 0,
             (NodeTest::Tag(tag), _) => {
                 self.stats.steps_resolved += 1;
@@ -230,6 +263,14 @@ impl Planner<'_> {
             _ => 0,
         };
         let access = self.step_access(step);
+        if let StepAccess::IndexScan = access {
+            // The posting list is the catalog here: record its exact
+            // cardinality (System F plans these steps with real numbers
+            // despite having no statistics of its own).
+            if let NodeTest::Tag(tag) = &step.test {
+                est_rows = self.exact_postings(tag).unwrap_or(est_rows as usize) as u64;
+            }
+        }
         PlanStep {
             axis: step.axis,
             test: step.test.clone(),
@@ -237,6 +278,17 @@ impl Planner<'_> {
             access,
             est_rows,
         }
+    }
+
+    /// Exact whole-document posting cardinality of `tag` from the shared
+    /// element-name index, or `None` when the index cannot serve this
+    /// store (ids not verified pre-order). Builds the index on the first
+    /// compilation against the store — the lazily-paid analogue of System
+    /// D's "the summary is the metadata"; the plan cache and the
+    /// `build_indexes()` warmups keep it off the request path.
+    fn exact_postings(&self, tag: &str) -> Option<usize> {
+        let index = self.store.indexes().element(self.store);
+        index.ordered().then(|| index.count(tag))
     }
 
     fn plan_pred(&mut self, pred: &Pred) -> PlanPred {
@@ -248,7 +300,25 @@ impl Planner<'_> {
     }
 
     fn step_access(&self, step: &Step) -> StepAccess {
-        if !self.optimized() || step.preds.len() != 1 {
+        if !self.optimized() {
+            return StepAccess::Generic;
+        }
+        // Predicate-free descendant steps: cost the shared element-name
+        // index against the streamed axis scan on its exact posting
+        // cardinality.
+        if step.preds.is_empty() {
+            if self.caps.element_index && step.axis == Axis::Descendant {
+                if let NodeTest::Tag(tag) = &step.test {
+                    if let Some(postings) = self.exact_postings(tag) {
+                        if postings * INDEX_SCAN_DENSITY <= self.store.node_count() {
+                            return StepAccess::IndexScan;
+                        }
+                    }
+                }
+            }
+            return StepAccess::Generic;
+        }
+        if step.preds.len() != 1 {
             return StepAccess::Generic;
         }
         // `tag[@id = "literal"]` through the ID index (every mass-storage
@@ -338,7 +408,14 @@ impl Planner<'_> {
                     || est_probe * est_build >= est_probe + est_build;
                 if hash_wins {
                     return build_hash_join(
-                        f, sources, conjuncts, join_idx, v1_is_lhs, est_probe, est_build,
+                        f,
+                        conjuncts_ast,
+                        sources,
+                        conjuncts,
+                        join_idx,
+                        v1_is_lhs,
+                        est_probe,
+                        est_build,
                     );
                 }
             }
@@ -493,8 +570,10 @@ fn build_index_lookup(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_hash_join(
     f: &Flwor,
+    conjuncts_ast: &[&Expr],
     mut sources: Vec<PlanExpr>,
     mut conjuncts: Vec<PlanExpr>,
     join_idx: usize,
@@ -508,7 +587,31 @@ fn build_hash_join(
     };
     let build_src = sources.remove(1);
     let probe_src = sources.remove(0);
-    let (probe_key, build_key) = split_eq(conjuncts.remove(join_idx), v1_is_lhs);
+    // Partition what is not the join conjunct: probe-side equalities
+    // against an outer expression hoist out of the per-pair filter; the
+    // rest stays residual.
+    let mut hoisted = Vec::new();
+    let mut residual = Vec::new();
+    let mut join_conjunct = None;
+    for (i, planned) in conjuncts.drain(..).enumerate() {
+        if i == join_idx {
+            join_conjunct = Some(planned);
+            continue;
+        }
+        match hoistable_side(conjuncts_ast[i], &probe_var, &build_var) {
+            Some(probe_is_lhs) => {
+                let (probe_key, outer) = split_eq(planned, probe_is_lhs);
+                let sig = invariant_join_signature(&probe_src, &probe_key).map(|s| s + "#probe");
+                hoisted.push(HoistedEq {
+                    probe_key,
+                    outer,
+                    sig,
+                });
+            }
+            None => residual.push(planned),
+        }
+    }
+    let (probe_key, build_key) = split_eq(join_conjunct.expect("join conjunct present"), v1_is_lhs);
     let build_sig = invariant_join_signature(&build_src, &build_key);
     let probe_sig = invariant_join_signature(&probe_src, &probe_key).map(|s| s + "#probe");
     Strategy::HashJoin {
@@ -520,10 +623,28 @@ fn build_hash_join(
         build_src,
         build_key,
         build_sig,
-        residual: conjuncts,
+        hoisted,
+        residual,
         est_probe,
         est_build,
     }
+}
+
+/// Is this conjunct a probe-side equality against an expression free of
+/// both join variables (`path($probe) = outer` or mirrored)? Returns
+/// which side the probe key is on.
+fn hoistable_side(conjunct: &Expr, probe_var: &str, build_var: &str) -> Option<bool> {
+    let Expr::Cmp(CmpOp::Eq, a, b) = conjunct else {
+        return None;
+    };
+    let free = |e: &Expr| !expr_uses_var(e, probe_var) && !expr_uses_var(e, build_var);
+    if is_var_key(a, probe_var) && free(b) {
+        return Some(true);
+    }
+    if is_var_key(b, probe_var) && free(a) {
+        return Some(false);
+    }
+    None
 }
 
 /// Split a planned equality conjunct into its two sides, normalized so the

@@ -42,7 +42,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use xmark_store::{ChildrenNamed, DescendantsNamed, Node, XmlStore};
+use xmark_store::{ChildValues, ChildrenNamed, DescendantsNamed, Node, XmlStore};
 
 use crate::ast::{Axis, NodeTest};
 use crate::eval::{compare_keys, EResult, Env, EvalError, Evaluator, JoinIndex, OrderKey};
@@ -64,6 +64,17 @@ pub(crate) enum Cursor<'a> {
     /// A shared sequence streamed without cloning the vector (variable
     /// bindings, path-memo hits).
     Shared(Arc<Sequence>, usize),
+    /// A lazy first open of a loop-invariant path that records what it
+    /// emits: one complete drain publishes the materialization to the
+    /// path memos (including the store-resident value index), so every
+    /// later open — in this execution or any future one — replays a
+    /// [`Cursor::Shared`] instead of re-walking the store. Early
+    /// termination simply drops the buffer.
+    Tee {
+        sig: &'a str,
+        inner: Box<Cursor<'a>>,
+        buf: Option<Sequence>,
+    },
     /// Comma sequence: parts streamed one after another.
     Concat {
         parts: &'a [PlanExpr],
@@ -112,15 +123,22 @@ impl<'a> Cursor<'a> {
                     // into the path cache so every later open replays the
                     // sequence instead of re-walking the store. First
                     // opens stay lazy — a one-shot top-level path keeps
-                    // its time-to-first-item.
+                    // its time-to-first-item — but tee what they emit, so
+                    // one complete drain publishes the materialization
+                    // for every later execution against this store.
                     if ev.note_streamed_path(sig) {
                         return match ev.eval_path(p, env, ctx) {
                             Ok(seq) => Cursor::Materialized(seq.into_iter()),
                             Err(e) => Cursor::Failed(Some(e)),
                         };
                     }
+                    return Cursor::Tee {
+                        sig,
+                        inner: Box::new(path_cursor(ev, p, env, ctx, false)),
+                        buf: Some(Vec::new()),
+                    };
                 }
-                path_cursor(ev, p, env, ctx)
+                path_cursor(ev, p, env, ctx, false)
             }
             PlanExpr::Flwor(f) => flwor_cursor(f, env, ctx, false),
             other => match ev.eval(other, env, ctx) {
@@ -145,6 +163,24 @@ impl<'a> Cursor<'a> {
                 *pos += 1;
                 Some(Ok(item))
             }
+            Cursor::Tee { sig, inner, buf } => match inner.next(ev) {
+                Some(Ok(item)) => {
+                    if let Some(buffered) = buf {
+                        buffered.push(item.clone());
+                    }
+                    Some(Ok(item))
+                }
+                Some(Err(e)) => {
+                    *buf = None; // a failed walk must not be published
+                    Some(Err(e))
+                }
+                None => {
+                    if let Some(buffered) = buf.take() {
+                        ev.publish_path(sig, Arc::new(buffered));
+                    }
+                    None
+                }
+            },
             Cursor::Concat {
                 parts,
                 env,
@@ -169,14 +205,18 @@ impl<'a> Cursor<'a> {
 }
 
 /// Build the PathScan cursor for `p` (no memo handling — callers check
-/// the path cache first).
+/// the path cache first). `materializing` marks callers that will drain
+/// the cursor anyway (scalar contexts, the path memo): only they may
+/// pay one-time index builds at open; a streaming open must keep its
+/// O(first item) cost and only peeks at already-built structures.
 pub(crate) fn path_cursor<'a>(
     ev: &Evaluator<'a>,
     p: &'a PathPlan,
     env: &mut Env<'a>,
     ctx: Option<&Item>,
+    materializing: bool,
 ) -> Cursor<'a> {
-    match PathCursor::build(ev, p, env, ctx) {
+    match PathCursor::build(ev, p, env, ctx, materializing) {
         Ok(cursor) => cursor,
         Err(e) => Cursor::Failed(Some(e)),
     }
@@ -264,6 +304,17 @@ enum Stage<'a> {
         second: &'a PlanStep,
         out: Option<std::vec::IntoIter<Item>>,
     },
+    /// Planned `…/tag/text()` tail over the shared typed child-value
+    /// index, covering the final two steps — **pipelining**: one
+    /// upstream context is expanded at a time (its text nodes come
+    /// straight off the index), so early termination never drains the
+    /// upstream. Only pushed when the upstream cannot nest and the
+    /// index resolved at open time; otherwise the two generic steps
+    /// are planned instead.
+    ValueTail {
+        values: Arc<ChildValues>,
+        active: Option<std::vec::IntoIter<Item>>,
+    },
 }
 
 /// The PathScan operator as a pull pipeline: a base source plus one
@@ -286,6 +337,7 @@ impl<'a> PathCursor<'a> {
         p: &'a PathPlan,
         env: &mut Env<'a>,
         ctx: Option<&Item>,
+        materializing: bool,
     ) -> EResult<Cursor<'a>> {
         let steps = &p.steps;
 
@@ -306,7 +358,9 @@ impl<'a> PathCursor<'a> {
                 (
                     PathSource::RootDescendants {
                         pending,
-                        iter: ev.store.descendants_named_iter(root, tag),
+                        // IndexScan steps stream the stabbed posting slice
+                        // of the shared element index instead of walking.
+                        iter: ev.descendant_iter(root, tag, &first.access),
                     },
                     1,
                     // The root may contain later matches, and same-tag
@@ -347,6 +401,18 @@ impl<'a> PathCursor<'a> {
                     });
                     i += 2;
                     continue;
+                }
+                if !nested {
+                    if let Some(tag) = &p.value_tail {
+                        if let Some(values) = ev.child_values(tag, materializing) {
+                            stages.push(Stage::ValueTail {
+                                values,
+                                active: None,
+                            });
+                            i += 2;
+                            continue;
+                        }
+                    }
                 }
             }
             if let StepAccess::IdProbe(literal) = &step.access {
@@ -508,6 +574,27 @@ fn pull_through<'a>(
             }
             out.as_mut().expect("filled above").next().map(Ok)
         }
+        Stage::ValueTail { values, active } => loop {
+            if let Some(iter) = active {
+                if let Some(item) = iter.next() {
+                    return Some(Ok(item));
+                }
+                *active = None;
+            }
+            match pull_through(ev, source, upstream, env, ctx)? {
+                Err(e) => return Some(Err(e)),
+                Ok(Item::Node(n)) => {
+                    let items: Vec<Item> = values
+                        .get(n)
+                        .iter()
+                        .map(|&id| Item::Node(Node(id)))
+                        .collect();
+                    ev.count_pulls(items.len() as u64);
+                    *active = Some(items.into_iter());
+                }
+                Ok(_) => return Some(Err(EvalError::PathOverNonNode)),
+            }
+        },
     }
 }
 
@@ -537,15 +624,19 @@ fn expand<'a>(
     env: &mut Env<'a>,
     ctx: Option<&Item>,
 ) -> EResult<Expansion<'a>> {
-    if step.preds.is_empty() && matches!(step.access, StepAccess::Generic) {
-        match (&step.axis, &step.test) {
-            (Axis::Child, NodeTest::Tag(tag)) => {
+    if step.preds.is_empty() {
+        match (&step.axis, &step.test, &step.access) {
+            (Axis::Child, NodeTest::Tag(tag), StepAccess::Generic) => {
                 return Ok(Expansion::Children(ev.store.children_named_iter(n, tag)));
             }
-            (Axis::Descendant, NodeTest::Tag(tag)) => {
-                return Ok(Expansion::Descendants(
-                    ev.store.descendants_named_iter(n, tag),
-                ));
+            // IndexScan descendants stream off the shared posting slice;
+            // generic ones off the native axis cursor — same enum.
+            (Axis::Descendant, NodeTest::Tag(tag), StepAccess::Generic | StepAccess::IndexScan) => {
+                return Ok(Expansion::Descendants(ev.descendant_iter(
+                    n,
+                    tag,
+                    &step.access,
+                )));
             }
             _ => {}
         }
@@ -686,6 +777,7 @@ impl<'a> Producer<'a> {
                 build_src,
                 build_key,
                 build_sig,
+                hoisted,
                 residual,
                 ..
             } => Producer::Hash(HashJoinProducer {
@@ -697,6 +789,7 @@ impl<'a> Producer<'a> {
                 build_src,
                 build_key,
                 build_sig: build_sig.as_deref(),
+                hoisted,
                 residual,
                 env: env.clone(),
                 ctx: ctx.cloned(),
@@ -910,6 +1003,7 @@ struct HashJoinProducer<'a> {
     build_src: &'a PlanExpr,
     build_key: &'a PlanExpr,
     build_sig: Option<&'a str>,
+    hoisted: &'a [HoistedEq],
     residual: &'a [PlanExpr],
     env: Env<'a>,
     ctx: Option<Item>,
@@ -923,6 +1017,12 @@ struct HashJoinState {
     table: Arc<JoinIndex>,
     left: Vec<Item>,
     probe_keys: Arc<Vec<Vec<String>>>,
+    /// Per hoisted conjunct: canonical key lists aligned with `left`
+    /// (computed once per execution, persisted when loop-invariant).
+    hoisted_keys: Vec<Arc<Vec<Vec<String>>>>,
+    /// Per hoisted conjunct: the outer side's canonical keys, evaluated
+    /// once per producer open instead of once per pair.
+    hoisted_outer: Vec<Vec<String>>,
     /// Next probe item index.
     li: usize,
     /// Distinct matched build items for the current probe item, in build
@@ -958,10 +1058,31 @@ impl<'a> HashJoinProducer<'a> {
                 &mut self.env,
                 self.ctx.as_ref(),
             )?;
+            let mut hoisted_keys = Vec::with_capacity(self.hoisted.len());
+            let mut hoisted_outer = Vec::with_capacity(self.hoisted.len());
+            for h in self.hoisted {
+                hoisted_keys.push(ev.join_probe_keys(
+                    self.probe_var,
+                    &h.probe_key,
+                    h.sig.as_deref(),
+                    &left,
+                    &mut self.env,
+                    self.ctx.as_ref(),
+                )?);
+                let outer = ev.eval(&h.outer, &mut self.env, self.ctx.as_ref())?;
+                hoisted_outer.push(
+                    outer
+                        .iter()
+                        .filter_map(|i| ev.canonical_join_key(i))
+                        .collect(),
+                );
+            }
             self.state = Some(HashJoinState {
                 table,
                 left,
                 probe_keys,
+                hoisted_keys,
+                hoisted_outer,
                 li: 0,
                 matched: Vec::new().into_iter(),
             });
@@ -993,6 +1114,19 @@ impl<'a> HashJoinProducer<'a> {
             }
             let li = state.li;
             state.li += 1;
+            // Hoisted probe-side equalities: a probe item failing any of
+            // them produces no pair for this open (the outer side does
+            // not involve the build variable), so skip it before probing
+            // the table — this replaces a per-pair path re-evaluation
+            // with a set intersection over precomputed keys.
+            let hoisted_pass = state
+                .hoisted_keys
+                .iter()
+                .zip(&state.hoisted_outer)
+                .all(|(keys, outer)| keys[li].iter().any(|k| outer.contains(k)));
+            if !hoisted_pass {
+                continue;
+            }
             // Distinct matched build items, preserving build order (the
             // nested loop visits inner items in order for each outer
             // item).
@@ -1059,7 +1193,10 @@ impl<'a> IndexLookupProducer<'a> {
             let outer_keys = ev.eval(self.outer_key, &mut self.env, self.ctx.as_ref())?;
             let mut matched: Vec<(usize, Item)> = Vec::new();
             for key in outer_keys {
-                if let Some(items) = index.get(&ev.canonical_join_key(&key)) {
+                let Some(canonical) = ev.canonical_join_key(&key) else {
+                    continue; // NaN matches nothing
+                };
+                if let Some(items) = index.get(&canonical) {
                     matched.extend(items.iter().cloned());
                 }
             }

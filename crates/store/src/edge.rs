@@ -13,13 +13,13 @@
 //! Every navigation step is an index lookup against those generic
 //! structures; nothing is specialized to the schema.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use xmark_rel::{HashIndex, Table, Value};
 use xmark_xml::{Document, NodeId};
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
+use crate::index::IndexManager;
 use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
 /// Streaming cursor over a parent-index posting list. Row ids in the
@@ -115,9 +115,9 @@ pub struct EdgeStore {
     parent_idx: HashIndex,
     tag_idx: HashIndex,
     owner_idx: HashIndex,
-    id_idx: HashMap<String, u32>,
     root: u32,
     metadata: AtomicU64,
+    indexes: IndexManager,
 }
 
 impl EdgeStore {
@@ -133,7 +133,6 @@ impl EdgeStore {
     pub fn from_document(doc: &Document) -> Self {
         let mut nodes = Table::new("node", &["parent", "tag", "pos", "text"]);
         let mut attrs = Table::new("attr", &["owner", "name", "value"]);
-        let mut id_idx = HashMap::new();
 
         for id in 0..doc.node_count() as u32 {
             let node = NodeId(id);
@@ -154,9 +153,6 @@ impl EdgeStore {
                     ]);
                     for (sym, v) in doc.attributes(node) {
                         let name = doc.interner().resolve(*sym);
-                        if name == "id" {
-                            id_idx.insert(v.clone(), id);
-                        }
                         attrs.insert(vec![
                             Value::Int(id as i64),
                             Value::str(name),
@@ -176,9 +172,9 @@ impl EdgeStore {
             parent_idx,
             tag_idx,
             owner_idx,
-            id_idx,
             root: doc.root_element().0,
             metadata: AtomicU64::new(0),
+            indexes: IndexManager::new(),
         }
     }
 
@@ -219,7 +215,11 @@ impl XmlStore for EdgeStore {
             + self.parent_idx.heap_size_bytes()
             + self.tag_idx.heap_size_bytes()
             + self.owner_idx.heap_size_bytes()
-            + self.id_idx.keys().map(|k| k.capacity() + 12).sum::<usize>()
+            + self.indexes.size_bytes()
+    }
+
+    fn indexes(&self) -> &IndexManager {
+        &self.indexes
     }
 
     fn tag_of(&self, n: Node) -> Option<&str> {
@@ -276,10 +276,6 @@ impl XmlStore for EdgeStore {
         })
     }
 
-    fn lookup_id(&self, id: &str) -> Option<Option<Node>> {
-        Some(self.id_idx.get(id).map(|&n| Node(n)))
-    }
-
     fn begin_compile(&self) {
         self.metadata.store(0, Ordering::Relaxed);
     }
@@ -300,6 +296,12 @@ impl XmlStore for EdgeStore {
             id_index: true,
             // The tag index stores the whole extent per tag: exact counts.
             exact_statistics: true,
+            // The generic edge mapping has no subtree-scoped descendant
+            // access of its own (extent scans climb parent chains), so the
+            // shared posting-list index pays off.
+            element_index: true,
+            value_index: true,
+            child_values: true,
             ..PlannerCaps::default()
         }
     }

@@ -21,6 +21,7 @@ use xmark_rel::{HashIndex, Table, Value};
 use xmark_xml::{Document, NodeId};
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
+use crate::index::IndexManager;
 use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
 const TEXT_FLAG: u16 = 1 << 15;
@@ -103,9 +104,9 @@ pub struct FragmentedStore {
     attr: HashMap<String, AttrFragment>,
     /// Logical OID directory: node id → (tag code | TEXT_FLAG, row).
     directory: Vec<(u16, u32)>,
-    id_idx: HashMap<String, u32>,
     root: u32,
     metadata: AtomicU64,
+    indexes: IndexManager,
 }
 
 impl FragmentedStore {
@@ -122,7 +123,6 @@ impl FragmentedStore {
         let mut text_rows: Vec<Table> = Vec::new();
         let mut attr_rows: HashMap<String, Table> = HashMap::new();
         let mut directory: Vec<(u16, u32)> = vec![(0, 0); doc.node_count()];
-        let mut id_idx = HashMap::new();
 
         let code_of = |tag: &str,
                        tag_names: &mut Vec<String>,
@@ -184,9 +184,6 @@ impl FragmentedStore {
                     directory[id as usize] = (code, row as u32);
                     for (sym, v) in doc.attributes(node) {
                         let name = doc.interner().resolve(*sym);
-                        if name == "id" {
-                            id_idx.insert(v.clone(), id);
-                        }
                         let key = format!("{tag}.{name}");
                         attr_rows
                             .entry(key.clone())
@@ -226,9 +223,9 @@ impl FragmentedStore {
             text,
             attr,
             directory,
-            id_idx,
             root: doc.root_element().0,
             metadata: AtomicU64::new(0),
+            indexes: IndexManager::new(),
         }
     }
 
@@ -290,8 +287,12 @@ impl XmlStore for FragmentedStore {
         for f in self.attr.values() {
             total += f.rows.heap_size_bytes() + f.owner_idx.heap_size_bytes();
         }
-        total += self.id_idx.keys().map(|k| k.capacity() + 12).sum::<usize>();
+        total += self.indexes.size_bytes();
         total
+    }
+
+    fn indexes(&self) -> &IndexManager {
+        &self.indexes
     }
 
     fn tag_of(&self, n: Node) -> Option<&str> {
@@ -398,10 +399,6 @@ impl XmlStore for FragmentedStore {
         })
     }
 
-    fn lookup_id(&self, id: &str) -> Option<Option<Node>> {
-        Some(self.id_idx.get(id).map(|&n| Node(n)))
-    }
-
     fn begin_compile(&self) {
         self.metadata.store(0, Ordering::Relaxed);
     }
@@ -439,6 +436,11 @@ impl XmlStore for FragmentedStore {
             id_index: true,
             // Per-tag fragments carry exact row counts.
             exact_statistics: true,
+            // Fragment scans verify containment by climbing parent chains;
+            // the shared posting-list index stabs instead.
+            element_index: true,
+            value_index: true,
+            child_values: true,
             ..PlannerCaps::default()
         }
     }

@@ -23,6 +23,7 @@ use xmark_xml::{Document, NodeId};
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 use crate::fragmented::FragmentedStore;
+use crate::index::IndexManager;
 use crate::traits::{Node, PlannerCaps, PositionSpec, SystemId, XmlStore};
 
 struct EntityTable {
@@ -155,7 +156,14 @@ impl XmlStore for InlinedStore {
         // Inlining *replaces* the per-scalar-tag fragments in a real
         // system; composition keeps both, so we discount the base by the
         // rows the entity tables absorbed rather than double-charging.
+        // (The shared index bytes ride along inside `base.size_bytes()`.)
         self.base.size_bytes() + entity_bytes / 2
+    }
+
+    fn indexes(&self) -> &IndexManager {
+        // One manager per store: the composed base owns it, and index
+        // builds walk the same tree either way.
+        self.base.indexes()
     }
 
     fn tag_of(&self, n: Node) -> Option<&str> {
@@ -188,10 +196,6 @@ impl XmlStore for InlinedStore {
 
     fn attributes_iter(&self, n: Node) -> AttrIter<'_> {
         self.base.attributes_iter(n)
-    }
-
-    fn lookup_id(&self, id: &str) -> Option<Option<Node>> {
-        self.base.lookup_id(id)
     }
 
     fn typed_child_value(&self, n: Node, tag: &str) -> Option<Option<String>> {
@@ -252,6 +256,11 @@ impl XmlStore for InlinedStore {
             inlined_values: true,
             // Entity tables and fragments both know their row counts.
             exact_statistics: true,
+            // Descendant access delegates to the fragmented base, which
+            // climbs parent chains — posting-list stabs win.
+            element_index: true,
+            value_index: true,
+            child_values: true,
             ..PlannerCaps::default()
         }
     }

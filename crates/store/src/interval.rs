@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use xmark_xml::{Document, NodeId};
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
+use crate::index::IndexManager;
 use crate::loader::{level_array, parent_array, subtree_ends, NONE};
 use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
@@ -113,8 +114,7 @@ pub struct IntervalStore {
     root: u32,
     /// E only: tag → ascending start positions.
     tag_extents: Vec<Vec<u32>>,
-    /// E only: ID attribute index.
-    id_index: HashMap<String, u32>,
+    indexes: IndexManager,
 }
 
 impl IntervalStore {
@@ -140,7 +140,6 @@ impl IntervalStore {
         let mut text: Vec<Box<str>> = vec![Box::from(""); n];
         let mut attrs: HashMap<u32, Vec<(String, String)>> = HashMap::new();
         let mut tag_extents: Vec<Vec<u32>> = Vec::new();
-        let mut id_index = HashMap::new();
 
         for id in 0..n as u32 {
             let node = NodeId(id);
@@ -168,13 +167,6 @@ impl IntervalStore {
                 .iter()
                 .map(|(sym, v)| (doc.interner().resolve(*sym).to_string(), v.clone()))
                 .collect();
-            if indexed {
-                for (name, value) in &node_attrs {
-                    if name == "id" {
-                        id_index.insert(value.clone(), id);
-                    }
-                }
-            }
             if !node_attrs.is_empty() {
                 attrs.insert(id, node_attrs);
             }
@@ -196,7 +188,7 @@ impl IntervalStore {
             attrs,
             root: doc.root_element().0,
             tag_extents,
-            id_index,
+            indexes: IndexManager::new(),
         }
     }
 
@@ -241,10 +233,24 @@ impl XmlStore for IntervalStore {
             .iter()
             .map(|e| e.capacity() * 4)
             .sum::<usize>();
-        for k in self.id_index.keys() {
-            total += k.capacity() + 12;
-        }
+        // Catalog strings, previously unaccounted: the per-tag name table
+        // and its lookup map are real resident structures.
+        total += self
+            .tag_names
+            .iter()
+            .map(|t| t.capacity() + std::mem::size_of::<String>())
+            .sum::<usize>();
+        total += self
+            .tag_lookup
+            .keys()
+            .map(|k| k.capacity() + 2 + 48)
+            .sum::<usize>();
+        total += self.indexes.size_bytes();
         total
+    }
+
+    fn indexes(&self) -> &IndexManager {
+        &self.indexes
     }
 
     fn tag_of(&self, n: Node) -> Option<&str> {
@@ -344,14 +350,6 @@ impl XmlStore for IntervalStore {
         }
     }
 
-    fn lookup_id(&self, id: &str) -> Option<Option<Node>> {
-        if self.indexed {
-            Some(self.id_index.get(id).map(|&n| Node(n)))
-        } else {
-            None
-        }
-    }
-
     fn compile_step(&self, tag: &str) -> usize {
         if self.indexed {
             self.tag_lookup
@@ -371,11 +369,22 @@ impl XmlStore for IntervalStore {
                 // Counting is extent partition-point arithmetic.
                 summary_counts: true,
                 exact_statistics: true,
+                // Native per-tag extents already are a descendant index —
+                // the shared posting lists would duplicate them.
+                value_index: true,
+                child_values: true,
                 ..PlannerCaps::default()
             }
         } else {
-            // System F: intervals only — generic plans, no statistics.
-            PlannerCaps::default()
+            // System F: intervals only — generic plans, no statistics. The
+            // shared store-layer indexes still serve it: posting-list
+            // stabs replace full interval scans.
+            PlannerCaps {
+                element_index: true,
+                value_index: true,
+                child_values: true,
+                ..PlannerCaps::default()
+            }
         }
     }
 }
@@ -429,10 +438,16 @@ mod tests {
     }
 
     #[test]
-    fn only_e_has_an_id_index() {
+    fn both_variants_answer_id_lookups_via_the_shared_index() {
         let (e, f) = both();
-        assert!(e.lookup_id("person0").unwrap().is_some());
-        assert!(f.lookup_id("person0").is_none());
+        let hit = e.lookup_id("person0").unwrap().unwrap();
+        assert_eq!(e.tag_of(hit), Some("person"));
+        // F has no *architectural* ID index (the planner still scans for
+        // Q1), but the shared store-layer attribute index answers direct
+        // lookups on it too.
+        assert_eq!(f.lookup_id("person0").unwrap(), Some(hit));
+        assert_eq!(f.lookup_id("ghost").unwrap(), None);
+        assert!(!f.planner_caps().id_index);
     }
 
     #[test]

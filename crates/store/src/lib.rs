@@ -16,10 +16,23 @@
 //! by the access paths that backend provides — the paper's central claim:
 //! "The physical XML mapping has a far-reaching influence on the complexity
 //! of query plans."
+//!
+//! On top of the per-architecture access paths sits the **persistent
+//! index subsystem** ([`index::IndexManager`], one per store via
+//! [`XmlStore::indexes`]): lazily-built, exactly-once, thread-safe
+//! element-name postings (the planner's IndexScan), a shared
+//! attribute-value index (one `lookup_id` code path for all seven
+//! backends), typed child-value indexes (`tag/text()` tails), and
+//! signature-keyed value slots holding the query layer's join build
+//! sides across executions. [`PlannerCaps`] tells the planner which of
+//! the two layers serves each step; index memory is included in
+//! [`XmlStore::size_bytes`] and reported separately via
+//! [`XmlStore::index_size_bytes`].
 
 pub mod axis;
 pub mod edge;
 pub mod fragmented;
+pub mod index;
 pub mod inlined;
 pub mod interval;
 pub mod loader;
@@ -30,6 +43,7 @@ pub mod traits;
 pub use axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
 pub use edge::EdgeStore;
 pub use fragmented::FragmentedStore;
+pub use index::{AttrIndex, ChildValues, ElementIndex, IndexManager, IndexStats};
 pub use inlined::InlinedStore;
 pub use interval::IntervalStore;
 pub use naive::NaiveStore;

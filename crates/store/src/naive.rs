@@ -11,7 +11,8 @@ use xmark_xml::dom::{Children, Descendants, Sym};
 use xmark_xml::Document;
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
-use crate::traits::{Node, SystemId, XmlStore};
+use crate::index::IndexManager;
+use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
 /// Streaming cursor over a DOM node's children.
 pub struct DomChildren<'a> {
@@ -88,13 +89,16 @@ impl<'a> Iterator for DomAttrs<'a> {
 /// The naive DOM store.
 pub struct NaiveStore {
     doc: Document,
+    indexes: IndexManager,
 }
 
 impl NaiveStore {
-    /// Bulkload: parse and keep the DOM; nothing else is built.
+    /// Bulkload: parse and keep the DOM; nothing else is built eagerly —
+    /// the shared [`IndexManager`] structures appear lazily on first use.
     pub fn load(xml: &str) -> Result<Self, xmark_xml::Error> {
         Ok(NaiveStore {
             doc: xmark_xml::parse_document(xml)?,
+            indexes: IndexManager::new(),
         })
     }
 
@@ -118,7 +122,24 @@ impl XmlStore for NaiveStore {
     }
 
     fn size_bytes(&self) -> usize {
-        self.doc.heap_size_bytes()
+        self.doc.heap_size_bytes() + self.indexes.size_bytes()
+    }
+
+    fn indexes(&self) -> &IndexManager {
+        &self.indexes
+    }
+
+    fn planner_caps(&self) -> PlannerCaps {
+        PlannerCaps {
+            // The DOM walker has no native secondary structures at all —
+            // the shared store-layer indexes are pure win. The planner
+            // still refuses ID probes (`id_index: false`), faithful to the
+            // paper's System G, even though `lookup_id` now answers.
+            element_index: true,
+            value_index: true,
+            child_values: true,
+            ..PlannerCaps::default()
+        }
     }
 
     fn tag_of(&self, n: Node) -> Option<&str> {
@@ -199,9 +220,18 @@ mod tests {
     }
 
     #[test]
-    fn has_no_id_index() {
+    fn shared_index_answers_id_lookups() {
+        // System G builds no secondary structures of its own — the
+        // *planner* still refuses ID probes (`id_index: false`) — but a
+        // direct lookup is answered by the shared store-layer attribute
+        // index, built lazily on first call.
         let store = NaiveStore::load(SAMPLE).unwrap();
-        assert!(store.lookup_id("person0").is_none());
+        assert!(!store.planner_caps().id_index);
+        assert_eq!(store.indexes().builds(), 0, "nothing built eagerly");
+        let hit = store.lookup_id("person0").unwrap().unwrap();
+        assert_eq!(store.tag_of(hit), Some("person"));
+        assert_eq!(store.lookup_id("ghost").unwrap(), None);
+        assert_eq!(store.indexes().builds(), 1, "one lazy build, then reuse");
     }
 
     #[test]

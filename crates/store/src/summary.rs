@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use xmark_xml::{Document, NodeId};
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
+use crate::index::IndexManager;
 use crate::loader::{parent_array, subtree_ends, NONE};
 use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
@@ -125,7 +126,7 @@ pub struct SummaryStore {
     summary: Vec<SummaryNode>,
     root_summary: u32,
     root: u32,
-    id_index: HashMap<String, u32>,
+    indexes: IndexManager,
 }
 
 impl SummaryStore {
@@ -146,7 +147,6 @@ impl SummaryStore {
         let mut text: Vec<Box<str>> = vec![Box::from(""); n];
         let mut is_text = vec![false; n];
         let mut attrs: HashMap<u32, Vec<(String, String)>> = HashMap::new();
-        let mut id_index = HashMap::new();
 
         let mut summary: Vec<SummaryNode> = Vec::new();
         let mut path_id = vec![NONE; n];
@@ -173,11 +173,6 @@ impl SummaryStore {
                 .iter()
                 .map(|(sym, v)| (doc.interner().resolve(*sym).to_string(), v.clone()))
                 .collect();
-            for (name, value) in &node_attrs {
-                if name == "id" {
-                    id_index.insert(value.clone(), id);
-                }
-            }
             if !node_attrs.is_empty() {
                 attrs.insert(id, node_attrs);
             }
@@ -219,7 +214,7 @@ impl SummaryStore {
             summary,
             root_summary: 0,
             root: root.0,
-            id_index,
+            indexes: IndexManager::new(),
         }
     }
 
@@ -285,10 +280,12 @@ impl XmlStore for SummaryStore {
         for s in &self.summary {
             total += s.tag.capacity() + s.extent.capacity() * 4 + 64;
         }
-        for k in self.id_index.keys() {
-            total += k.capacity() + 12;
-        }
+        total += self.indexes.size_bytes();
         total
+    }
+
+    fn indexes(&self) -> &IndexManager {
+        &self.indexes
     }
 
     fn tag_of(&self, n: Node) -> Option<&str> {
@@ -381,10 +378,6 @@ impl XmlStore for SummaryStore {
             .sum()
     }
 
-    fn lookup_id(&self, id: &str) -> Option<Option<Node>> {
-        Some(self.id_index.get(id).map(|&n| Node(n)))
-    }
-
     fn begin_compile(&self) {}
 
     fn compile_step(&self, tag: &str) -> usize {
@@ -407,6 +400,10 @@ impl XmlStore for SummaryStore {
             id_index: true,
             summary_counts: true,
             exact_statistics: true,
+            // The structural summary's path extents already serve
+            // descendant steps; only the value indexes add anything.
+            value_index: true,
+            child_values: true,
             ..PlannerCaps::default()
         }
     }

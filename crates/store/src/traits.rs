@@ -22,6 +22,7 @@
 use std::fmt;
 
 use crate::axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
+use crate::index::IndexManager;
 
 /// A node handle. All stores number nodes in document (pre-)order during
 /// bulkload, so comparing handles compares document order — the `BEFORE`
@@ -133,6 +134,21 @@ pub struct PlannerCaps {
     /// [`XmlStore::estimate_step`] returns exact extent cardinalities
     /// ("perfect statistics"), not heuristic guesses.
     pub exact_statistics: bool,
+    /// The shared element-name index ([`crate::index::ElementIndex`])
+    /// should back IndexScan plans on this mapping: predicate-free
+    /// descendant steps stab a posting list instead of walking. Backends
+    /// whose native descendant access is already extent-based (Systems D
+    /// and E) leave this off — their architecture *is* the index.
+    pub element_index: bool,
+    /// The store's [`IndexManager`] persists loop-invariant join build
+    /// sides and lookup indexes across executions, so the executor probes
+    /// shared value indexes instead of rebuilding per execution.
+    pub value_index: bool,
+    /// `…/tag/text()` tails may be answered from the shared typed
+    /// child-value index ([`crate::index::ChildValues`]) — the
+    /// store-layer generalization of System C's inlined entity columns
+    /// (which, where present, still take precedence in plans).
+    pub child_values: bool,
 }
 
 /// A per-step cardinality estimate the catalog resolves during query
@@ -165,8 +181,21 @@ pub trait XmlStore: Send + Sync {
     /// Total stored nodes (elements + text nodes).
     fn node_count(&self) -> usize;
 
-    /// Resident bytes of the store's data structures (Table 1 "Size").
+    /// Resident bytes of the store's data structures (Table 1 "Size"),
+    /// **including** whatever the shared [`IndexManager`] has built so
+    /// far ([`XmlStore::index_size_bytes`]).
     fn size_bytes(&self) -> usize;
+
+    /// The store's persistent index subsystem: lazily-built, thread-safe,
+    /// shared element/attribute/value indexes (see [`crate::index`]).
+    /// Every backend owns exactly one manager for its lifetime.
+    fn indexes(&self) -> &IndexManager;
+
+    /// Resident bytes of the built shared indexes — the "Index" column of
+    /// the Table 1 report, already included in [`XmlStore::size_bytes`].
+    fn index_size_bytes(&self) -> usize {
+        self.indexes().size_bytes()
+    }
 
     /// Tag name for elements, `None` for text nodes.
     fn tag_of(&self, n: Node) -> Option<&str>;
@@ -270,11 +299,19 @@ pub trait XmlStore: Send + Sync {
         self.descendants_named_iter(n, tag).count()
     }
 
-    /// Look up an element by its `id` attribute (DTD `ID`). `None` means
-    /// the store has no ID index and the evaluator must scan (System G on
-    /// Q1).
-    fn lookup_id(&self, _id: &str) -> Option<Option<Node>> {
-        None
+    /// Look up an element by its `id` attribute (DTD `ID`).
+    ///
+    /// One code path for all seven backends: the shared attribute-value
+    /// index ([`IndexManager::lookup_id`]), built lazily on first use and
+    /// shared for the store's lifetime — the per-backend `@id` hash maps
+    /// are retired. The outer `Option` is kept for executor compatibility
+    /// (`None` = "no index, scan"), but the default never returns it.
+    /// Whether the *planner* schedules ID probes on a backend remains an
+    /// architectural statement ([`PlannerCaps::id_index`]): Systems F and
+    /// G still plan Q1 as a scan, faithful to the paper, even though a
+    /// direct `lookup_id` call now answers.
+    fn lookup_id(&self, id: &str) -> Option<Option<Node>> {
+        Some(self.indexes().lookup_id(self, id))
     }
 
     /// Inlined scalar access: the string value of the unique `tag` child of

@@ -238,6 +238,45 @@ proptest! {
     }
 
     #[test]
+    fn element_index_postings_equal_descendant_walks(xml in arb_document(), tag in 0..TAGS.len()) {
+        // The IndexScan contract: on every backend and every element of a
+        // random document, the shared element index's stabbed posting
+        // slice must equal the native descendant cursor's output — same
+        // nodes, same (document) order. This is what lets the planner
+        // swap a walk for a posting slice without an output diff.
+        let tag = TAGS[tag];
+        for store in stores(&xml) {
+            let store = store.as_ref();
+            let index = store.indexes().element(store);
+            prop_assert!(index.ordered(), "{} ids must be pre-order", store.system());
+            let mut stack = vec![store.root()];
+            while let Some(n) = stack.pop() {
+                let walked: Vec<u32> = store
+                    .descendants_named_iter(n, tag)
+                    .map(|c| c.0)
+                    .collect();
+                let stabbed = index
+                    .postings_in(tag, n)
+                    .expect("ordered index always stabs");
+                prop_assert_eq!(
+                    stabbed,
+                    &walked[..],
+                    "{} postings diverge under node {}",
+                    store.system(),
+                    n
+                );
+                prop_assert_eq!(
+                    index.count_in(tag, n),
+                    Some(walked.len()),
+                    "{} counts diverge",
+                    store.system()
+                );
+                stack.extend(store.children(n));
+            }
+        }
+    }
+
+    #[test]
     fn id_lookups_agree_where_supported(xml in arb_document(), probe in "[a-z0-9]{1,6}") {
         let all = stores(&xml);
         // Ground truth from a walk.

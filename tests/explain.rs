@@ -43,20 +43,20 @@ fn assert_explains_match(system: SystemId, expected: &str) {
 }
 
 const EXPLAIN_A: &str = r#"=== A Q1 ===
-Project $b/name/text()
+Project $b/name/text()->vals("name")
   NestedLoop
     For $b in PathScan /site/people/person[./@id = "person0"]->id("person0") ~51
 === A Q2 ===
-Project <increase>{$b/bidder[1]/increase/text()}</increase>
+Project <increase>{$b/bidder[1]/increase/text()->vals("increase")}</increase>
   NestedLoop
     For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
 === A Q3 ===
-Project <increase first="{$b/bidder[1]/increase/text()}" last="{$b/bidder[last()]/increase/text()}"/>
+Project <increase first="{$b/bidder[1]/increase/text()->vals("increase")}" last="{$b/bidder[last()]/inc…
   NestedLoop
     For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
-    Filter@1 zero-or-one($b/bidder[1]/increase/text()) * 2 <= $b/bidder[last()]/increase/text()
+    Filter@1 zero-or-one($b/bidder[1]/increase/text()->vals("increase")) * 2 <= $b/bidder[last()]/increase/t…
 === A Q4 ===
-Project <history>{$b/reserve/text()}</history>
+Project <history>{$b/reserve/text()->vals("reserve")}</history>
   NestedLoop
     For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
     Filter@1 some $pr1 in $b/bidder/personref[./@person = "person20"], $pr2 in $b/bidder/personref[./@person…
@@ -65,25 +65,25 @@ Eval count(flwor(… return $i/price))
   Project $i/price
     NestedLoop
       For $i in PathScan /site/closed_auctions/closed_auction ~19 [memo]
-      Filter@1 $i/price/text() >= 40
+      Filter@1 $i/price/text()->vals("price") >= 40
 === A Q6 ===
 Project count($b//item)
-  Aggregate count(//item) ~43
+  Aggregate count(//item) ~43 [idx]
     PathScan $b
   NestedLoop
     For $b in PathScan /site/regions ~1 [memo]
 === A Q7 ===
 Project count($p//description) + count($p//annotation) + count($p//email)
-  Aggregate count(//description) ~73
+  Aggregate count(//description) ~73 [idx]
     PathScan $p
-  Aggregate count(//annotation) ~36
+  Aggregate count(//annotation) ~36 [idx]
     PathScan $p
-  Aggregate count(//email)
+  Aggregate count(//email) [idx]
     PathScan $p
   NestedLoop
     For $p in PathScan /site ~1 [memo]
 === A Q8 ===
-Project <item person="{$p/name/text()}">{count($a)}</item>
+Project <item person="{$p/name/text()->vals("name")}">{count($a)}</item>
   NestedLoop
     For $p in PathScan /site/people/person ~51 [memo]
     Let $a in
@@ -91,25 +91,25 @@ Project <item person="{$p/name/text()}">{count($a)}</item>
         IndexLookup $t/buyer/@person = $p/@id ~19
           index $t [memo] in PathScan /site/closed_auctions/closed_auction ~19 [memo]
 === A Q9 ===
-Project <person name="{$p/name/text()}">{$a}</person>
+Project <person name="{$p/name/text()->vals("name")}">{$a}</person>
   NestedLoop
     For $p in PathScan /site/people/person ~51 [memo]
     Let $a in
-      Project <item>{$e/name/text()}</item>
+      Project <item>{$e/name/text()->vals("name")}</item>
         HashJoin $t/itemref/@item = $e/@id ~19x43
           probe $t in PathScan /site/closed_auctions/closed_auction ~19 [memo]
           build $e [memo] in PathScan /site/regions/europe/item ~43 [memo]
-          Filter $t/buyer/@person = $p/@id
+          Filter@probe $t/buyer/@person = $p/@id [memo]
 === A Q10 ===
 Project <categorie>{(<id>{$i}</id>, $p)}</categorie>
   NestedLoop
     For $i in distinct-values(/site/people/person/profile/interest/@category)
     Let $p in
-      Project <personne><statistiques><sexe>{$t/profile/gender/text()}</sexe><age>{$t/profile/age/text()}</ag…
+      Project <personne><statistiques><sexe>{$t/profile/gender/text()->vals("gender")}</sexe><age>{$t/profile…
         IndexLookup $t/profile/interest/@category = $i ~51
           index $t [memo] in PathScan /site/people/person ~51 [memo]
 === A Q11 ===
-Project <items name="{$p/name/text()}">{count($l)}</items>
+Project <items name="{$p/name/text()->vals("name")}">{count($l)}</items>
   NestedLoop
     For $p in PathScan /site/people/person ~51 [memo]
     Let $l in
@@ -118,7 +118,7 @@ Project <items name="{$p/name/text()}">{count($l)}</items>
           For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo]
           Filter@1 $p/profile/@income > 5000 * $i/text()
 === A Q12 ===
-Project <items person="{$p/name/text()}">{count($l)}</items>
+Project <items person="{$p/name/text()->vals("name")}">{count($l)}</items>
   NestedLoop
     For $p in PathScan /site/people/person ~51 [memo]
     Filter@1 $p/profile/@income > 50000
@@ -128,40 +128,40 @@ Project <items person="{$p/name/text()}">{count($l)}</items>
           For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo]
           Filter@1 $p/profile/@income > 5000 * $i/text()
 === A Q13 ===
-Project <item name="{$i/name/text()}">{$i/description}</item>
+Project <item name="{$i/name/text()->vals("name")}">{$i/description}</item>
   NestedLoop
     For $i in PathScan /site/regions/australia/item ~43 [memo]
 === A Q14 ===
-Project $i/name/text()
+Project $i/name/text()->vals("name")
   NestedLoop
-    For $i in PathScan /site//item ~43 [memo]
+    For $i in PathScan /site//item->idx ~43 [memo]
     Filter@1 contains(string($i/description), "gold")
 === A Q15 ===
 Project <text>{$a}</text>
   NestedLoop
-    For $a in PathScan /site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text() ~119 [memo]
+    For $a in PathScan /site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()->vals("keyword") ~119 [memo]
 === A Q16 ===
 Project <person id="{$a/seller/@person}"/>
   NestedLoop
     For $a in PathScan /site/closed_auctions/closed_auction ~19 [memo]
-    Filter@1 not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()))
+    Filter@1 not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()-…
 === A Q17 ===
-Project <person name="{$p/name/text()}"/>
+Project <person name="{$p/name/text()->vals("name")}"/>
   NestedLoop
     For $p in PathScan /site/people/person ~51 [memo]
-    Filter@1 empty($p/homepage/text())
+    Filter@1 empty($p/homepage/text()->vals("homepage"))
 === A Q18 ===
 Function local:convert($v)
   Eval 2.20371 * $v
-Project local:convert(zero-or-one($i/reserve/text()))
+Project local:convert(zero-or-one($i/reserve/text()->vals("reserve")))
   NestedLoop
     For $i in PathScan /site/open_auctions/open_auction ~24 [memo]
 === A Q19 ===
-Project <item name="{$k}">{$b/location/text()}</item>
+Project <item name="{$k}">{$b/location/text()->vals("location")}</item>
   Sort zero-or-one($b/location) ascending
     NestedLoop
-      For $b in PathScan /site/regions//item ~43 [memo]
-      Let $k in PathScan $b/name/text() ~96
+      For $b in PathScan /site/regions//item->idx ~43 [memo]
+      Let $k in PathScan $b/name/text()->vals("name") ~96
 === A Q20 ===
 Eval <result><preferred>{count(/site/people/person/profile[./@income >= 100000])}</preferred><standa…
   Project $p
@@ -171,20 +171,20 @@ Eval <result><preferred>{count(/site/people/person/profile[./@income >= 100000])
 "#;
 
 const EXPLAIN_E: &str = r#"=== E Q1 ===
-Project $b/name/text()
+Project $b/name/text()->vals("name")
   NestedLoop
     For $b in PathScan /site/people/person[./@id = "person0"]->id("person0") ~51
 === E Q2 ===
-Project <increase>{$b/bidder[1]/increase/text()}</increase>
+Project <increase>{$b/bidder[1]/increase/text()->vals("increase")}</increase>
   NestedLoop
     For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
 === E Q3 ===
-Project <increase first="{$b/bidder[1]/increase/text()}" last="{$b/bidder[last()]/increase/text()}"/>
+Project <increase first="{$b/bidder[1]/increase/text()->vals("increase")}" last="{$b/bidder[last()]/inc…
   NestedLoop
     For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
-    Filter@1 zero-or-one($b/bidder[1]/increase/text()) * 2 <= $b/bidder[last()]/increase/text()
+    Filter@1 zero-or-one($b/bidder[1]/increase/text()->vals("increase")) * 2 <= $b/bidder[last()]/increase/t…
 === E Q4 ===
-Project <history>{$b/reserve/text()}</history>
+Project <history>{$b/reserve/text()->vals("reserve")}</history>
   NestedLoop
     For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
     Filter@1 some $pr1 in $b/bidder/personref[./@person = "person20"], $pr2 in $b/bidder/personref[./@person…
@@ -193,7 +193,7 @@ Eval count(flwor(… return $i/price))
   Project $i/price
     NestedLoop
       For $i in PathScan /site/closed_auctions/closed_auction ~19 [memo]
-      Filter@1 $i/price/text() >= 40
+      Filter@1 $i/price/text()->vals("price") >= 40
 === E Q6 ===
 Project count($b//item)
   Aggregate count(//item) ~43 [summary]
@@ -211,7 +211,7 @@ Project count($p//description) + count($p//annotation) + count($p//email)
   NestedLoop
     For $p in PathScan /site ~1 [memo]
 === E Q8 ===
-Project <item person="{$p/name/text()}">{count($a)}</item>
+Project <item person="{$p/name/text()->vals("name")}">{count($a)}</item>
   NestedLoop
     For $p in PathScan /site/people/person ~51 [memo]
     Let $a in
@@ -219,25 +219,25 @@ Project <item person="{$p/name/text()}">{count($a)}</item>
         IndexLookup $t/buyer/@person = $p/@id ~19
           index $t [memo] in PathScan /site/closed_auctions/closed_auction ~19 [memo]
 === E Q9 ===
-Project <person name="{$p/name/text()}">{$a}</person>
+Project <person name="{$p/name/text()->vals("name")}">{$a}</person>
   NestedLoop
     For $p in PathScan /site/people/person ~51 [memo]
     Let $a in
-      Project <item>{$e/name/text()}</item>
+      Project <item>{$e/name/text()->vals("name")}</item>
         HashJoin $t/itemref/@item = $e/@id ~19x43
           probe $t in PathScan /site/closed_auctions/closed_auction ~19 [memo]
           build $e [memo] in PathScan /site/regions/europe/item ~43 [memo]
-          Filter $t/buyer/@person = $p/@id
+          Filter@probe $t/buyer/@person = $p/@id [memo]
 === E Q10 ===
 Project <categorie>{(<id>{$i}</id>, $p)}</categorie>
   NestedLoop
     For $i in distinct-values(/site/people/person/profile/interest/@category)
     Let $p in
-      Project <personne><statistiques><sexe>{$t/profile/gender/text()}</sexe><age>{$t/profile/age/text()}</ag…
+      Project <personne><statistiques><sexe>{$t/profile/gender/text()->vals("gender")}</sexe><age>{$t/profile…
         IndexLookup $t/profile/interest/@category = $i ~51
           index $t [memo] in PathScan /site/people/person ~51 [memo]
 === E Q11 ===
-Project <items name="{$p/name/text()}">{count($l)}</items>
+Project <items name="{$p/name/text()->vals("name")}">{count($l)}</items>
   NestedLoop
     For $p in PathScan /site/people/person ~51 [memo]
     Let $l in
@@ -246,7 +246,7 @@ Project <items name="{$p/name/text()}">{count($l)}</items>
           For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo]
           Filter@1 $p/profile/@income > 5000 * $i/text()
 === E Q12 ===
-Project <items person="{$p/name/text()}">{count($l)}</items>
+Project <items person="{$p/name/text()->vals("name")}">{count($l)}</items>
   NestedLoop
     For $p in PathScan /site/people/person ~51 [memo]
     Filter@1 $p/profile/@income > 50000
@@ -256,40 +256,40 @@ Project <items person="{$p/name/text()}">{count($l)}</items>
           For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo]
           Filter@1 $p/profile/@income > 5000 * $i/text()
 === E Q13 ===
-Project <item name="{$i/name/text()}">{$i/description}</item>
+Project <item name="{$i/name/text()->vals("name")}">{$i/description}</item>
   NestedLoop
     For $i in PathScan /site/regions/australia/item ~43 [memo]
 === E Q14 ===
-Project $i/name/text()
+Project $i/name/text()->vals("name")
   NestedLoop
     For $i in PathScan /site//item ~43 [memo]
     Filter@1 contains(string($i/description), "gold")
 === E Q15 ===
 Project <text>{$a}</text>
   NestedLoop
-    For $a in PathScan /site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text() ~119 [memo]
+    For $a in PathScan /site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()->vals("keyword") ~119 [memo]
 === E Q16 ===
 Project <person id="{$a/seller/@person}"/>
   NestedLoop
     For $a in PathScan /site/closed_auctions/closed_auction ~19 [memo]
-    Filter@1 not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()))
+    Filter@1 not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()-…
 === E Q17 ===
-Project <person name="{$p/name/text()}"/>
+Project <person name="{$p/name/text()->vals("name")}"/>
   NestedLoop
     For $p in PathScan /site/people/person ~51 [memo]
-    Filter@1 empty($p/homepage/text())
+    Filter@1 empty($p/homepage/text()->vals("homepage"))
 === E Q18 ===
 Function local:convert($v)
   Eval 2.20371 * $v
-Project local:convert(zero-or-one($i/reserve/text()))
+Project local:convert(zero-or-one($i/reserve/text()->vals("reserve")))
   NestedLoop
     For $i in PathScan /site/open_auctions/open_auction ~24 [memo]
 === E Q19 ===
-Project <item name="{$k}">{$b/location/text()}</item>
+Project <item name="{$k}">{$b/location/text()->vals("location")}</item>
   Sort zero-or-one($b/location) ascending
     NestedLoop
       For $b in PathScan /site/regions//item ~43 [memo]
-      Let $k in PathScan $b/name/text() ~96
+      Let $k in PathScan $b/name/text()->vals("name") ~96
 === E Q20 ===
 Eval <result><preferred>{count(/site/people/person/profile[./@income >= 100000])}</preferred><standa…
   Project $p
@@ -371,6 +371,9 @@ fn naive_plans_contain_no_rewrites() {
             "->id(",
             "->pos(",
             "->inlined(",
+            "->idx",
+            "[idx]",
+            "->vals(",
         ] {
             assert!(
                 !rendered.contains(operator),

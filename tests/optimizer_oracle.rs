@@ -114,3 +114,54 @@ fn decorrelation_handles_empty_probe_keys() {
         assert_eq!(optimized, "<n c=\"1\"/>\n<n c=\"0\"/>", "{system}");
     }
 }
+
+#[test]
+fn join_keys_follow_general_comparison_semantics() {
+    // The canonical join key must agree with the general comparison the
+    // nested-loop specification evaluates: whitespace-padded strings
+    // join their trimmed value, "-0" joins "0", and NaN joins *nothing*
+    // (NaN = NaN is false), even though "NaN" parses as a float.
+    let xml = concat!(
+        r#"<site><l><x k="  a  "/><x k="-0"/><x k="NaN"/><x k="40.0"/></l>"#,
+        r#"<r><y k="a"/><y k="0"/><y k="NaN"/><y k="40"/></r></site>"#
+    );
+    let q = r#"for $l in document("d")/site/l/x, $r in document("d")/site/r/y
+               where $l/@k = $r/@k
+               return <pair l="{$l/@k}" r="{$r/@k}"/>"#;
+    for system in SystemId::ALL {
+        let store = build_store(system, xml).unwrap();
+        let optimized = run_with(store.as_ref(), q, PlanMode::Optimized);
+        let naive = run_with(store.as_ref(), q, PlanMode::Naive);
+        assert_eq!(optimized, naive, "{system}");
+        // "  a  "~"a", "-0"~"0", "40.0"~"40" join; the NaN pair does not.
+        assert_eq!(optimized.lines().count(), 3, "{system}:\n{optimized}");
+        assert!(
+            !optimized.contains("NaN"),
+            "{system}: NaN must join nothing"
+        );
+    }
+}
+
+#[test]
+fn hoisted_probe_filters_match_per_pair_evaluation() {
+    // A hash join with a second, correlated equality (Q9's shape): the
+    // hoisted probe-side filter must keep exactly the pairs the naive
+    // per-pair evaluation keeps.
+    let xml = concat!(
+        r#"<site><p id="p1"/><p id="p2"/>"#,
+        r#"<t item="i1" owner="p1"/><t item="i1" owner="p2"/><t item="i9" owner="p1"/>"#,
+        r#"<e id="i1"/><e id="i2"/></site>"#
+    );
+    let q = r#"for $p in document("d")/site/p
+               let $a := for $t in document("d")/site/t, $e in document("d")/site/e
+                         where $t/@item = $e/@id and $t/@owner = $p/@id
+                         return $e
+               return <n c="{count($a)}"/>"#;
+    for system in SystemId::ALL {
+        let store = build_store(system, xml).unwrap();
+        let optimized = run_with(store.as_ref(), q, PlanMode::Optimized);
+        let naive = run_with(store.as_ref(), q, PlanMode::Naive);
+        assert_eq!(optimized, naive, "{system}");
+        assert_eq!(optimized, "<n c=\"1\"/>\n<n c=\"1\"/>", "{system}");
+    }
+}

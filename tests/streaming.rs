@@ -99,10 +99,12 @@ fn take_and_exists_pull_strictly_fewer_items_than_full_evaluation() {
     let loaded = load_system(SystemId::D, &doc.xml);
     let store = loaded.store.as_ref();
 
-    // Q13 (serialization-heavy projection over australia's items) and Q14
-    // (descendant scan with a contains-filter) both have streaming
-    // pipelines and multi-item results.
-    for number in [13, 14] {
+    // Q13 (serialization-heavy projection over australia's items), Q14
+    // (descendant scan with a contains-filter) and Q15 (a deep child
+    // chain ending in a value-tail `keyword/text()`) all have streaming
+    // pipelines and multi-item results. Q15 pins that the child-value
+    // tail stays pipelining: taking one item must not drain the chain.
+    for number in [13, 14, 15] {
         let c = compiled(store, query(number).text);
         let (items, full_pulls) = drain_counting(c.stream(store));
         assert!(items > 1, "Q{number} must have a multi-item result");
