@@ -7,15 +7,24 @@
 //! slower *per byte* than the mass-storage systems and its two series
 //! differ by roughly the document-size ratio on data-bound queries.
 //!
+//! A second section runs the same twenty queries on the disk-resident
+//! backend H twice — once with a warm buffer pool, once freshly
+//! cold-opened from its page file (no XML re-parse) — and reports the
+//! buffer-pool counters (pages read/written, evictions, hit rate) for
+//! each pass. `--smoke` shrinks the documents and asserts warm/cold
+//! byte-identity so CI can run this binary in seconds.
+//!
 //! ```text
-//! cargo run --release -p xmark-bench --bin fig4_embedded [--factor 0.01]
+//! cargo run --release -p xmark-bench --bin fig4_embedded \
+//!     [--factor 0.01] [--pool-pages 64] [--smoke]
 //! ```
 
 use xmark::prelude::*;
 use xmark_bench::TextTable;
 
 fn main() {
-    let large_factor = xmark_bench::factor_from_args(0.01);
+    let smoke = xmark_bench::has_flag("--smoke");
+    let large_factor = xmark_bench::factor_from_args(if smoke { 0.002 } else { 0.01 });
     let small_factor = large_factor / 10.0;
 
     let small = Benchmark::at_factor(small_factor)
@@ -77,4 +86,97 @@ fn main() {
     println!("than 5 s but none was faster than 2.5 s — the embedded processor");
     println!("pays a large interpretive overhead regardless of query; the mass");
     println!("storage systems remain competitive only at much larger scales.");
+
+    paged_section(large_factor, smoke);
+}
+
+/// Backend H on the large document: warm buffer pool vs cold open from
+/// the page file, with the pool counters for each pass.
+fn paged_section(factor: f64, smoke: bool) {
+    let session = Benchmark::at_factor(factor)
+        .systems(&[SystemId::H])
+        .queries(1..=20)
+        .generate();
+    let pool_pages = xmark_bench::usize_flag("--pool-pages").unwrap_or(64);
+
+    // Warm pass: scratch-load, run every query once to populate the
+    // pool, then measure with the pool warm.
+    let warm = session.load_paged(Some(pool_pages));
+    for q in 1..=20 {
+        measure_query(&warm, q);
+    }
+    let warm_base = warm.store.paged_stats().expect("H exposes pool stats");
+
+    // Cold pass: persist to a page file, drop everything, re-open cold
+    // (no XML parse) and measure straight off the empty pool.
+    let path =
+        xmark::store::paged::scratch_dir().join(format!("fig4-h-{}.pages", std::process::id()));
+    let built = session
+        .persist_paged(&path, Some(pool_pages))
+        .expect("page file persists");
+    let file_pages = built.num_pages();
+    drop(built);
+    let open_start = std::time::Instant::now();
+    let cold = open_paged(&path, Some(pool_pages)).expect("page file re-opens");
+    let open_time = open_start.elapsed();
+
+    println!("\n== backend H (paged file, {pool_pages}-frame pool over {file_pages} pages) ==\n");
+    println!(
+        "cold open: {open_time:.2?} (header + catalog pages only, no XML re-parse); \
+         warm bulkload: {:.2?}",
+        warm.load_time
+    );
+
+    let mut table = TextTable::new(&["Query", "warm pool (ms)", "cold open (ms)", "items"]);
+    let mut cold_outputs_match = true;
+    for q in 1..=20 {
+        let mw = measure_query(&warm, q);
+        let mc = measure_query(&cold, q);
+        if smoke
+            && canonical_output(warm.store.as_ref(), q) != canonical_output(cold.store.as_ref(), q)
+        {
+            cold_outputs_match = false;
+        }
+        table.row(vec![
+            format!("Q{q}"),
+            xmark_bench::ms(mw.total()),
+            xmark_bench::ms(mc.total()),
+            mc.result_items.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let warm_stats = warm
+        .store
+        .paged_stats()
+        .expect("H exposes pool stats")
+        .since(&warm_base);
+    let cold_stats = cold.store.paged_stats().expect("H exposes pool stats");
+    for (label, s) in [("warm", &warm_stats), ("cold", &cold_stats)] {
+        println!(
+            "{label} pool: {} pages read, {} written, {} evictions, hit rate {:.1}%",
+            s.pages_read,
+            s.pages_written,
+            s.evictions,
+            s.hit_rate() * 100.0
+        );
+    }
+    println!(
+        "resident {} vs on-disk {} — the pool bounds memory while the \
+         page + WAL files hold the database",
+        xmark_bench::human_bytes(cold.store.size_bytes()),
+        xmark_bench::human_bytes(cold.store.disk_bytes()),
+    );
+
+    drop(cold);
+    let _ = std::fs::remove_file(path.with_extension("wal"));
+    let _ = std::fs::remove_file(&path);
+
+    if smoke {
+        assert!(
+            cold_outputs_match,
+            "cold-opened H disagrees with the warm scratch load"
+        );
+        println!("\nsmoke: warm/cold byte-identity across Q1-Q20 asserted — OK");
+    }
 }

@@ -138,14 +138,17 @@ pub mod prelude {
         DEFAULT_PLAN_CACHE,
     };
     pub use crate::spec::{
-        canonical_output, generate_document, load_system, measure_query, scale, Benchmark,
-        BenchmarkReport, GeneratedDocument, LoadedStore, PreparedQuery, QueryMeasurement,
-        QueryStream, Scale, Session, SCALES,
+        canonical_output, generate_document, load_system, measure_query, open_paged, scale,
+        Benchmark, BenchmarkReport, GeneratedDocument, LoadedStore, PreparedQuery,
+        QueryMeasurement, QueryStream, Scale, Session, SCALES,
     };
     pub use xmark_gen::{generate_split, generate_string, Generator, GeneratorConfig, AUCTION_DTD};
     pub use xmark_query::{
         compile, compile_with_mode, execute, explain_plan, run_query, serialize_sequence, stream,
         write_item, write_sequence, IoSink, PlanMode, ResultStream, StreamStats,
     };
-    pub use xmark_store::{build_store, IndexManager, IndexStats, PlannerCaps, SystemId, XmlStore};
+    pub use xmark_store::{
+        build_store, IndexManager, IndexStats, PagedStore, PlannerCaps, PoolStats, SystemId,
+        XmlStore, DEFAULT_POOL_PAGES,
+    };
 }

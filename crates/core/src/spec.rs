@@ -7,6 +7,7 @@
 //! into the paper's tables.
 
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -14,7 +15,7 @@ use xmark_gen::{GenStats, Generator, GeneratorConfig};
 use xmark_query::{
     compile, execute, CompileStats, Compiled, PlanMode, ResultStream, Sequence, StreamStats,
 };
-use xmark_store::{build_store, SystemId, XmlStore};
+use xmark_store::{build_store, PagedStore, SystemId, XmlStore, DEFAULT_POOL_PAGES};
 
 use crate::queries::query;
 use crate::service::{QueryService, ThroughputReport};
@@ -125,6 +126,28 @@ pub fn load_system(system: SystemId, xml: &str) -> LoadedStore {
         load_time,
         size_bytes,
     }
+}
+
+/// Open a previously persisted backend-H page file **cold**: no XML
+/// generation, no parse — the header and catalog pages are the only
+/// reads until queries arrive. `pool_pages` is the buffer-pool frame
+/// budget (`None` = [`DEFAULT_POOL_PAGES`]); `load_time` in the returned
+/// row is the open time.
+///
+/// # Errors
+/// I/O failure, a torn bulkload (WAL without its end marker), or page
+/// corruption in the header/catalog.
+pub fn open_paged(path: &Path, pool_pages: Option<usize>) -> std::io::Result<LoadedStore> {
+    let start = Instant::now();
+    let store = PagedStore::open(path, pool_pages.unwrap_or(DEFAULT_POOL_PAGES))?;
+    let load_time = start.elapsed();
+    let size_bytes = store.size_bytes();
+    Ok(LoadedStore {
+        system: SystemId::H,
+        store: Box::new(store),
+        load_time,
+        size_bytes,
+    })
 }
 
 /// One query measurement: the parse/plan/execute split of Table 2 and the
@@ -563,6 +586,44 @@ impl Session {
         self.systems.iter().map(|&s| self.load(s)).collect()
     }
 
+    /// Bulkload the disk-resident backend H with an explicit buffer-pool
+    /// frame budget (`None` = [`DEFAULT_POOL_PAGES`]). The page and WAL
+    /// files land in the scratch directory and are deleted when the
+    /// store drops; use [`Session::persist_paged`] for a file that
+    /// outlives the session.
+    pub fn load_paged(&self, pool_pages: Option<usize>) -> LoadedStore {
+        let start = Instant::now();
+        let store = PagedStore::load_temp(
+            &self.generated.xml,
+            pool_pages.unwrap_or(DEFAULT_POOL_PAGES),
+        )
+        .expect("benchmark document must parse");
+        let load_time = start.elapsed();
+        let size_bytes = store.size_bytes();
+        LoadedStore {
+            system: SystemId::H,
+            store: Box::new(store),
+            load_time,
+            size_bytes,
+        }
+    }
+
+    /// Bulkload backend H into a page file at `path` that outlives this
+    /// session; re-open it later — cold, without re-parsing the XML —
+    /// via [`open_paged`].
+    ///
+    /// # Errors
+    /// I/O failure writing the page or WAL file.
+    pub fn persist_paged(
+        &self,
+        path: &Path,
+        pool_pages: Option<usize>,
+    ) -> std::io::Result<PagedStore> {
+        let doc =
+            xmark_xml::parse_document(&self.generated.xml).expect("benchmark document must parse");
+        PagedStore::create_at(path, &doc, pool_pages.unwrap_or(DEFAULT_POOL_PAGES))
+    }
+
     /// Bulkload `system` and share it behind an `Arc` — the shape the
     /// concurrent service layer consumes.
     pub fn load_shared(&self, system: SystemId) -> Arc<dyn XmlStore> {
@@ -877,5 +938,36 @@ mod tests {
                 "Q{q} output differs between D and G"
             );
         }
+    }
+
+    #[test]
+    fn paged_session_persists_and_reopens_cold() {
+        let session = Benchmark::at_factor(0.001)
+            .systems(&[SystemId::A])
+            .queries([1])
+            .generate();
+
+        // Scratch-file load through the session façade.
+        let warm = session.load_paged(Some(64));
+        assert_eq!(warm.system, SystemId::H);
+        let q6_warm = canonical_output(warm.store.as_ref(), 6);
+
+        // Persist to an explicit path, then cold-open without the XML.
+        let path = xmark_store::paged::scratch_dir()
+            .join(format!("spec-roundtrip-{}.pages", std::process::id()));
+        let persisted = session.persist_paged(&path, Some(64)).unwrap();
+        drop(persisted);
+        let cold = open_paged(&path, Some(64)).unwrap();
+        assert_eq!(cold.system, SystemId::H);
+        assert_eq!(canonical_output(cold.store.as_ref(), 6), q6_warm);
+        // The pool saw real traffic and the reporting hooks are live.
+        let stats = cold.store.paged_stats().expect("H exposes pool stats");
+        assert!(stats.pages_read > 0);
+        assert!(cold.store.disk_bytes() > 0);
+
+        drop(cold);
+        let wal = path.with_extension("wal");
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&wal).unwrap();
     }
 }

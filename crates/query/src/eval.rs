@@ -975,7 +975,7 @@ impl<'a> Evaluator<'a> {
             }
             (Axis::Child, NodeTest::Text) => {
                 for c in self.store.children_iter(n) {
-                    if self.store.text(c).is_some() {
+                    if self.store.is_text_node(c) {
                         out.push(Item::Node(c));
                     }
                 }
@@ -1350,7 +1350,7 @@ fn node_order(a: &Item, b: &Item) -> std::cmp::Ordering {
 
 fn collect_descendant_text(store: &dyn XmlStore, n: Node, out: &mut Sequence) {
     for c in store.children_iter(n) {
-        if store.text(c).is_some() {
+        if store.is_text_node(c) {
             out.push(Item::Node(c));
         } else {
             collect_descendant_text(store, c, out);

@@ -25,6 +25,7 @@ use crate::edge::{EdgeAttrs, EdgeChildren, EdgeChildrenNamed, EdgeDescendantsNam
 use crate::fragmented::{FragChildrenNamed, FragDescendantsNamed};
 use crate::interval::{IntervalChildren, IntervalChildrenNamed, IntervalScanNamed};
 use crate::naive::{DomAttrs, DomChildren, DomChildrenNamed, DomDescendantsNamed};
+use crate::paged::{PagedChildren, PagedChildrenNamed, PagedScanNamed};
 use crate::summary::{LinkedChildren, LinkedChildrenNamed, SummaryDescendantsNamed};
 use crate::traits::Node;
 
@@ -43,6 +44,8 @@ pub enum ChildIter<'a> {
     Interval(IntervalChildren<'a>),
     /// Columnar `first_child`/`next_sibling` chain (System D).
     Linked(LinkedChildren<'a>),
+    /// Interval hop over buffer-pool pages (backend H).
+    Paged(PagedChildren<'a>),
 }
 
 impl ChildIter<'_> {
@@ -64,6 +67,7 @@ impl Iterator for ChildIter<'_> {
             ChildIter::Edge(it) => it.next(),
             ChildIter::Interval(it) => it.next(),
             ChildIter::Linked(it) => it.next(),
+            ChildIter::Paged(it) => it.next(),
         }
     }
 }
@@ -84,6 +88,9 @@ pub enum ChildrenNamed<'a> {
     Interval(IntervalChildrenNamed<'a>),
     /// Sibling chain with a summary-tag test (System D).
     Linked(LinkedChildrenNamed<'a>),
+    /// Interval hop with a tag-code test over buffer-pool pages
+    /// (backend H).
+    Paged(PagedChildrenNamed<'a>),
 }
 
 impl ChildrenNamed<'_> {
@@ -106,6 +113,7 @@ impl Iterator for ChildrenNamed<'_> {
             ChildrenNamed::Frag(it) => it.next(),
             ChildrenNamed::Interval(it) => it.next(),
             ChildrenNamed::Linked(it) => it.next(),
+            ChildrenNamed::Paged(it) => it.next(),
         }
     }
 }
@@ -129,6 +137,9 @@ pub enum DescendantsNamed<'a> {
     IntervalScan(IntervalScanNamed<'a>),
     /// K-way merge over several summary-path extents (System D).
     SummaryMerge(SummaryDescendantsNamed<'a>),
+    /// Interval scan with a tag-code test over buffer-pool pages
+    /// (backend H).
+    PagedScan(PagedScanNamed<'a>),
 }
 
 impl DescendantsNamed<'_> {
@@ -152,6 +163,7 @@ impl Iterator for DescendantsNamed<'_> {
             DescendantsNamed::Extent(it) => it.next().map(|&id| Node(id)),
             DescendantsNamed::IntervalScan(it) => it.next(),
             DescendantsNamed::SummaryMerge(it) => it.next(),
+            DescendantsNamed::PagedScan(it) => it.next(),
         }
     }
 }

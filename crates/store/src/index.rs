@@ -215,9 +215,12 @@ impl AttrIndex {
     fn build<S: XmlStore + ?Sized>(store: &S, name: &str) -> AttrIndex {
         let mut map = HashMap::new();
         preorder(store, |n| {
-            for (attr, value) in store.attributes_iter(n) {
-                if attr == name && !map.contains_key(value) {
-                    map.insert(value.to_string(), n.0);
+            // Owned pairs, not the borrowed cursor: disk-resident
+            // backends answer `attributes()` straight off pinned pages
+            // without populating their borrow-compat caches.
+            for (attr, value) in store.attributes(n) {
+                if attr == name && !map.contains_key(&value) {
+                    map.insert(value, n.0);
                 }
             }
         });
@@ -269,7 +272,7 @@ impl ChildValues {
             };
             let values = map.entry(parent.0).or_default();
             for grandchild in store.children_iter(child) {
-                if store.text(grandchild).is_some() {
+                if store.is_text_node(grandchild) {
                     values.push(grandchild.0);
                 }
             }

@@ -10,6 +10,7 @@
 //! | [`IntervalStore`] (indexed) | E | native containment intervals + tag indexes |
 //! | [`IntervalStore`] (scan) | F | native containment intervals, scans |
 //! | [`NaiveStore`] | G | embedded interpretive DOM walker |
+//! | [`PagedStore`] | H *(extension)* | disk-resident paged intervals, buffer pool + WAL |
 //!
 //! All backends implement [`XmlStore`]; the query engine in `xmark-query`
 //! is backend-agnostic, so a query's cost profile on a backend is decided
@@ -28,6 +29,14 @@
 //! the two layers serves each step; index memory is included in
 //! [`XmlStore::size_bytes`] and reported separately via
 //! [`XmlStore::index_size_bytes`].
+//!
+//! Backend **H** is the one non-RAM-resident mapping: the [`paged`]
+//! subsystem stores the interval encoding in a checksummed page file
+//! served through a bounded pin/unpin buffer pool with an append-only
+//! WAL underneath (see the [`paged`] module docs for the layering). Its
+//! [`XmlStore::size_bytes`] reports *resident* memory (pool frames +
+//! catalog + indexes) while [`XmlStore::disk_bytes`] reports the file —
+//! the rows `table1_bulkload` prints separately.
 
 pub mod axis;
 pub mod edge;
@@ -37,6 +46,7 @@ pub mod inlined;
 pub mod interval;
 pub mod loader;
 pub mod naive;
+pub mod paged;
 pub mod summary;
 pub mod traits;
 
@@ -47,6 +57,7 @@ pub use index::{AttrIndex, ChildValues, ElementIndex, IndexManager, IndexStats};
 pub use inlined::InlinedStore;
 pub use interval::IntervalStore;
 pub use naive::NaiveStore;
+pub use paged::{PagedStore, PoolStats, DEFAULT_POOL_PAGES};
 pub use summary::SummaryStore;
 pub use traits::{Node, PlannerCaps, PositionSpec, StepEstimate, SystemId, XmlStore};
 
@@ -63,6 +74,7 @@ const _: () = {
     assert_send_sync::<SummaryStore>();
     assert_send_sync::<IntervalStore>();
     assert_send_sync::<NaiveStore>();
+    assert_send_sync::<PagedStore>();
     assert_send_sync::<Box<dyn XmlStore>>();
     assert_send_sync::<std::sync::Arc<dyn XmlStore>>();
 };
@@ -80,6 +92,7 @@ pub fn build_store(system: SystemId, xml: &str) -> Result<Box<dyn XmlStore>, xma
         SystemId::E => Box::new(IntervalStore::load_indexed(xml)?),
         SystemId::F => Box::new(IntervalStore::load_scan(xml)?),
         SystemId::G => Box::new(NaiveStore::load(xml)?),
+        SystemId::H => Box::new(PagedStore::load_temp(xml, DEFAULT_POOL_PAGES)?),
     })
 }
 
@@ -90,7 +103,7 @@ mod tests {
     #[test]
     fn factory_builds_every_system() {
         let xml = r#"<site><people><person id="person0"><name>A</name></person></people></site>"#;
-        for system in SystemId::ALL {
+        for system in SystemId::EXTENDED {
             let store = build_store(system, xml).unwrap();
             assert_eq!(store.system(), system);
             assert_eq!(store.tag_of(store.root()), Some("site"));

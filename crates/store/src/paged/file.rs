@@ -1,0 +1,165 @@
+//! The file manager: block-granular access to one page file.
+//!
+//! Sciore-style: the file manager knows nothing about page contents —
+//! it reads and writes [`PAGE_SIZE`]-byte blocks at page-number offsets
+//! and tracks how many pages the file holds. Allocation is append-only
+//! (`allocate` hands out the next page number); pages may be *written*
+//! out of order (buffer-pool eviction order is LRU, not id order), so a
+//! write beyond the current end of file simply extends it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use super::page::{Page, PageId, PAGE_SIZE};
+
+/// Block read/write access to one page file.
+#[derive(Debug)]
+pub struct FileManager {
+    file: File,
+    path: PathBuf,
+    pages: u32,
+}
+
+impl FileManager {
+    /// Create (or truncate) the page file at `path`.
+    pub fn create(path: &Path) -> io::Result<FileManager> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileManager {
+            file,
+            path: path.to_path_buf(),
+            pages: 0,
+        })
+    }
+
+    /// Open an existing page file.
+    ///
+    /// # Errors
+    /// Fails if the file is missing or its length is not a whole number
+    /// of pages (a torn or foreign file).
+    pub fn open(path: &Path) -> io::Result<FileManager> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{} is not a whole number of {PAGE_SIZE}-byte pages ({len} bytes)",
+                    path.display()
+                ),
+            ));
+        }
+        Ok(FileManager {
+            file,
+            path: path.to_path_buf(),
+            pages: (len / PAGE_SIZE as u64) as u32,
+        })
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of allocated pages (some may not have reached disk yet —
+    /// the buffer pool writes them at eviction or flush time).
+    pub fn num_pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// Total on-disk bytes once all allocated pages are flushed.
+    pub fn size_bytes(&self) -> usize {
+        self.pages as usize * PAGE_SIZE
+    }
+
+    /// Hand out the next page number (append-only allocation).
+    pub fn allocate(&mut self) -> PageId {
+        let id = self.pages;
+        self.pages += 1;
+        id
+    }
+
+    /// Read page `id` into `page` (no checksum verification here — the
+    /// buffer pool verifies after every read so corruption is caught at
+    /// one choke point).
+    pub fn read_page(&mut self, id: PageId, page: &mut Page) -> io::Result<()> {
+        self.file
+            .seek(SeekFrom::Start(u64::from(id) * PAGE_SIZE as u64))?;
+        self.file.read_exact(page.bytes_mut().as_mut_slice())
+    }
+
+    /// Write the (sealed) image of `page` as page `id`.
+    pub fn write_page(&mut self, id: PageId, page: &Page) -> io::Result<()> {
+        self.file
+            .seek(SeekFrom::Start(u64::from(id) * PAGE_SIZE as u64))?;
+        self.file.write_all(page.bytes().as_slice())?;
+        self.pages = self.pages.max(id + 1);
+        Ok(())
+    }
+
+    /// Force everything to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = crate::paged::scratch_dir();
+        dir.join(format!("filemgr-{}-{name}.pages", std::process::id()))
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = tmp("roundtrip");
+        let mut fm = FileManager::create(&path).unwrap();
+        let id0 = fm.allocate();
+        let id1 = fm.allocate();
+        assert_eq!((id0, id1), (0, 1));
+
+        let mut p = Page::new();
+        p.insert(b"page one").unwrap();
+        p.seal();
+        // Out-of-order write: page 1 first, extending past EOF.
+        fm.write_page(id1, &p).unwrap();
+        let mut p0 = Page::new();
+        p0.insert(b"page zero").unwrap();
+        p0.seal();
+        fm.write_page(id0, &p0).unwrap();
+        fm.sync().unwrap();
+
+        let mut back = Page::new();
+        fm.read_page(id1, &mut back).unwrap();
+        assert!(back.verify());
+        assert_eq!(back.record(0), b"page one");
+
+        drop(fm);
+        let mut reopened = FileManager::open(&path).unwrap();
+        assert_eq!(reopened.num_pages(), 2);
+        reopened.read_page(0, &mut back).unwrap();
+        assert_eq!(back.record(0), b"page zero");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_torn_files() {
+        let path = tmp("torn");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 100]).unwrap();
+        let err = FileManager::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,300 @@
+//! The minimal append-only write-ahead log.
+//!
+//! The paged backend is read-mostly today (bulkload, then queries), but
+//! the ROADMAP's structural-update path needs a durability substrate —
+//! this module is it. The contract is the classic WAL discipline:
+//!
+//! 1. every page mutation is *described* by a [`LogRecord`] appended
+//!    here first, and the resulting [`Lsn`] is stamped onto the page;
+//! 2. before the buffer pool writes a dirty page to the data file, it
+//!    calls [`LogManager::flush`] up to that page's LSN (**log before
+//!    data** — see `BufferPool::write_back`);
+//! 3. [`LogManager::read_all`] replays the records at open time, which
+//!    today means one integrity check: a page file whose log lacks the
+//!    closing [`LogRecord::EndBulkLoad`] was torn mid-load and is
+//!    rejected rather than silently served.
+//!
+//! Records are length-framed (`len: u16, tag: u8, payload`); an LSN is
+//! the byte offset just *past* a record, so `flush(lsn)` is "make the
+//! first `lsn` log bytes durable".
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use super::page::{PageId, PageKind};
+
+/// A log sequence number: the byte offset just past a record.
+pub type Lsn = u64;
+
+/// One write-ahead log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A bulkload began (node count known up front from the parse).
+    BeginBulkLoad {
+        /// Total nodes the load will write.
+        nodes: u32,
+    },
+    /// Page `page` was formatted as `kind` and filled by the load.
+    FormatPage {
+        /// The page number.
+        page: PageId,
+        /// What the page stores.
+        kind: PageKind,
+    },
+    /// The bulkload committed: all pages flushed, header written.
+    EndBulkLoad {
+        /// Total pages in the finished file.
+        pages: u32,
+    },
+    /// All dirty state up to this point is on disk.
+    Checkpoint,
+}
+
+impl LogRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&0u16.to_le_bytes()); // len, patched below
+        match self {
+            LogRecord::BeginBulkLoad { nodes } => {
+                out.push(0);
+                out.extend_from_slice(&nodes.to_le_bytes());
+            }
+            LogRecord::FormatPage { page, kind } => {
+                out.push(1);
+                out.extend_from_slice(&page.to_le_bytes());
+                out.push(*kind as u8);
+            }
+            LogRecord::EndBulkLoad { pages } => {
+                out.push(2);
+                out.extend_from_slice(&pages.to_le_bytes());
+            }
+            LogRecord::Checkpoint => out.push(3),
+        }
+        let len = (out.len() - start - 2) as u16;
+        out[start..start + 2].copy_from_slice(&len.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Option<LogRecord> {
+        let tag = *buf.first()?;
+        let body = &buf[1..];
+        let u32_at = |b: &[u8], off: usize| -> Option<u32> {
+            Some(u32::from_le_bytes(b.get(off..off + 4)?.try_into().ok()?))
+        };
+        Some(match tag {
+            0 => LogRecord::BeginBulkLoad {
+                nodes: u32_at(body, 0)?,
+            },
+            1 => LogRecord::FormatPage {
+                page: u32_at(body, 0)?,
+                kind: PageKind::from_u8(*body.get(4)?)?,
+            },
+            2 => LogRecord::EndBulkLoad {
+                pages: u32_at(body, 0)?,
+            },
+            3 => LogRecord::Checkpoint,
+            _ => return None,
+        })
+    }
+}
+
+struct LogState {
+    /// Bytes appended but not yet written to the file.
+    pending: Vec<u8>,
+    /// LSN of the first pending byte (== bytes already durable).
+    durable: Lsn,
+    file: File,
+}
+
+/// The append/flush end of one `.wal` file.
+pub struct LogManager {
+    state: Mutex<LogState>,
+    path: PathBuf,
+}
+
+impl LogManager {
+    /// Create (or truncate) the log at `path`.
+    pub fn create(path: &Path) -> io::Result<LogManager> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(LogManager {
+            state: Mutex::new(LogState {
+                pending: Vec::new(),
+                durable: 0,
+                file,
+            }),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Open an existing log for appending — the cold-open path. Every
+    /// byte already in the file counts as durable.
+    pub fn open(path: &Path) -> io::Result<LogManager> {
+        let file = OpenOptions::new().read(true).append(true).open(path)?;
+        let durable = file.metadata()?.len();
+        Ok(LogManager {
+            state: Mutex::new(LogState {
+                pending: Vec::new(),
+                durable,
+                file,
+            }),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append a record, returning the LSN just past it. The record is
+    /// buffered; it reaches disk on the next [`LogManager::flush`]
+    /// covering it.
+    pub fn append(&self, rec: &LogRecord) -> Lsn {
+        let mut state = self.state.lock().expect("log state poisoned");
+        rec.encode(&mut state.pending);
+        state.durable + state.pending.len() as u64
+    }
+
+    /// Make every log byte up to `lsn` durable. A no-op when already
+    /// flushed that far.
+    pub fn flush(&self, lsn: Lsn) -> io::Result<()> {
+        let mut state = self.state.lock().expect("log state poisoned");
+        if lsn <= state.durable {
+            return Ok(());
+        }
+        let take = (lsn - state.durable) as usize;
+        let take = take.min(state.pending.len());
+        // Flush whole pending prefix covering `lsn` (records are never
+        // split: append pushed them atomically into the buffer).
+        let chunk: Vec<u8> = state.pending.drain(..take).collect();
+        state.file.write_all(&chunk)?;
+        state.file.sync_data()?;
+        state.durable += chunk.len() as u64;
+        Ok(())
+    }
+
+    /// Flush everything appended so far.
+    pub fn flush_all(&self) -> io::Result<()> {
+        let lsn = {
+            let state = self.state.lock().expect("log state poisoned");
+            state.durable + state.pending.len() as u64
+        };
+        self.flush(lsn)
+    }
+
+    /// Bytes made durable so far.
+    pub fn flushed_lsn(&self) -> Lsn {
+        self.state.lock().expect("log state poisoned").durable
+    }
+
+    /// Total log bytes (durable + pending).
+    pub fn size_bytes(&self) -> usize {
+        let state = self.state.lock().expect("log state poisoned");
+        state.durable as usize + state.pending.len()
+    }
+
+    /// Read every record of the log at `path` — the open-time replay
+    /// scan. Trailing garbage (a torn final record) yields an error.
+    pub fn read_all(path: &Path) -> io::Result<Vec<LogRecord>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let mut records = Vec::new();
+        let mut off = 0usize;
+        while off < bytes.len() {
+            if off + 2 > bytes.len() {
+                return Err(torn(path, off));
+            }
+            let len = u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
+            let body = bytes
+                .get(off + 2..off + 2 + len)
+                .ok_or_else(|| torn(path, off))?;
+            records.push(LogRecord::decode(body).ok_or_else(|| torn(path, off))?);
+            off += 2 + len;
+        }
+        Ok(records)
+    }
+}
+
+fn torn(path: &Path, off: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("torn log record at byte {off} of {}", path.display()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        crate::paged::scratch_dir().join(format!("wal-{}-{name}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn append_flush_read_round_trip() {
+        let path = tmp("roundtrip");
+        let log = LogManager::create(&path).unwrap();
+        let records = vec![
+            LogRecord::BeginBulkLoad { nodes: 99 },
+            LogRecord::FormatPage {
+                page: 3,
+                kind: PageKind::Text,
+            },
+            LogRecord::EndBulkLoad { pages: 7 },
+            LogRecord::Checkpoint,
+        ];
+        let mut last = 0;
+        for rec in &records {
+            last = log.append(rec);
+        }
+        assert_eq!(log.flushed_lsn(), 0, "append alone is not durable");
+        log.flush(last).unwrap();
+        assert_eq!(log.flushed_lsn(), last);
+        assert_eq!(LogManager::read_all(&path).unwrap(), records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partial_flush_is_a_prefix() {
+        let path = tmp("prefix");
+        let log = LogManager::create(&path).unwrap();
+        let first = log.append(&LogRecord::BeginBulkLoad { nodes: 1 });
+        let _second = log.append(&LogRecord::Checkpoint);
+        log.flush(first).unwrap();
+        // Only the first record is on disk.
+        assert_eq!(
+            LogManager::read_all(&path).unwrap(),
+            vec![LogRecord::BeginBulkLoad { nodes: 1 }]
+        );
+        assert!(log.flushed_lsn() >= first);
+        log.flush_all().unwrap();
+        assert_eq!(LogManager::read_all(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_log_is_rejected() {
+        let path = tmp("torn");
+        let log = LogManager::create(&path).unwrap();
+        log.append(&LogRecord::BeginBulkLoad { nodes: 5 });
+        log.append(&LogRecord::Checkpoint);
+        log.flush_all().unwrap();
+        drop(log);
+        // Chop the final record in half.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let err = LogManager::read_all(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

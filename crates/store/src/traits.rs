@@ -61,6 +61,8 @@ pub enum SystemId {
     F,
     /// Embedded naive DOM walker.
     G,
+    /// Disk-resident paged interval store (buffer pool + WAL).
+    H,
 }
 
 impl SystemId {
@@ -74,7 +76,9 @@ impl SystemId {
         SystemId::F,
     ];
 
-    /// All seven systems.
+    /// All seven systems of the paper (§7). The disk-resident backend H
+    /// is this repo's extension and lives in [`SystemId::EXTENDED`], so
+    /// paper-faithful reports stay seven rows.
     pub const ALL: [SystemId; 7] = [
         SystemId::A,
         SystemId::B,
@@ -83,6 +87,18 @@ impl SystemId {
         SystemId::E,
         SystemId::F,
         SystemId::G,
+    ];
+
+    /// The paper's seven systems plus the disk-resident backend H.
+    pub const EXTENDED: [SystemId; 8] = [
+        SystemId::A,
+        SystemId::B,
+        SystemId::C,
+        SystemId::D,
+        SystemId::E,
+        SystemId::F,
+        SystemId::G,
+        SystemId::H,
     ];
 
     /// Short architecture description (used in reports).
@@ -95,6 +111,7 @@ impl SystemId {
             SystemId::E => "native: containment intervals, tag-indexed",
             SystemId::F => "native: containment intervals, scan-based",
             SystemId::G => "embedded: interpretive DOM walker",
+            SystemId::H => "disk: paged intervals, buffer pool + WAL",
         }
     }
 }
@@ -197,6 +214,21 @@ pub trait XmlStore: Send + Sync {
         self.indexes().size_bytes()
     }
 
+    /// On-disk bytes of the store's persistent files (page file + WAL).
+    /// `0` for RAM-resident backends — for those, [`XmlStore::size_bytes`]
+    /// is the whole story; for disk-resident backends the two numbers
+    /// separate the memory budget from the storage footprint.
+    fn disk_bytes(&self) -> usize {
+        0
+    }
+
+    /// Buffer-pool counters, for backends that serve reads through one
+    /// (`None` for RAM-resident backends). Benches report these as the
+    /// pages-read / hit-rate columns.
+    fn paged_stats(&self) -> Option<crate::paged::PoolStats> {
+        None
+    }
+
     /// Tag name for elements, `None` for text nodes.
     fn tag_of(&self, n: Node) -> Option<&str>;
 
@@ -205,6 +237,15 @@ pub trait XmlStore: Send + Sync {
 
     /// Text content of a *text node* (`None` for elements).
     fn text(&self, n: Node) -> Option<&str>;
+
+    /// Whether `n` is a text node. Equivalent to `text(n).is_some()`,
+    /// but answerable without materializing the content — disk-resident
+    /// backends test a tag code on the node page instead of fetching
+    /// (and caching) text bytes, so `child::text()` existence tests stay
+    /// cheap.
+    fn is_text_node(&self, n: Node) -> bool {
+        self.text(n).is_some()
+    }
 
     /// Attribute value.
     fn attribute(&self, n: Node, name: &str) -> Option<String>;
