@@ -145,7 +145,8 @@ pub mod prelude {
     pub use xmark_gen::{generate_split, generate_string, Generator, GeneratorConfig, AUCTION_DTD};
     pub use xmark_query::{
         compile, compile_with_mode, execute, explain_plan, run_query, serialize_sequence, stream,
-        write_item, write_sequence, IoSink, PlanMode, ResultStream, StreamStats,
+        verify_plan, verify_plan_against, write_item, write_sequence, Invariant, IoSink, PlanMode,
+        ResultStream, StreamStats, VerifyReport,
     };
     pub use xmark_store::{
         build_store, IndexManager, IndexStats, PagedStore, PlannerCaps, PoolStats, SystemId,

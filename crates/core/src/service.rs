@@ -51,6 +51,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use xmark_query::{compile, Compiled};
+use xmark_store::sync::lock;
 use xmark_store::{IndexStats, SystemId, XmlStore};
 
 use crate::queries::query;
@@ -103,7 +104,7 @@ impl PlanCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = lock(&self.inner);
         match inner.map.get(text).cloned() {
             Some(hit) => {
                 // Move to most-recent.
@@ -127,7 +128,7 @@ impl PlanCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = lock(&self.inner);
         if inner.map.insert(text.to_string(), compiled).is_none() {
             inner.order.push_back(text.to_string());
         }
@@ -151,7 +152,7 @@ impl PlanCache {
 
     /// Cached plans right now.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("plan cache poisoned").map.len()
+        lock(&self.inner).map.len()
     }
 
     /// Whether the cache currently holds no plans.
@@ -491,7 +492,7 @@ fn worker_loop(
 ) {
     loop {
         // Hold the lock only for the dequeue, never during execution.
-        let job = jobs.lock().expect("job queue poisoned").recv();
+        let job = lock(jobs).recv();
         let Ok(Job::Run(number)) = job else {
             return; // channel closed: the service is shutting down
         };

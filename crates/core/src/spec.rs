@@ -13,7 +13,8 @@ use std::time::{Duration, Instant};
 
 use xmark_gen::{GenStats, Generator, GeneratorConfig};
 use xmark_query::{
-    compile, execute, CompileStats, Compiled, PlanMode, ResultStream, Sequence, StreamStats,
+    compile, execute, parse_query, verify_plan_against, CompileStats, Compiled, PlanMode,
+    ResultStream, Sequence, StreamStats, VerifyReport,
 };
 use xmark_store::{build_store, PagedStore, SystemId, XmlStore, DEFAULT_POOL_PAGES};
 
@@ -651,6 +652,24 @@ impl Session {
     /// skip parse and plan.
     pub fn prepare(&self, system: SystemId, text: &str) -> PreparedQuery {
         PreparedQuery::new(self.load_shared(system), text)
+    }
+
+    /// Bulkload `system`, compile `text` in `mode`, and run the
+    /// post-optimizer plan verifier ([`xmark_query::verify`]) over the
+    /// result: every structural invariant of the physical algebra is
+    /// re-checked against the live store and reported per invariant.
+    /// Debug builds verify every compile implicitly; this is the explicit
+    /// entry point for release builds and audits.
+    ///
+    /// # Panics
+    /// Panics if the query does not parse — verification is for plans,
+    /// not for syntax errors.
+    pub fn verify_plan(&self, system: SystemId, text: &str, mode: PlanMode) -> VerifyReport {
+        let loaded = self.load(system);
+        let store = loaded.store.as_ref();
+        let query = parse_query(text).unwrap_or_else(|e| panic!("query failed to parse: {e}"));
+        let compiled = xmark_query::compile::plan(&query, store, mode);
+        verify_plan_against(&query, &compiled.plan, store)
     }
 
     /// Bulkload `system`, compile `text`, and return a reusable streaming

@@ -200,6 +200,7 @@ impl Criterion {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Group runner declared by `criterion_group!`.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+

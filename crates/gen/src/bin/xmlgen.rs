@@ -156,6 +156,7 @@ fn main() -> ExitCode {
         }
         None => {
             let stdout = std::io::stdout();
+            // lint: allow(R2) StdoutLock, an io handle — not a Mutex
             let mut lock = BufWriter::new(stdout.lock());
             let r = generator.write(&mut lock);
             let _ = lock.flush();

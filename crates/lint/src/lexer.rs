@@ -1,0 +1,276 @@
+//! A minimal Rust source model for lexer-level linting.
+//!
+//! The container has no network, so the linter cannot lean on `syn` or
+//! dylint — instead this module reduces a source file to the three facts
+//! the rules need, with a hand-rolled scanner that understands just
+//! enough Rust lexical structure to be trustworthy:
+//!
+//! * **code** — each line's text with comments removed and string /
+//!   char-literal *contents* blanked (the delimiters survive), so token
+//!   searches like `.unwrap()` can never match inside a string or a doc
+//!   comment;
+//! * **comment** — each line's comment text, where waivers
+//!   (`// lint: allow(R2) reason`) and `// ordering:` justifications
+//!   live;
+//! * **in_test** — whether the line sits inside a `#[cfg(test)]` item,
+//!   tracked by brace depth, where the panic rules do not apply.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth, plus `b`/`br`
+//! prefixes), char literals vs. lifetimes. Not handled (and not needed):
+//! macro fragment specifiers, non-`cfg(test)` conditional compilation.
+
+/// One source line, reduced to what the rules inspect.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line's code with comments removed and literal contents
+    /// blanked.
+    pub code: String,
+    /// The line's comment text (joined if several comments share a line).
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Reduce `source` to its per-line model.
+pub fn model(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut prev_code_char = ' ';
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    line.comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if let Some(advance) = raw_string_open(&chars, i, prev_code_char) {
+                    let hashes = advance - 1 - usize::from(chars[i] == 'b');
+                    line.code.push('"');
+                    state = State::RawStr(hashes as u32);
+                    i += advance + 1;
+                } else if c == '\'' {
+                    i += char_or_lifetime(&chars, i, &mut line.code);
+                } else {
+                    line.code.push(c);
+                    prev_code_char = c;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                    prev_code_char = '"';
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    line.code.push('"');
+                    state = State::Code;
+                    prev_code_char = '"';
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Does a raw-string literal open at `i`? Returns the opener length up to
+/// and including everything *before* the quote (so the caller can derive
+/// the hash count), or `None`. `prev` guards against the `r` of an
+/// identifier like `var` being read as a prefix.
+fn raw_string_open(chars: &[char], i: usize, prev: char) -> Option<usize> {
+    if prev.is_alphanumeric() || prev == '_' {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(j - i)
+}
+
+/// Does the quote at `i` close a raw string with `hashes` trailing `#`s?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguish a char literal (`'x'`, `'\n'`) from a lifetime (`'a`).
+/// Returns how many chars to consume; char-literal contents are blanked
+/// to `''` in `code`, lifetimes pass through.
+fn char_or_lifetime(chars: &[char], i: usize, code: &mut String) -> usize {
+    if chars.get(i + 1) == Some(&'\\') {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 2;
+        while j < chars.len() {
+            if chars[j] == '\\' {
+                j += 2;
+            } else if chars[j] == '\'' {
+                code.push_str("''");
+                return j + 1 - i;
+            } else {
+                j += 1;
+            }
+        }
+        code.push('\'');
+        1
+    } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+        code.push_str("''");
+        3
+    } else {
+        code.push('\'');
+        1
+    }
+}
+
+/// Mark every line inside a `#[cfg(test)]` item by tracking the brace
+/// depth at which the attribute's region opens.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth = 0usize;
+    let mut pending = false;
+    let mut test_start: Option<usize> = None;
+    for line in lines.iter_mut() {
+        let at_start = test_start.is_some();
+        let code = line.code.clone();
+        let bytes = code.as_bytes();
+        let mut j = 0;
+        while j < bytes.len() {
+            if code[j..].starts_with("#[cfg(test)]") {
+                pending = true;
+                j += "#[cfg(test)]".len();
+                continue;
+            }
+            match bytes[j] {
+                b'{' => {
+                    depth += 1;
+                    if pending {
+                        if test_start.is_none() {
+                            test_start = Some(depth);
+                        }
+                        pending = false;
+                    }
+                }
+                b'}' => {
+                    if test_start == Some(depth) {
+                        test_start = None;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        line.in_test = at_start || test_start.is_some() || pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped_from_code() {
+        let lines = model(
+            "let x = \"contains .unwrap() inside\"; // comment .expect(\nlet y = 1; /* block\n.unwrap() */ let z = 2;",
+        );
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[0].comment.contains(".expect("));
+        assert!(!lines[2].code.contains(".unwrap()"));
+        assert!(lines[2].code.contains("let z"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let lines = model("let s = r#\"a \".unwrap()\" b\"#; s.len();");
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[0].code.contains(".len()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = model("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lines[0].code.contains("<'a>"));
+        let lines = model("let c = 'x'; let nl = '\\n'; let q = '\\''; c.is_ascii();");
+        assert!(lines[0].code.contains(".is_ascii()"));
+        assert!(!lines[0].code.contains('x'), "{}", lines[0].code);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn hot() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn cold() {}";
+        let lines = model(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+}

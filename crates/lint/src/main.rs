@@ -1,0 +1,79 @@
+//! The `xmark-lint` binary: lint every workspace source file and exit
+//! non-zero on findings (the CI gate). See the library docs for the
+//! rules and the waiver syntax.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path().join("src"))
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => {
+            eprintln!("xmark-lint: cannot read {}: {e}", crates_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir, &root, &mut files);
+    }
+    files.sort();
+
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .filter_map(|rel| {
+            let text = std::fs::read_to_string(root.join(rel)).ok()?;
+            Some((rel.clone(), text))
+        })
+        .collect();
+
+    let diagnostics = xmark_lint::lint_files(&sources);
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        println!(
+            "xmark-lint: {} files clean across {} rules",
+            sources.len(),
+            xmark_lint::Rule::ALL.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("xmark-lint: {} finding(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest, which
+/// keeps the binary runnable from any working directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Recursively collect `.rs` files under `dir` as root-relative paths
+/// with `/` separators (rule scoping matches on them).
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+}

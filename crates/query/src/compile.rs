@@ -122,6 +122,29 @@ pub fn plan(query: &Query, store: &dyn XmlStore, mode: PlanMode) -> Compiled {
     store.begin_compile();
     let (plan, mut stats) = plan_query(query, store, mode);
     stats.metadata_accesses = store.metadata_accesses();
+    // Debug builds verify every plan the planner emits (see
+    // [`crate::verify`]); release callers opt in through
+    // `Session::verify_plan` or the `plan_audit` binary. Runs after the
+    // metadata snapshot so the verifier's own catalog touches never leak
+    // into the Table 2 statistics.
+    #[cfg(debug_assertions)]
+    {
+        use crate::verify::Invariant;
+        let report = crate::verify::verify_plan_against(query, &plan, store);
+        // V9 (var-scope) is excluded here: an unbound variable in the
+        // source text flows through planning verbatim and surfaces as an
+        // evaluation error by contract — it is a property of the query,
+        // not a planner bug. Explicit verification still reports it.
+        let planner_bugs = report
+            .violations
+            .iter()
+            .filter(|v| v.invariant != Invariant::VarScope)
+            .count();
+        debug_assert!(
+            planner_bugs == 0,
+            "planner emitted an invariant-violating plan:\n{report}"
+        );
+    }
     Compiled { plan, stats }
 }
 

@@ -387,6 +387,8 @@ impl<'a> Evaluator<'a> {
                 })?;
                 erased
                     .downcast::<JoinIndex>()
+                    // lint: allow(R1) slot key "idx|…" is written only by the
+                    // closure above, so the type is fixed by construction
                     .expect("value slot idx|… holds a JoinIndex")
             }
             None => Arc::new(self.build_join_index(var, src, key_expr, env, ctx)?),
@@ -472,6 +474,8 @@ impl<'a> Evaluator<'a> {
                 })?;
                 let shared = erased
                     .downcast::<Vec<Vec<String>>>()
+                    // lint: allow(R1) slot key "keys|…" is written only by the
+                    // closure above, so the type is fixed by construction
                     .expect("value slot keys|… holds probe key lists");
                 if shared.len() == left.len() {
                     shared
@@ -635,6 +639,8 @@ impl<'a> Evaluator<'a> {
             if let Some(erased) = self.indexes.value_if_built(&format!("path|{sig}")) {
                 let shared = erased
                     .downcast::<Sequence>()
+                    // lint: allow(R1) slot key "path|…" is written only by
+                    // cache_path, so the type is fixed by construction
                     .expect("value slot path|… holds a Sequence");
                 self.path_cache
                     .borrow_mut()

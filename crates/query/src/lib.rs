@@ -137,6 +137,7 @@ pub mod plan;
 pub mod planner;
 pub mod result;
 pub mod stream;
+pub mod verify;
 
 pub use compile::{
     compile, compile_with_mode, execute, run_query, stream, CompileError, CompileStats, Compiled,
@@ -149,3 +150,4 @@ pub use result::{
     atomize, canonicalize, serialize_sequence, write_item, write_sequence, IoSink, Item, Sequence,
 };
 pub use stream::{ResultStream, StreamStats, WriteError};
+pub use verify::{verify_plan, verify_plan_against, Invariant, VerifyReport, Violation};

@@ -671,7 +671,7 @@ fn plan_path_signature(e: &PlanExpr) -> Option<String> {
 
 /// A cache signature for a (source, key-path) pair, or `None` when either
 /// side is not loop-invariant.
-fn invariant_join_signature(src: &PlanExpr, key: &PlanExpr) -> Option<String> {
+pub(crate) fn invariant_join_signature(src: &PlanExpr, key: &PlanExpr) -> Option<String> {
     let PlanExpr::Path(src_path) = src else {
         return None;
     };
@@ -695,7 +695,7 @@ fn invariant_join_signature(src: &PlanExpr, key: &PlanExpr) -> Option<String> {
 
 /// The planner's cardinality estimate for a planned source expression
 /// (0 = unknown).
-fn expr_estimate(e: &PlanExpr) -> u64 {
+pub(crate) fn expr_estimate(e: &PlanExpr) -> u64 {
     match e {
         PlanExpr::Path(p) => p.est_rows,
         _ => 0,
@@ -703,7 +703,7 @@ fn expr_estimate(e: &PlanExpr) -> u64 {
 }
 
 /// Estimate of a step sequence: the extent of its last resolved tag step.
-fn last_tag_estimate(steps: &[PlanStep]) -> u64 {
+pub(crate) fn last_tag_estimate(steps: &[PlanStep]) -> u64 {
     steps
         .iter()
         .rev()

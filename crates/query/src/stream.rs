@@ -508,40 +508,45 @@ fn pull_through<'a>(
             }
         },
         Stage::Buffered { step, out } => {
-            if out.is_none() {
-                let current = match drain_upstream(ev, source, upstream, env, ctx) {
-                    Ok(c) => c,
-                    Err(e) => return Some(Err(e)),
-                };
-                match ev.apply_step(&current, step, env, ctx) {
-                    Ok(seq) => {
-                        ev.count_pulls(seq.len() as u64);
-                        *out = Some(seq.into_iter());
-                    }
-                    Err(e) => return Some(Err(e)),
-                }
-            }
-            out.as_mut().expect("filled above").next().map(Ok)
-        }
-        Stage::IdProbe { step, literal, out } => {
-            if out.is_none() {
-                let current = match drain_upstream(ev, source, upstream, env, ctx) {
-                    Ok(c) => c,
-                    Err(e) => return Some(Err(e)),
-                };
-                let result = match ev.id_probe(&current, step, literal) {
-                    Ok(Some(seq)) => seq,
-                    // No ID index after all: evaluate generically.
-                    Ok(None) => match ev.apply_step(&current, step, env, ctx) {
+            let iter = match out {
+                Some(iter) => iter,
+                None => {
+                    let current = match drain_upstream(ev, source, upstream, env, ctx) {
+                        Ok(c) => c,
+                        Err(e) => return Some(Err(e)),
+                    };
+                    let seq = match ev.apply_step(&current, step, env, ctx) {
                         Ok(seq) => seq,
                         Err(e) => return Some(Err(e)),
-                    },
-                    Err(e) => return Some(Err(e)),
-                };
-                ev.count_pulls(result.len() as u64);
-                *out = Some(result.into_iter());
-            }
-            out.as_mut().expect("filled above").next().map(Ok)
+                    };
+                    ev.count_pulls(seq.len() as u64);
+                    out.insert(seq.into_iter())
+                }
+            };
+            iter.next().map(Ok)
+        }
+        Stage::IdProbe { step, literal, out } => {
+            let iter = match out {
+                Some(iter) => iter,
+                None => {
+                    let current = match drain_upstream(ev, source, upstream, env, ctx) {
+                        Ok(c) => c,
+                        Err(e) => return Some(Err(e)),
+                    };
+                    let result = match ev.id_probe(&current, step, literal) {
+                        Ok(Some(seq)) => seq,
+                        // No ID index after all: evaluate generically.
+                        Ok(None) => match ev.apply_step(&current, step, env, ctx) {
+                            Ok(seq) => seq,
+                            Err(e) => return Some(Err(e)),
+                        },
+                        Err(e) => return Some(Err(e)),
+                    };
+                    ev.count_pulls(result.len() as u64);
+                    out.insert(result.into_iter())
+                }
+            };
+            iter.next().map(Ok)
         }
         Stage::InlinedTail {
             tag,
@@ -549,30 +554,33 @@ fn pull_through<'a>(
             second,
             out,
         } => {
-            if out.is_none() {
-                let current = match drain_upstream(ev, source, upstream, env, ctx) {
-                    Ok(c) => c,
-                    Err(e) => return Some(Err(e)),
-                };
-                let result = match ev.try_inlined_tail(&current, tag) {
-                    Ok(Some(seq)) => seq,
-                    // Not covered by the entity tables: apply the two
-                    // remaining steps generically.
-                    Ok(None) => {
-                        match ev
-                            .apply_step(&current, first, env, ctx)
-                            .and_then(|mid| ev.apply_step(&mid, second, env, ctx))
-                        {
-                            Ok(seq) => seq,
-                            Err(e) => return Some(Err(e)),
+            let iter = match out {
+                Some(iter) => iter,
+                None => {
+                    let current = match drain_upstream(ev, source, upstream, env, ctx) {
+                        Ok(c) => c,
+                        Err(e) => return Some(Err(e)),
+                    };
+                    let result = match ev.try_inlined_tail(&current, tag) {
+                        Ok(Some(seq)) => seq,
+                        // Not covered by the entity tables: apply the two
+                        // remaining steps generically.
+                        Ok(None) => {
+                            match ev
+                                .apply_step(&current, first, env, ctx)
+                                .and_then(|mid| ev.apply_step(&mid, second, env, ctx))
+                            {
+                                Ok(seq) => seq,
+                                Err(e) => return Some(Err(e)),
+                            }
                         }
-                    }
-                    Err(e) => return Some(Err(e)),
-                };
-                ev.count_pulls(result.len() as u64);
-                *out = Some(result.into_iter());
-            }
-            out.as_mut().expect("filled above").next().map(Ok)
+                        Err(e) => return Some(Err(e)),
+                    };
+                    ev.count_pulls(result.len() as u64);
+                    out.insert(result.into_iter())
+                }
+            };
+            iter.next().map(Ok)
         }
         Stage::ValueTail { values, active } => loop {
             if let Some(iter) = active {
@@ -706,42 +714,46 @@ impl<'a> FlworCursor<'a> {
                 }
             },
             FlworMode::Sorted { ascending, buf } => {
-                if buf.is_none() {
-                    // Sort is a blocking operator: collect every tuple's
-                    // key and projected items, then emit in key order.
-                    let mut tuples: Vec<(Option<OrderKey>, Sequence)> = Vec::new();
-                    loop {
-                        match self.producer.advance(ev) {
-                            Err(e) => return Some(Err(e)),
-                            Ok(false) => break,
-                            Ok(true) => {
-                                let f = self.f;
-                                let (env, ctx) = self.producer.tuple_scope();
-                                let ctx = ctx.cloned();
-                                let key = match ev.order_key(f, env, ctx.as_ref()) {
-                                    Ok(k) => k,
-                                    Err(e) => return Some(Err(e)),
-                                };
-                                let seq = match ev.eval(&f.ret, env, ctx.as_ref()) {
-                                    Ok(s) => s,
-                                    Err(e) => return Some(Err(e)),
-                                };
-                                tuples.push((key, seq));
+                let iter = match buf {
+                    Some(iter) => iter,
+                    None => {
+                        // Sort is a blocking operator: collect every
+                        // tuple's key and projected items, then emit in
+                        // key order.
+                        let mut tuples: Vec<(Option<OrderKey>, Sequence)> = Vec::new();
+                        loop {
+                            match self.producer.advance(ev) {
+                                Err(e) => return Some(Err(e)),
+                                Ok(false) => break,
+                                Ok(true) => {
+                                    let f = self.f;
+                                    let (env, ctx) = self.producer.tuple_scope();
+                                    let ctx = ctx.cloned();
+                                    let key = match ev.order_key(f, env, ctx.as_ref()) {
+                                        Ok(k) => k,
+                                        Err(e) => return Some(Err(e)),
+                                    };
+                                    let seq = match ev.eval(&f.ret, env, ctx.as_ref()) {
+                                        Ok(s) => s,
+                                        Err(e) => return Some(Err(e)),
+                                    };
+                                    tuples.push((key, seq));
+                                }
                             }
                         }
+                        tuples.sort_by(|a, b| {
+                            let ord = compare_keys(a.0.as_ref(), b.0.as_ref());
+                            if *ascending {
+                                ord
+                            } else {
+                                ord.reverse()
+                            }
+                        });
+                        let flat: Sequence = tuples.into_iter().flat_map(|(_, seq)| seq).collect();
+                        buf.insert(flat.into_iter())
                     }
-                    tuples.sort_by(|a, b| {
-                        let ord = compare_keys(a.0.as_ref(), b.0.as_ref());
-                        if *ascending {
-                            ord
-                        } else {
-                            ord.reverse()
-                        }
-                    });
-                    let flat: Sequence = tuples.into_iter().flat_map(|(_, seq)| seq).collect();
-                    *buf = Some(flat.into_iter());
-                }
-                buf.as_mut().expect("filled above").next().map(Ok)
+                };
+                iter.next().map(Ok)
             }
         }
     }
@@ -1092,7 +1104,10 @@ impl<'a> HashJoinProducer<'a> {
             self.build_bound = false;
         }
         loop {
-            let state = self.state.as_mut().expect("initialized above");
+            // Initialized above; the guard keeps the pull path panic-free.
+            let Some(state) = self.state.as_mut() else {
+                return Ok(false);
+            };
             if let Some(item) = state.matched.next() {
                 self.env.push(self.build_var, Arc::new(vec![item]));
                 self.build_bound = true;
@@ -1215,7 +1230,8 @@ impl<'a> IndexLookupProducer<'a> {
             self.bound = false;
         }
         loop {
-            let Some(item) = self.matched.as_mut().expect("initialized above").next() else {
+            // Initialized above; the guard keeps the pull path panic-free.
+            let Some(item) = self.matched.as_mut().and_then(Iterator::next) else {
                 self.done = true;
                 return Ok(false);
             };

@@ -57,6 +57,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::sync::lock;
 use crate::traits::{Node, XmlStore};
 
 /// Rough per-entry overhead of a `HashMap<String, _>` (bucket + hash +
@@ -373,7 +374,7 @@ impl IndexManager {
     /// (exactly once, even under concurrent callers).
     pub fn attribute<S: XmlStore + ?Sized>(&self, store: &S, name: &str) -> Arc<AttrIndex> {
         let slot = {
-            let mut attrs = self.attrs.lock().expect("attr index registry poisoned");
+            let mut attrs = lock(&self.attrs);
             Arc::clone(attrs.entry(name.to_string()).or_default())
         };
         let mut built = false;
@@ -408,10 +409,10 @@ impl IndexManager {
             return build().map(|(value, _)| value);
         }
         let slot = {
-            let mut values = self.values.lock().expect("value index registry poisoned");
+            let mut values = lock(&self.values);
             Arc::clone(values.entry(sig.to_string()).or_default())
         };
-        let mut filled = slot.lock().expect("value index slot poisoned");
+        let mut filled = lock(&slot);
         if let Some((value, _)) = filled.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(value));
@@ -463,10 +464,10 @@ impl IndexManager {
             return None;
         }
         let slot = {
-            let values = self.values.lock().expect("value index registry poisoned");
+            let values = lock(&self.values);
             Arc::clone(values.get(sig)?)
         };
-        let filled = slot.lock().expect("value index slot poisoned");
+        let filled = lock(&slot);
         let hit = filled.as_ref().map(|(value, _)| Arc::clone(value));
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -515,7 +516,7 @@ impl IndexManager {
     /// [`XmlStore::size_bytes`] and reported as its own Table 1 column.
     pub fn size_bytes(&self) -> usize {
         let mut total = self.element.get().map_or(0, ElementIndex::size_bytes);
-        for slot in self.attrs.lock().expect("attr registry poisoned").values() {
+        for slot in lock(&self.attrs).values() {
             total += slot.get().map_or(0, |index| index.size_bytes());
         }
         total + self.value_bytes.load(Ordering::Relaxed) as usize

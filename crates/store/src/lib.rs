@@ -48,6 +48,7 @@ pub mod loader;
 pub mod naive;
 pub mod paged;
 pub mod summary;
+pub mod sync;
 pub mod traits;
 
 pub use axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};

@@ -24,6 +24,8 @@ use super::file::FileManager;
 use super::page::{Page, PageId, PAGE_SIZE};
 use super::wal::LogManager;
 
+use crate::sync::{lock, read, write};
+
 /// A snapshot of the pool's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
@@ -126,7 +128,7 @@ impl BufferPool {
     /// Resident bytes of the frames currently held (≤ capacity × page
     /// size) plus bookkeeping.
     pub fn resident_bytes(&self) -> usize {
-        let inner = self.inner.lock().expect("pool poisoned");
+        let inner = lock(&self.inner);
         inner.frames.len() * (PAGE_SIZE + std::mem::size_of::<Frame>() + 48)
     }
 
@@ -144,12 +146,12 @@ impl BufferPool {
 
     /// Pages currently allocated in the underlying file.
     pub fn num_pages(&self) -> u32 {
-        self.file.lock().expect("file poisoned").num_pages()
+        lock(&self.file).num_pages()
     }
 
     /// The file's on-disk bytes (all allocated pages).
     pub fn disk_bytes(&self) -> usize {
-        self.file.lock().expect("file poisoned").size_bytes()
+        lock(&self.file).size_bytes()
     }
 
     /// Pin page `id`, reading it from disk on a miss (checksum
@@ -159,7 +161,7 @@ impl BufferPool {
     /// I/O failure, checksum mismatch, or pool exhaustion (every frame
     /// pinned).
     pub fn pin(&self, id: PageId) -> io::Result<PageGuard<'_>> {
-        let mut inner = self.inner.lock().expect("pool poisoned");
+        let mut inner = lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(&idx) = inner.table.get(&id) {
@@ -180,7 +182,7 @@ impl BufferPool {
 
         let mut page = Page::new();
         {
-            let mut file = self.file.lock().expect("file poisoned");
+            let mut file = lock(&self.file);
             file.read_page(id, &mut page)?;
         }
         self.pages_read.fetch_add(1, Ordering::Relaxed);
@@ -198,10 +200,10 @@ impl BufferPool {
     /// guard.
     pub fn pin_new(&self) -> io::Result<(PageId, PageGuard<'_>)> {
         let id = {
-            let mut file = self.file.lock().expect("file poisoned");
+            let mut file = lock(&self.file);
             file.allocate()
         };
-        let mut inner = self.inner.lock().expect("pool poisoned");
+        let mut inner = lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -280,22 +282,27 @@ impl BufferPool {
     /// WAL-disciplined page write: flush the log up to the page's LSN
     /// *before* the data write, then seal the checksum and write.
     fn write_back(&self, id: PageId, data: &Arc<RwLock<Page>>) -> io::Result<()> {
-        let mut page = data.write().expect("frame poisoned");
+        let mut page = write(data);
         if let Some(wal) = &self.wal {
             wal.flush(page.lsn())?;
         }
         page.seal();
-        let mut file = self.file.lock().expect("file poisoned");
+        let mut file = lock(&self.file);
         file.write_page(id, &page)?;
         self.pages_written.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn unpin(&self, id: PageId, dirtied: bool) {
-        let mut inner = self.inner.lock().expect("pool poisoned");
+        let mut inner = lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
-        let idx = *inner.table.get(&id).expect("unpin of unresident page");
+        // Runs from PageGuard::drop: a missing entry is a pool bug, but
+        // panicking in Drop would abort mid-unwind, so tolerate it.
+        let Some(&idx) = inner.table.get(&id) else {
+            debug_assert!(false, "unpin of unresident page {id}");
+            return;
+        };
         let frame = &mut inner.frames[idx];
         assert!(frame.pin_count > 0, "unpin of unpinned page {id}");
         frame.pin_count -= 1;
@@ -309,7 +316,7 @@ impl BufferPool {
     /// # Errors
     /// I/O failure; also if a dirty frame is still pinned.
     pub fn flush_all(&self) -> io::Result<()> {
-        let inner = self.inner.lock().expect("pool poisoned");
+        let inner = lock(&self.inner);
         for frame in &inner.frames {
             if !frame.dirty {
                 continue;
@@ -324,12 +331,12 @@ impl BufferPool {
         }
         drop(inner);
         // Second pass to clear dirty bits (write_back borrowed data).
-        let mut inner = self.inner.lock().expect("pool poisoned");
+        let mut inner = lock(&self.inner);
         for frame in &mut inner.frames {
             frame.dirty = false;
         }
         drop(inner);
-        self.file.lock().expect("file poisoned").sync()
+        lock(&self.file).sync()
     }
 }
 
@@ -360,14 +367,14 @@ impl PageGuard<'_> {
 
     /// Shared read access to the page image.
     pub fn read(&self) -> RwLockReadGuard<'_, Page> {
-        self.data.read().expect("frame poisoned")
+        read(&self.data)
     }
 
     /// Exclusive write access; the frame is marked dirty when the guard
     /// unpins.
     pub fn write(&mut self) -> RwLockWriteGuard<'_, Page> {
         self.dirty = true;
-        self.data.write().expect("frame poisoned")
+        write(&self.data)
     }
 }
 

@@ -77,12 +77,31 @@ impl NodeRec {
     pub fn decode(rec: &[u8]) -> NodeRec {
         assert_eq!(rec.len(), NODE_RECORD, "malformed node record");
         NodeRec {
-            parent: u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes")),
-            end: u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes")),
-            tag_code: u16::from_le_bytes(rec[8..10].try_into().expect("2 bytes")),
-            level: u16::from_le_bytes(rec[10..12].try_into().expect("2 bytes")),
+            parent: le_u32(rec, 0),
+            end: le_u32(rec, 4),
+            tag_code: le_u16(rec, 8),
+            level: le_u16(rec, 10),
         }
     }
+}
+
+/// Read a little-endian `u32` at `off` — the record-decode primitive the
+/// whole paged layer shares instead of per-site `try_into().expect(…)`.
+///
+/// # Panics
+/// Panics if `rec` has fewer than `off + 4` bytes; record widths are
+/// fixed by the page layout, so a short slice is a layout bug.
+pub(crate) fn le_u32(rec: &[u8], off: usize) -> u32 {
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(&rec[off..off + 4]);
+    u32::from_le_bytes(bytes)
+}
+
+/// Read a little-endian `u16` at `off` (see [`le_u32`]).
+pub(crate) fn le_u16(rec: &[u8], off: usize) -> u16 {
+    let mut bytes = [0u8; 2];
+    bytes.copy_from_slice(&rec[off..off + 2]);
+    u16::from_le_bytes(bytes)
 }
 
 /// The header page (page 0): magic, version, and the extent table.
@@ -265,7 +284,7 @@ impl Cursor<'_> {
     }
 
     fn take_u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(le_u32(self.take(4)?, 0))
     }
 }
 

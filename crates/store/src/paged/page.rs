@@ -132,7 +132,7 @@ impl Page {
 
     /// Read a little-endian `u32` at a byte offset.
     pub fn read_u32(&self, off: usize) -> u32 {
-        u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("4 bytes"))
+        super::layout::le_u32(&self.bytes[..], off)
     }
 
     /// Write a little-endian `u32` at a byte offset.
@@ -142,7 +142,11 @@ impl Page {
 
     /// Read a little-endian `u64` at a byte offset.
     pub fn read_u64(&self, off: usize) -> u64 {
-        u64::from_le_bytes(self.bytes[off..off + 8].try_into().expect("8 bytes"))
+        {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&self.bytes[off..off + 8]);
+            u64::from_le_bytes(bytes)
+        }
     }
 
     /// Write a little-endian `u64` at a byte offset.

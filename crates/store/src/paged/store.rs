@@ -36,7 +36,7 @@ use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
 use super::buffer::{BufferPool, PageGuard, PoolStats};
 use super::file::FileManager;
-use super::layout::{Catalog, Header, NodeRec, NODES_PER_PAGE, TEXT_CHUNK};
+use super::layout::{le_u16, le_u32, Catalog, Header, NodeRec, NODES_PER_PAGE, TEXT_CHUNK};
 use super::page::{PageId, PageKind};
 use super::wal::{LogManager, LogRecord};
 
@@ -462,15 +462,18 @@ impl PagedStore {
             let page = guard.read();
             for slot in 0..page.slot_count() {
                 let rec = page.record(slot);
-                let owner = u32::from_le_bytes(rec[0..4].try_into().expect("owner"));
+                let owner = le_u32(rec, 0);
                 if owner < id {
                     continue;
                 }
                 if owner > id {
                     return;
                 }
-                // Chunks are split on char boundaries at write time.
-                out.push_str(std::str::from_utf8(&rec[4..]).expect("text chunk utf8"));
+                // Chunks are split on char boundaries at write time, and
+                // the page checksum was verified at pin time — a lossy
+                // decode never actually lossifies, it just keeps the
+                // infallible read path panic-free.
+                out.push_str(&String::from_utf8_lossy(&rec[4..]));
             }
         }
     }
@@ -486,16 +489,16 @@ impl PagedStore {
             let page = guard.read();
             for slot in 0..page.slot_count() {
                 let rec = page.record(slot);
-                let owner = u32::from_le_bytes(rec[0..4].try_into().expect("owner"));
+                let owner = le_u32(rec, 0);
                 if owner < id {
                     continue;
                 }
                 if owner > id {
                     return out;
                 }
-                let code = u16::from_le_bytes(rec[4..6].try_into().expect("name code"));
-                let value = std::str::from_utf8(&rec[6..]).expect("attr value utf8");
-                out.push((self.catalog.attr_names[code as usize].clone(), value.into()));
+                let code = le_u16(rec, 4);
+                let value = String::from_utf8_lossy(&rec[6..]).into_owned();
+                out.push((self.catalog.attr_names[code as usize].clone(), value));
             }
         }
         out

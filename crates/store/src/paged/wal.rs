@@ -25,6 +25,8 @@ use std::sync::Mutex;
 
 use super::page::{PageId, PageKind};
 
+use crate::sync::lock;
+
 /// A log sequence number: the byte offset just past a record.
 pub type Lsn = u64;
 
@@ -160,7 +162,7 @@ impl LogManager {
     /// buffered; it reaches disk on the next [`LogManager::flush`]
     /// covering it.
     pub fn append(&self, rec: &LogRecord) -> Lsn {
-        let mut state = self.state.lock().expect("log state poisoned");
+        let mut state = lock(&self.state);
         rec.encode(&mut state.pending);
         state.durable + state.pending.len() as u64
     }
@@ -168,7 +170,7 @@ impl LogManager {
     /// Make every log byte up to `lsn` durable. A no-op when already
     /// flushed that far.
     pub fn flush(&self, lsn: Lsn) -> io::Result<()> {
-        let mut state = self.state.lock().expect("log state poisoned");
+        let mut state = lock(&self.state);
         if lsn <= state.durable {
             return Ok(());
         }
@@ -186,7 +188,7 @@ impl LogManager {
     /// Flush everything appended so far.
     pub fn flush_all(&self) -> io::Result<()> {
         let lsn = {
-            let state = self.state.lock().expect("log state poisoned");
+            let state = lock(&self.state);
             state.durable + state.pending.len() as u64
         };
         self.flush(lsn)
@@ -194,12 +196,12 @@ impl LogManager {
 
     /// Bytes made durable so far.
     pub fn flushed_lsn(&self) -> Lsn {
-        self.state.lock().expect("log state poisoned").durable
+        lock(&self.state).durable
     }
 
     /// Total log bytes (durable + pending).
     pub fn size_bytes(&self) -> usize {
-        let state = self.state.lock().expect("log state poisoned");
+        let state = lock(&self.state);
         state.durable as usize + state.pending.len()
     }
 
