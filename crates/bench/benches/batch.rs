@@ -1,0 +1,129 @@
+//! Vectorized-execution microbench: batch pulls against the
+//! item-at-a-time pulls they replace, at the two layers the tentpole
+//! touches.
+//!
+//! * `axis_scan` — the raw store axis under `//item` on System E: one
+//!   virtual `next()` call per node vs `next_block` bulk-copying runs
+//!   out of the extent table into a reusable [`NodeBatch`].
+//! * `scan_drain` — the same access path through the query layer:
+//!   draining the `/site//item` stream with `with_batch_size(1)` (the
+//!   pre-vectorization profile, one cursor dispatch per item) vs the
+//!   default batch capacity.
+//! * `join_probe` — Q9's hash join on System A: item-granularity drain
+//!   vs the batched drain over the probe-run cursor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xmark::prelude::*;
+use xmark::query::plan::DEFAULT_BATCH;
+use xmark::store::NodeBatch;
+
+fn bench_batch(c: &mut Criterion) {
+    let session = Benchmark::at_factor(0.05).generate();
+    let mut group = c.benchmark_group("batch");
+
+    // Store layer: the descendant axis cursor, pulled both ways. System
+    // E's extent encoding serves `next_block` as contiguous slice
+    // copies, so this isolates the per-call dispatch the batch removes.
+    let store_e = session.load_shared(SystemId::E);
+    let root = store_e.as_ref().root();
+    let items = store_e
+        .as_ref()
+        .descendants_named_iter(root, "item")
+        .count();
+    assert!(
+        items > 500,
+        "factor 0.05 yields a real scan ({items} items)"
+    );
+    group.bench_with_input(
+        BenchmarkId::new("axis_scan", "item"),
+        &store_e,
+        |b, store| {
+            let store = store.as_ref();
+            b.iter(|| {
+                let mut n = 0usize;
+                for node in store.descendants_named_iter(root, "item") {
+                    black_box(node);
+                    n += 1;
+                }
+                n
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("axis_scan", "block"),
+        &store_e,
+        |b, store| {
+            let store = store.as_ref();
+            b.iter(|| {
+                let mut it = store.descendants_named_iter(root, "item");
+                let mut nb = NodeBatch::new(DEFAULT_BATCH);
+                let mut n = 0usize;
+                loop {
+                    nb.reset(DEFAULT_BATCH);
+                    it.next_block(&mut nb);
+                    black_box(nb.as_slice());
+                    n += nb.len();
+                    if !nb.is_full() {
+                        break;
+                    }
+                }
+                n
+            })
+        },
+    );
+
+    // Query layer: the same scan through plan, cursor, and stream.
+    let scan = compile("/site//item", store_e.as_ref()).unwrap();
+    assert!(
+        scan.explain().contains("[batch="),
+        "the planner annotates the scan this bench isolates"
+    );
+    for (label, cap) in [("item", 1usize), ("batched", DEFAULT_BATCH)] {
+        group.bench_with_input(
+            BenchmarkId::new("scan_drain", label),
+            &store_e,
+            |b, store| {
+                let store = store.as_ref();
+                b.iter(|| {
+                    black_box(
+                        scan.stream(store)
+                            .with_batch_size(cap)
+                            .collect_seq()
+                            .unwrap(),
+                    )
+                    .len()
+                })
+            },
+        );
+    }
+
+    // Join probe: Q9's hash join drained at both granularities. One
+    // untimed execution first so the persistent value indexes are warm
+    // and both sides measure pure probe + drain work.
+    let store_a = session.load_shared(SystemId::A);
+    let q9 = compile(query(9).text, store_a.as_ref()).unwrap();
+    assert!(
+        q9.explain().contains("HashJoin"),
+        "Q9 plans as the hash join this bench isolates"
+    );
+    let _ = execute(&q9, store_a.as_ref()).unwrap();
+    for (label, cap) in [("item", 1usize), ("batched", DEFAULT_BATCH)] {
+        group.bench_with_input(
+            BenchmarkId::new("join_probe", label),
+            &store_a,
+            |b, store| {
+                let store = store.as_ref();
+                b.iter(|| {
+                    black_box(q9.stream(store).with_batch_size(cap).collect_seq().unwrap()).len()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

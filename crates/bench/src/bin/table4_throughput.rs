@@ -212,7 +212,60 @@ fn main() {
         warm.index_hits,
     );
 
+    // ---- batched drain A/B: vectorized vs item-at-a-time pulls ----------
+    // The same compiled plans, the same store, the same drain loop — the
+    // only difference is the stream's batch capacity. Best-of-five per
+    // side so scheduler noise cannot fake a regression.
+    let batch_mix = [1usize, 17];
+    let store: Arc<dyn XmlStore> = session.load_shared(SystemId::D);
+    let batch_plans: Vec<_> = batch_mix
+        .iter()
+        .map(|&n| compile(query(n).text, store.as_ref()).expect("mix query compiles"))
+        .collect();
+    for plan in &batch_plans {
+        let _ = execute(plan, store.as_ref()).expect("warmup run"); // warm value slots
+    }
+    let rounds = if smoke { 40 } else { 200 };
+    let drain_mix = |cap: usize| -> std::time::Duration {
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..5 {
+            let start = std::time::Instant::now();
+            for _ in 0..rounds {
+                for plan in &batch_plans {
+                    let n = std::hint::black_box(
+                        plan.stream(store.as_ref())
+                            .with_batch_size(cap)
+                            .collect_seq()
+                            .expect("mix query streams"),
+                    )
+                    .len();
+                    assert!(n > 0, "mix queries have non-empty results");
+                }
+            }
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+    let item_time = drain_mix(1);
+    let batched_time = drain_mix(xmark::query::plan::DEFAULT_BATCH);
+    let batch_ratio = item_time.as_secs_f64() / batched_time.as_secs_f64().max(1e-12);
+    println!(
+        "\nbatched drain A/B (System D, mix {:?}, {} rounds, best of 5):\n\
+         \x20 item-at-a-time (capacity 1):   {item_time:.2?}\n\
+         \x20 batched (capacity {}):        {batched_time:.2?}\n\
+         \x20 speedup: {batch_ratio:.2}x",
+        batch_mix,
+        rounds,
+        xmark::query::plan::DEFAULT_BATCH,
+    );
+
     if smoke {
+        assert!(
+            batch_ratio >= 0.95,
+            "the batched drain must be no slower than item-at-a-time on \
+             the [Q1,Q17] mix (measured {batch_ratio:.2}x, >=0.95x after \
+             noise allowance)"
+        );
         assert!(
             speedup >= 1.2,
             "plan cache must lift QPS by >=1.2x on a repeated-query mix \
@@ -228,7 +281,7 @@ fn main() {
              by >=1.3x (measured {index_speedup:.2}x)"
         );
         println!(
-            "\nsmoke: service layer + plan cache + persistent indexes exercised \
+            "\nsmoke: service layer + plan cache + persistent indexes + batched drains exercised \
              across all seven backends — OK"
         );
     }

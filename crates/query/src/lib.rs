@@ -5,7 +5,9 @@
 //! implements the language subset those queries need as an explicit
 //! pipeline, mirroring the compile/execute split the paper's Table 2
 //! measures — with execution redesigned around **pull-based operator
-//! cursors**, so results leave the engine item by item:
+//! cursors at two granularities**: every cursor answers `next()` one
+//! item at a time and `next_batch(out)`, which fills a caller-owned
+//! fixed-capacity [`stream::Batch`] in a single virtual dispatch:
 //!
 //! ```text
 //!   query text
@@ -18,7 +20,7 @@
 //!      │                    NestedLoop, HashJoin, IndexLookup, Sort,
 //!      │  open cursors      Project; explain.rs renders it)
 //!      ▼
-//!   stream::ResultStream   (stream.rs — Volcano-style next() per
+//!   stream::ResultStream   (stream.rs — next()/next_batch(out) per
 //!      │        │           operator; eval.rs supplies the shared
 //!      │        │           step/join/memo mechanics)
 //!      │        └─ write_to(sink)   one item serialized at a time into
@@ -41,6 +43,21 @@
 //! build sides, lookup indexes) buffer internally but still expose a
 //! cursor. Boolean contexts short-circuit the same way: an existential
 //! predicate like `[bidder]` pulls one child, not the whole axis.
+//!
+//! **Pull granularities.** Bulk drains
+//! ([`collect_seq`](stream::ResultStream::collect_seq), `count`,
+//! [`write_to`](stream::ResultStream::write_to)) pull fixed-capacity
+//! batches — axis scans fill [`xmark_store::NodeBatch`] blocks straight
+//! out of the store, hash joins emit probe runs — while the
+//! early-terminating fast paths stay on the item facade, so `take`/
+//! `exists` bounds never widen by more than one batch. The planner
+//! annotates batch-eligible operators (EXPLAIN shows `[batch=N]`,
+//! verifier invariant V10 audits it);
+//! [`with_batch_size`](stream::ResultStream::with_batch_size) overrides
+//! the capacity and [`pulls`](stream::ResultStream::pulls) counts items
+//! delivered identically in both modes. The opt-in `parallel` feature
+//! forks hash-join build sides across threads without reordering probe
+//! output.
 //!
 //! * [`parse`] — parser producing the [`ast`] (FLWOR, paths, constructors,
 //!   quantifiers, the `<<` node-order operator, user-defined functions),
@@ -149,5 +166,5 @@ pub use plan::{PhysicalPlan, PlanMode};
 pub use result::{
     atomize, canonicalize, serialize_sequence, write_item, write_sequence, IoSink, Item, Sequence,
 };
-pub use stream::{ResultStream, StreamStats, WriteError};
+pub use stream::{Batch, ResultStream, StreamStats, WriteError};
 pub use verify::{verify_plan, verify_plan_against, Invariant, VerifyReport, Violation};

@@ -9,7 +9,7 @@
 //! cardinalities, the canonical signature functions) and compares it with
 //! what the plan records.
 //!
-//! The nine invariants:
+//! The ten invariants:
 //!
 //! | code | name            | what it pins |
 //! |------|-----------------|--------------|
@@ -22,6 +22,7 @@
 //! | V7   | memo-sig        | memo / build / probe / lookup cache signatures equal their canonical recomputation |
 //! | V8   | card-consistent | cardinality annotations agree with each other and with exact posting counts |
 //! | V9   | var-scope       | every variable reference resolves to an enclosing binding |
+//! | V10  | batch-supported | `[batch=N]` annotations appear exactly where the operator has a native vectorized drain ([`batch_eligible`]) and carry the canonical capacity |
 //!
 //! [`compile_with_mode`](crate::compile::compile_with_mode) runs the
 //! verifier on every plan in debug builds (`debug_assertions`); release
@@ -37,7 +38,7 @@ use crate::planner::{
     expr_estimate, invariant_join_signature, last_tag_estimate, INDEX_SCAN_DENSITY,
 };
 
-/// One of the nine verified plan invariants.
+/// One of the ten verified plan invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Invariant {
     /// V1: access annotations only where [`PlannerCaps`] permits.
@@ -58,11 +59,13 @@ pub enum Invariant {
     CardConsistent,
     /// V9: every variable reference resolves in scope.
     VarScope,
+    /// V10: batch annotations appear exactly where supported.
+    BatchSupported,
 }
 
 impl Invariant {
-    /// All invariants, in V1…V9 order.
-    pub const ALL: [Invariant; 9] = [
+    /// All invariants, in V1…V10 order.
+    pub const ALL: [Invariant; 10] = [
         Invariant::CapsAccess,
         Invariant::DensityGate,
         Invariant::NaivePurity,
@@ -72,9 +75,10 @@ impl Invariant {
         Invariant::MemoSig,
         Invariant::CardConsistent,
         Invariant::VarScope,
+        Invariant::BatchSupported,
     ];
 
-    /// Stable short code (`"V1"`…`"V9"`).
+    /// Stable short code (`"V1"`…`"V10"`).
     pub fn code(self) -> &'static str {
         match self {
             Invariant::CapsAccess => "V1",
@@ -86,6 +90,7 @@ impl Invariant {
             Invariant::MemoSig => "V7",
             Invariant::CardConsistent => "V8",
             Invariant::VarScope => "V9",
+            Invariant::BatchSupported => "V10",
         }
     }
 
@@ -101,6 +106,7 @@ impl Invariant {
             Invariant::MemoSig => "memo-sig",
             Invariant::CardConsistent => "card-consistent",
             Invariant::VarScope => "var-scope",
+            Invariant::BatchSupported => "batch-supported",
         }
     }
 
@@ -146,7 +152,7 @@ impl std::fmt::Display for Violation {
 /// and every violation found.
 #[derive(Debug, Clone, Default)]
 pub struct VerifyReport {
-    checks: [usize; 9],
+    checks: [usize; 10],
     /// All violations, in plan-walk order.
     pub violations: Vec<Violation>,
 }
@@ -356,6 +362,27 @@ impl Verifier<'_> {
                 p.est_rows
             )
         });
+        // V10: the batch annotation mirrors eligibility exactly — present
+        // (at the canonical capacity) iff the optimized planner proved the
+        // final expansion has a native block drain, absent otherwise.
+        let eligible = self.mode == PlanMode::Optimized && batch_eligible(p);
+        match p.batch {
+            Some(n) => {
+                self.check(Invariant::BatchSupported, eligible, || {
+                    "batch annotation on a path without a native block drain".to_string()
+                });
+                self.check(
+                    Invariant::BatchSupported,
+                    usize::from(n) == DEFAULT_BATCH,
+                    || format!("path batch capacity {n} != canonical {DEFAULT_BATCH}"),
+                );
+            }
+            None => {
+                self.check(Invariant::BatchSupported, !eligible, || {
+                    "eligible final expansion is missing its batch annotation".to_string()
+                });
+            }
+        }
     }
 
     fn tails(&mut self, p: &PathPlan) {
@@ -595,6 +622,7 @@ impl Verifier<'_> {
             residual,
             est_probe,
             est_build,
+            batch,
         } = strategy
         else {
             return;
@@ -603,6 +631,13 @@ impl Verifier<'_> {
             Invariant::NaivePurity,
             self.mode == PlanMode::Optimized,
             || "naive plan contains a HashJoin".to_string(),
+        );
+        // V10: hash joins always probe in runs of the canonical length
+        // (naive plans never build one, so the annotation is unconditional).
+        self.check(
+            Invariant::BatchSupported,
+            *batch == Some(JOIN_PROBE_RUN as u16),
+            || format!("hash join probe run {batch:?} != canonical {JOIN_PROBE_RUN}"),
         );
         self.check(Invariant::JoinKeys, probe_var != build_var, || {
             format!("HashJoin binds ${probe_var} on both sides")

@@ -1,0 +1,50 @@
+//! Oracle for the feature-gated intra-query parallel hash-join build:
+//! with enough build items to cross the parallel threshold, the
+//! partitioned build must produce exactly the result the sequential
+//! nested-loop evaluation produces (the merge is in partition order, so
+//! the index — and therefore the emission order — is deterministic).
+//! On a single-core host the build falls back to sequential and the
+//! oracle still holds.
+#![cfg(feature = "parallel")]
+
+use xmark_query::plan::{PlanMode, Strategy};
+use xmark_query::{compile_with_mode, execute};
+use xmark_store::EdgeStore;
+
+/// A document whose join build side comfortably exceeds the parallel
+/// threshold (256 items per worker).
+fn wide_doc(people: usize) -> String {
+    let mut xml = String::from("<site><people>");
+    for i in 0..people {
+        xml.push_str(&format!(
+            "<person id=\"person{i}\"><name>p{}</name></person>",
+            i % 97
+        ));
+    }
+    xml.push_str("</people></site>");
+    xml
+}
+
+#[test]
+fn parallel_join_build_matches_the_nested_loop_oracle() {
+    let xml = wide_doc(700);
+    let store = EdgeStore::load(&xml).unwrap();
+    let q = r#"for $a in /site/people/person, $b in /site/people/person
+               where $a/name/text() = $b/name/text()
+               return $b/@id"#;
+    let optimized = compile_with_mode(q, &store, PlanMode::Optimized).unwrap();
+    assert!(
+        matches!(
+            optimized.plan.body,
+            xmark_query::plan::PlanExpr::Flwor(ref f)
+                if matches!(f.strategy, Strategy::HashJoin { .. })
+        ),
+        "the equi-join plans as a hash join"
+    );
+    let naive = compile_with_mode(q, &store, PlanMode::Naive).unwrap();
+    assert_eq!(
+        execute(&optimized, &store).unwrap(),
+        execute(&naive, &store).unwrap(),
+        "parallel build diverged from the sequential oracle"
+    );
+}

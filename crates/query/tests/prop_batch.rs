@@ -1,0 +1,114 @@
+//! Property tests for the vectorized pull core: on arbitrary generated
+//! documents and every supported batch capacity, `next_batch`-then-drain
+//! must be observationally identical to repeated `next()` — same items,
+//! same bytes, same pull totals — including when the drain switches
+//! granularity half-way through (an item-facade prefix followed by a
+//! batched tail).
+
+use proptest::prelude::*;
+
+use xmark_query::plan::PlanMode;
+use xmark_query::result::serialize_sequence;
+use xmark_query::{compile_with_mode, execute};
+use xmark_store::EdgeStore;
+
+/// Every capacity class the stream supports: degenerate, misaligned
+/// with everything, the join probe run, and the widest batch.
+const CAPACITIES: [usize; 4] = [1, 3, 64, 256];
+
+/// A pool of shapes covering the batched operators: child and
+/// descendant expansions, value tails, predicates, FLWOR replay, and an
+/// aggregate (whose counted step must stay un-annotated).
+const QUERIES: [&str; 7] = [
+    "/site/a",
+    "/site//a",
+    "/site/a/b",
+    "/site//b/text()",
+    "/site/a[b]",
+    "for $x in /site//a return $x/b/text()",
+    "count(/site//c)",
+];
+
+/// A random element subtree, rendered straight to markup: leaves are
+/// empty or text-bearing, interior nodes fan out over the same small
+/// tag alphabet so the fixed query pool actually matches.
+fn arb_elem() -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        "[a-d]".prop_map(|t| format!("<{t}/>")),
+        ("[a-d]", "[x-z]{1,4}").prop_map(|(t, s)| format!("<{t}>{s}</{t}>")),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        ("[a-d]", prop::collection::vec(inner, 0..5))
+            .prop_map(|(t, kids)| format!("<{t}>{}</{t}>", kids.concat()))
+    })
+}
+
+fn arb_doc() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_elem(), 0..6)
+        .prop_map(|kids| format!("<site>{}</site>", kids.concat()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn next_batch_then_drain_matches_repeated_next(
+        xml in arb_doc(),
+        qi in 0..QUERIES.len(),
+        prefix in 0..12usize,
+    ) {
+        let store = EdgeStore::load(&xml).expect("generated document parses");
+        let compiled = compile_with_mode(QUERIES[qi], &store, PlanMode::Optimized)
+            .expect("pool query compiles");
+
+        // Materialize once first: memoized paths publish into the
+        // store-resident value cache on their first complete drain, so
+        // warming it up front puts every stream below — item-at-a-time
+        // and batched alike — in the same replay state. Without this the
+        // first drain would pull the store and every later one would
+        // replay the cache, and the pull-parity assertion would compare
+        // cold against warm.
+        let materialized = execute(&compiled, &store).expect("query runs");
+        let expected_exec = serialize_sequence(&store, &materialized);
+
+        // Baseline: the pure item facade, one `next()` at a time.
+        let mut s = compiled.stream(&store);
+        let mut baseline = Vec::new();
+        while let Some(item) = s.next_item() {
+            baseline.push(item.expect("query runs"));
+        }
+        let baseline_pulls = s.pulls();
+        let expected = serialize_sequence(&store, &baseline);
+        prop_assert_eq!(
+            expected.clone(), expected_exec,
+            "item drain diverges from execute on {} over {}", QUERIES[qi], xml
+        );
+
+        for cap in CAPACITIES {
+            // Full batched drain: same bytes, same pull total.
+            let mut s = compiled.stream(&store).with_batch_size(cap);
+            let batched = s.collect_seq().expect("batched drain runs");
+            prop_assert_eq!(
+                serialize_sequence(&store, &batched), expected.clone(),
+                "capacity {} diverges on {} over {}", cap, QUERIES[qi], xml
+            );
+            prop_assert_eq!(
+                s.pulls(), baseline_pulls,
+                "capacity {} pull total diverges on {} over {}", cap, QUERIES[qi], xml
+            );
+
+            // Granularity switch: an item prefix, then a batched tail.
+            let k = prefix.min(baseline.len());
+            let mut s = compiled.stream(&store).with_batch_size(cap);
+            let mut items = Vec::new();
+            for _ in 0..k {
+                items.push(s.next_item().expect("prefix item").expect("query runs"));
+            }
+            items.extend(s.collect_seq().expect("batched tail runs"));
+            prop_assert_eq!(
+                serialize_sequence(&store, &items), expected.clone(),
+                "prefix {} + capacity {} diverges on {}", k, cap, QUERIES[qi]
+            );
+        }
+    }
+}

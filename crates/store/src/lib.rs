@@ -51,7 +51,7 @@ pub mod summary;
 pub mod sync;
 pub mod traits;
 
-pub use axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed};
+pub use axis::{AttrIter, ChildIter, ChildrenNamed, DescendantsNamed, NodeBatch};
 pub use edge::EdgeStore;
 pub use fragmented::FragmentedStore;
 pub use index::{AttrIndex, ChildValues, ElementIndex, IndexManager, IndexStats};

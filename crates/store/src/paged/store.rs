@@ -588,6 +588,27 @@ impl Iterator for PagedChildrenNamed<'_> {
     }
 }
 
+impl PagedChildrenNamed<'_> {
+    /// Native block fill: pin each node page once and hop every child
+    /// whose record lives on it, instead of one pool pin per child.
+    pub(crate) fn next_block(&mut self, out: &mut crate::axis::NodeBatch) {
+        let per_page = NODES_PER_PAGE as u32;
+        while self.cur <= self.stop && !out.is_full() {
+            let page_no = self.cur / per_page;
+            let guard = self.store.pin(self.store.header.node_start + page_no);
+            let page = guard.read();
+            while self.cur <= self.stop && !out.is_full() && self.cur / per_page == page_no {
+                let id = self.cur;
+                let rec = NodeRec::decode(page.record((id % per_page) as u16));
+                self.cur = rec.end + 1;
+                if rec.tag_code == self.code {
+                    out.push(Node(id));
+                }
+            }
+        }
+    }
+}
+
 /// Descendant scan: every id in the interval, tag-code tested — the
 /// sequential-page access pattern the LRU pool likes.
 pub struct PagedScanNamed<'a> {
@@ -609,6 +630,30 @@ impl Iterator for PagedScanNamed<'_> {
             }
         }
         None
+    }
+}
+
+impl PagedScanNamed<'_> {
+    /// Native block fill: pin each node page once and tag-test the whole
+    /// slot run on it — the per-page unit of the vectorized scan.
+    pub(crate) fn next_block(&mut self, out: &mut crate::axis::NodeBatch) {
+        let per_page = NODES_PER_PAGE as u32;
+        while self.cur <= self.stop && !out.is_full() {
+            let page_no = self.cur / per_page;
+            let run_end = ((page_no + 1) * per_page - 1).min(self.stop);
+            let guard = self.store.pin(self.store.header.node_start + page_no);
+            let page = guard.read();
+            while self.cur <= run_end {
+                let id = self.cur;
+                self.cur += 1;
+                if NodeRec::decode(page.record((id % per_page) as u16)).tag_code == self.code {
+                    out.push(Node(id));
+                    if out.is_full() {
+                        return;
+                    }
+                }
+            }
+        }
     }
 }
 

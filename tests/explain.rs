@@ -49,29 +49,29 @@ Project $b/name/text()->vals("name")
 === A Q2 ===
 Project <increase>{$b/bidder[1]/increase/text()->vals("increase")}</increase>
   NestedLoop
-    For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
+    For $b in PathScan /site/open_auctions/open_auction ~24 [memo] [batch=128]
 === A Q3 ===
 Project <increase first="{$b/bidder[1]/increase/text()->vals("increase")}" last="{$b/bidder[last()]/inc…
   NestedLoop
-    For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
+    For $b in PathScan /site/open_auctions/open_auction ~24 [memo] [batch=128]
     Filter@1 zero-or-one($b/bidder[1]/increase/text()->vals("increase")) * 2 <= $b/bidder[last()]/increase/t…
 === A Q4 ===
 Project <history>{$b/reserve/text()->vals("reserve")}</history>
   NestedLoop
-    For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
+    For $b in PathScan /site/open_auctions/open_auction ~24 [memo] [batch=128]
     Filter@1 some $pr1 in $b/bidder/personref[./@person = "person20"], $pr2 in $b/bidder/personref[./@person…
 === A Q5 ===
 Eval count(flwor(… return $i/price))
   Project $i/price
     NestedLoop
-      For $i in PathScan /site/closed_auctions/closed_auction ~19 [memo]
+      For $i in PathScan /site/closed_auctions/closed_auction ~19 [memo] [batch=128]
       Filter@1 $i/price/text()->vals("price") >= 40
 === A Q6 ===
 Project count($b//item)
   Aggregate count(//item) ~43 [idx]
     PathScan $b
   NestedLoop
-    For $b in PathScan /site/regions ~1 [memo]
+    For $b in PathScan /site/regions ~1 [memo] [batch=128]
 === A Q7 ===
 Project count($p//description) + count($p//annotation) + count($p//email)
   Aggregate count(//description) ~73 [idx]
@@ -81,24 +81,24 @@ Project count($p//description) + count($p//annotation) + count($p//email)
   Aggregate count(//email) [idx]
     PathScan $p
   NestedLoop
-    For $p in PathScan /site ~1 [memo]
+    For $p in PathScan /site ~1 [memo] [batch=128]
 === A Q8 ===
 Project <item person="{$p/name/text()->vals("name")}">{count($a)}</item>
   NestedLoop
-    For $p in PathScan /site/people/person ~51 [memo]
+    For $p in PathScan /site/people/person ~51 [memo] [batch=128]
     Let $a in
       Project $t
         IndexLookup $t/buyer/@person = $p/@id ~19
-          index $t [memo] in PathScan /site/closed_auctions/closed_auction ~19 [memo]
+          index $t [memo] in PathScan /site/closed_auctions/closed_auction ~19 [memo] [batch=128]
 === A Q9 ===
 Project <person name="{$p/name/text()->vals("name")}">{$a}</person>
   NestedLoop
-    For $p in PathScan /site/people/person ~51 [memo]
+    For $p in PathScan /site/people/person ~51 [memo] [batch=128]
     Let $a in
       Project <item>{$e/name/text()->vals("name")}</item>
-        HashJoin $t/itemref/@item = $e/@id ~19x43
-          probe $t in PathScan /site/closed_auctions/closed_auction ~19 [memo]
-          build $e [memo] in PathScan /site/regions/europe/item ~43 [memo]
+        HashJoin $t/itemref/@item = $e/@id ~19x43 [batch=64]
+          probe $t in PathScan /site/closed_auctions/closed_auction ~19 [memo] [batch=128]
+          build $e [memo] in PathScan /site/regions/europe/item ~43 [memo] [batch=128]
           Filter@probe $t/buyer/@person = $p/@id [memo]
 === A Q10 ===
 Project <categorie>{(<id>{$i}</id>, $p)}</categorie>
@@ -107,34 +107,34 @@ Project <categorie>{(<id>{$i}</id>, $p)}</categorie>
     Let $p in
       Project <personne><statistiques><sexe>{$t/profile/gender/text()->vals("gender")}</sexe><age>{$t/profile…
         IndexLookup $t/profile/interest/@category = $i ~51
-          index $t [memo] in PathScan /site/people/person ~51 [memo]
+          index $t [memo] in PathScan /site/people/person ~51 [memo] [batch=128]
 === A Q11 ===
 Project <items name="{$p/name/text()->vals("name")}">{count($l)}</items>
   NestedLoop
-    For $p in PathScan /site/people/person ~51 [memo]
+    For $p in PathScan /site/people/person ~51 [memo] [batch=128]
     Let $l in
       Project $i
         NestedLoop
-          For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo]
+          For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo] [batch=128]
           Filter@1 $p/profile/@income > 5000 * $i/text()
 === A Q12 ===
 Project <items person="{$p/name/text()->vals("name")}">{count($l)}</items>
   NestedLoop
-    For $p in PathScan /site/people/person ~51 [memo]
+    For $p in PathScan /site/people/person ~51 [memo] [batch=128]
     Filter@1 $p/profile/@income > 50000
     Let $l in
       Project $i
         NestedLoop
-          For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo]
+          For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo] [batch=128]
           Filter@1 $p/profile/@income > 5000 * $i/text()
 === A Q13 ===
 Project <item name="{$i/name/text()->vals("name")}">{$i/description}</item>
   NestedLoop
-    For $i in PathScan /site/regions/australia/item ~43 [memo]
+    For $i in PathScan /site/regions/australia/item ~43 [memo] [batch=128]
 === A Q14 ===
 Project $i/name/text()->vals("name")
   NestedLoop
-    For $i in PathScan /site//item->idx ~43 [memo]
+    For $i in PathScan /site//item->idx ~43 [memo] [batch=128]
     Filter@1 contains(string($i/description), "gold")
 === A Q15 ===
 Project <text>{$a}</text>
@@ -143,30 +143,30 @@ Project <text>{$a}</text>
 === A Q16 ===
 Project <person id="{$a/seller/@person}"/>
   NestedLoop
-    For $a in PathScan /site/closed_auctions/closed_auction ~19 [memo]
+    For $a in PathScan /site/closed_auctions/closed_auction ~19 [memo] [batch=128]
     Filter@1 not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()-…
 === A Q17 ===
 Project <person name="{$p/name/text()->vals("name")}"/>
   NestedLoop
-    For $p in PathScan /site/people/person ~51 [memo]
+    For $p in PathScan /site/people/person ~51 [memo] [batch=128]
     Filter@1 empty($p/homepage/text()->vals("homepage"))
 === A Q18 ===
 Function local:convert($v)
   Eval 2.20371 * $v
 Project local:convert(zero-or-one($i/reserve/text()->vals("reserve")))
   NestedLoop
-    For $i in PathScan /site/open_auctions/open_auction ~24 [memo]
+    For $i in PathScan /site/open_auctions/open_auction ~24 [memo] [batch=128]
 === A Q19 ===
 Project <item name="{$k}">{$b/location/text()->vals("location")}</item>
   Sort zero-or-one($b/location) ascending
     NestedLoop
-      For $b in PathScan /site/regions//item->idx ~43 [memo]
+      For $b in PathScan /site/regions//item->idx ~43 [memo] [batch=128]
       Let $k in PathScan $b/name/text()->vals("name") ~96
 === A Q20 ===
 Eval <result><preferred>{count(/site/people/person/profile[./@income >= 100000])}</preferred><standa…
   Project $p
     NestedLoop
-      For $p in PathScan /site/people/person ~51 [memo]
+      For $p in PathScan /site/people/person ~51 [memo] [batch=128]
       Filter@1 empty($p/profile/@income)
 "#;
 
@@ -177,29 +177,29 @@ Project $b/name/text()->vals("name")
 === E Q2 ===
 Project <increase>{$b/bidder[1]/increase/text()->vals("increase")}</increase>
   NestedLoop
-    For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
+    For $b in PathScan /site/open_auctions/open_auction ~24 [memo] [batch=128]
 === E Q3 ===
 Project <increase first="{$b/bidder[1]/increase/text()->vals("increase")}" last="{$b/bidder[last()]/inc…
   NestedLoop
-    For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
+    For $b in PathScan /site/open_auctions/open_auction ~24 [memo] [batch=128]
     Filter@1 zero-or-one($b/bidder[1]/increase/text()->vals("increase")) * 2 <= $b/bidder[last()]/increase/t…
 === E Q4 ===
 Project <history>{$b/reserve/text()->vals("reserve")}</history>
   NestedLoop
-    For $b in PathScan /site/open_auctions/open_auction ~24 [memo]
+    For $b in PathScan /site/open_auctions/open_auction ~24 [memo] [batch=128]
     Filter@1 some $pr1 in $b/bidder/personref[./@person = "person20"], $pr2 in $b/bidder/personref[./@person…
 === E Q5 ===
 Eval count(flwor(… return $i/price))
   Project $i/price
     NestedLoop
-      For $i in PathScan /site/closed_auctions/closed_auction ~19 [memo]
+      For $i in PathScan /site/closed_auctions/closed_auction ~19 [memo] [batch=128]
       Filter@1 $i/price/text()->vals("price") >= 40
 === E Q6 ===
 Project count($b//item)
   Aggregate count(//item) ~43 [summary]
     PathScan $b
   NestedLoop
-    For $b in PathScan /site/regions ~1 [memo]
+    For $b in PathScan /site/regions ~1 [memo] [batch=128]
 === E Q7 ===
 Project count($p//description) + count($p//annotation) + count($p//email)
   Aggregate count(//description) ~73 [summary]
@@ -209,24 +209,24 @@ Project count($p//description) + count($p//annotation) + count($p//email)
   Aggregate count(//email) [summary]
     PathScan $p
   NestedLoop
-    For $p in PathScan /site ~1 [memo]
+    For $p in PathScan /site ~1 [memo] [batch=128]
 === E Q8 ===
 Project <item person="{$p/name/text()->vals("name")}">{count($a)}</item>
   NestedLoop
-    For $p in PathScan /site/people/person ~51 [memo]
+    For $p in PathScan /site/people/person ~51 [memo] [batch=128]
     Let $a in
       Project $t
         IndexLookup $t/buyer/@person = $p/@id ~19
-          index $t [memo] in PathScan /site/closed_auctions/closed_auction ~19 [memo]
+          index $t [memo] in PathScan /site/closed_auctions/closed_auction ~19 [memo] [batch=128]
 === E Q9 ===
 Project <person name="{$p/name/text()->vals("name")}">{$a}</person>
   NestedLoop
-    For $p in PathScan /site/people/person ~51 [memo]
+    For $p in PathScan /site/people/person ~51 [memo] [batch=128]
     Let $a in
       Project <item>{$e/name/text()->vals("name")}</item>
-        HashJoin $t/itemref/@item = $e/@id ~19x43
-          probe $t in PathScan /site/closed_auctions/closed_auction ~19 [memo]
-          build $e [memo] in PathScan /site/regions/europe/item ~43 [memo]
+        HashJoin $t/itemref/@item = $e/@id ~19x43 [batch=64]
+          probe $t in PathScan /site/closed_auctions/closed_auction ~19 [memo] [batch=128]
+          build $e [memo] in PathScan /site/regions/europe/item ~43 [memo] [batch=128]
           Filter@probe $t/buyer/@person = $p/@id [memo]
 === E Q10 ===
 Project <categorie>{(<id>{$i}</id>, $p)}</categorie>
@@ -235,34 +235,34 @@ Project <categorie>{(<id>{$i}</id>, $p)}</categorie>
     Let $p in
       Project <personne><statistiques><sexe>{$t/profile/gender/text()->vals("gender")}</sexe><age>{$t/profile…
         IndexLookup $t/profile/interest/@category = $i ~51
-          index $t [memo] in PathScan /site/people/person ~51 [memo]
+          index $t [memo] in PathScan /site/people/person ~51 [memo] [batch=128]
 === E Q11 ===
 Project <items name="{$p/name/text()->vals("name")}">{count($l)}</items>
   NestedLoop
-    For $p in PathScan /site/people/person ~51 [memo]
+    For $p in PathScan /site/people/person ~51 [memo] [batch=128]
     Let $l in
       Project $i
         NestedLoop
-          For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo]
+          For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo] [batch=128]
           Filter@1 $p/profile/@income > 5000 * $i/text()
 === E Q12 ===
 Project <items person="{$p/name/text()->vals("name")}">{count($l)}</items>
   NestedLoop
-    For $p in PathScan /site/people/person ~51 [memo]
+    For $p in PathScan /site/people/person ~51 [memo] [batch=128]
     Filter@1 $p/profile/@income > 50000
     Let $l in
       Project $i
         NestedLoop
-          For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo]
+          For $i in PathScan /site/open_auctions/open_auction/initial ~24 [memo] [batch=128]
           Filter@1 $p/profile/@income > 5000 * $i/text()
 === E Q13 ===
 Project <item name="{$i/name/text()->vals("name")}">{$i/description}</item>
   NestedLoop
-    For $i in PathScan /site/regions/australia/item ~43 [memo]
+    For $i in PathScan /site/regions/australia/item ~43 [memo] [batch=128]
 === E Q14 ===
 Project $i/name/text()->vals("name")
   NestedLoop
-    For $i in PathScan /site//item ~43 [memo]
+    For $i in PathScan /site//item ~43 [memo] [batch=128]
     Filter@1 contains(string($i/description), "gold")
 === E Q15 ===
 Project <text>{$a}</text>
@@ -271,30 +271,30 @@ Project <text>{$a}</text>
 === E Q16 ===
 Project <person id="{$a/seller/@person}"/>
   NestedLoop
-    For $a in PathScan /site/closed_auctions/closed_auction ~19 [memo]
+    For $a in PathScan /site/closed_auctions/closed_auction ~19 [memo] [batch=128]
     Filter@1 not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()-…
 === E Q17 ===
 Project <person name="{$p/name/text()->vals("name")}"/>
   NestedLoop
-    For $p in PathScan /site/people/person ~51 [memo]
+    For $p in PathScan /site/people/person ~51 [memo] [batch=128]
     Filter@1 empty($p/homepage/text()->vals("homepage"))
 === E Q18 ===
 Function local:convert($v)
   Eval 2.20371 * $v
 Project local:convert(zero-or-one($i/reserve/text()->vals("reserve")))
   NestedLoop
-    For $i in PathScan /site/open_auctions/open_auction ~24 [memo]
+    For $i in PathScan /site/open_auctions/open_auction ~24 [memo] [batch=128]
 === E Q19 ===
 Project <item name="{$k}">{$b/location/text()->vals("location")}</item>
   Sort zero-or-one($b/location) ascending
     NestedLoop
-      For $b in PathScan /site/regions//item ~43 [memo]
+      For $b in PathScan /site/regions//item ~43 [memo] [batch=128]
       Let $k in PathScan $b/name/text()->vals("name") ~96
 === E Q20 ===
 Eval <result><preferred>{count(/site/people/person/profile[./@income >= 100000])}</preferred><standa…
   Project $p
     NestedLoop
-      For $p in PathScan /site/people/person ~51 [memo]
+      For $p in PathScan /site/people/person ~51 [memo] [batch=128]
       Filter@1 empty($p/profile/@income)
 "#;
 
@@ -374,6 +374,7 @@ fn naive_plans_contain_no_rewrites() {
             "->idx",
             "[idx]",
             "->vals(",
+            "[batch=",
         ] {
             assert!(
                 !rendered.contains(operator),

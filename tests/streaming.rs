@@ -171,6 +171,141 @@ fn exists_function_pulls_at_most_one_item() {
 }
 
 #[test]
+fn batched_drain_is_byte_identical_at_every_capacity() {
+    // The vectorized core under the item facade: at every batch
+    // capacity — degenerate (1), misaligned (3), the join run (64) and
+    // the widest supported (256) — the batched drains must reproduce
+    // `execute`'s bytes exactly, and the pull counter must report the
+    // same items-delivered total as an item-at-a-time drain. A full
+    // drain has no early-termination boundary, so the totals are equal,
+    // not merely within one batch.
+    let doc = generate_document(0.002);
+    for system in SystemId::EXTENDED {
+        let store = build_store(system, &doc.xml).unwrap();
+        let store = store.as_ref();
+        for q in &ALL_QUERIES {
+            let c = compiled(store, q.text);
+            let materialized = execute(&c, store).expect("query runs");
+            let expected = serialize_sequence(store, &materialized);
+            let (_, item_pulls) = drain_counting(c.stream(store));
+
+            for cap in [1usize, 3, 64, 256] {
+                let mut s = c.stream(store).with_batch_size(cap);
+                let streamed = s.collect_seq().expect("stream runs");
+                assert_eq!(
+                    serialize_sequence(store, &streamed),
+                    expected,
+                    "Q{} batched items diverge on {system} at capacity {cap}",
+                    q.number
+                );
+                assert_eq!(
+                    s.pulls(),
+                    item_pulls,
+                    "Q{} batched drain pull total diverges on {system} at \
+                     capacity {cap}",
+                    q.number
+                );
+            }
+
+            // Sink serialization through the batched core, at the two
+            // extreme capacities.
+            for cap in [3usize, 256] {
+                let mut sunk = String::new();
+                let stats = c
+                    .stream(store)
+                    .with_batch_size(cap)
+                    .write_to(&mut sunk)
+                    .expect("write_to runs");
+                assert_eq!(
+                    sunk, expected,
+                    "Q{} batched write_to bytes diverge on {system} at \
+                     capacity {cap}",
+                    q.number
+                );
+                assert_eq!(stats.items, materialized.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn half_consumed_stream_resumes_batched_from_the_item_offset() {
+    // Granularity switch mid-stream: pull a prefix through the item
+    // facade — leaving memoized inner cursors half-way through their
+    // shared sequences — then drain the rest batched. The resumed batch
+    // drain must continue from the facade's offset, not replay the memo
+    // from its start. The FLWOR body replays an absolute memoized path
+    // per binding, so every prefix length that is misaligned with the
+    // batch capacity lands inside a replayed sequence.
+    let doc = generate_document(0.002);
+    let loaded = load_system(SystemId::D, &doc.xml);
+    let store = loaded.store.as_ref();
+    let c = compiled(
+        store,
+        r#"for $p in document("auction.xml")/site/people/person
+           return document("auction.xml")/site/regions//item/name/text()"#,
+    );
+    let all = execute(&c, store).unwrap();
+    assert!(
+        all.len() > 8,
+        "need a multi-item result to misalign against every capacity"
+    );
+    let expected = serialize_sequence(store, &all);
+
+    for cap in [1usize, 3, 64, 256] {
+        for k in [1usize, 2, all.len() / 2, all.len() - 1] {
+            let mut s = c.stream(store).with_batch_size(cap);
+            let mut items = Vec::with_capacity(all.len());
+            for _ in 0..k {
+                items.push(
+                    s.next_item()
+                        .expect("prefix item exists")
+                        .expect("query runs"),
+                );
+            }
+            items.extend(s.collect_seq().expect("stream resumes batched"));
+            assert_eq!(
+                serialize_sequence(store, &items),
+                expected,
+                "prefix of {k} items then a capacity-{cap} batched drain \
+                 diverges from the materialized result"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_capacity_never_widens_a_take_boundary_by_more_than_one_batch() {
+    // The early-termination bound, restated for configured capacities:
+    // `take(n)` / `exists()` ride the item facade, so a stream carrying
+    // any batch capacity may pull at most one batch beyond what the
+    // item-at-a-time boundary pulls — and must still pull strictly
+    // fewer items than a full drain.
+    let doc = generate_document(0.002);
+    let loaded = load_system(SystemId::D, &doc.xml);
+    let store = loaded.store.as_ref();
+    let c = compiled(store, query(13).text);
+    let (items, full_pulls) = drain_counting(c.stream(store));
+    assert!(items > 1);
+    let boundary_pulls = pulls_after_taking(c.stream(store), 1);
+
+    for cap in [1usize, 3, 64, 256] {
+        let pulls = pulls_after_taking(c.stream(store).with_batch_size(cap), 1);
+        assert!(
+            pulls < full_pulls,
+            "capacity-{cap} stream pulled {pulls} items for one item — \
+             no fewer than the full drain's {full_pulls}"
+        );
+        assert!(
+            pulls <= boundary_pulls + cap as u64,
+            "capacity-{cap} stream pulled {pulls} items for one item — \
+             more than one batch past the item-facade boundary \
+             ({boundary_pulls})"
+        );
+    }
+}
+
+#[test]
 fn session_stream_facade_short_circuits() {
     // The façade surface: Session::stream wires the same fast paths.
     let session = Benchmark::at_scale("mini").generate();
