@@ -118,6 +118,7 @@ pub use xmark_gen as gen;
 pub use xmark_query as query;
 pub use xmark_rel as rel;
 pub use xmark_store as store;
+pub use xmark_txn as txn;
 pub use xmark_xml as xml;
 
 /// Everything needed to run the benchmark.
@@ -134,13 +135,13 @@ pub use xmark_xml as xml;
 pub mod prelude {
     pub use crate::queries::{query, BenchmarkQuery, Concept, ALL_QUERIES, TABLE3_QUERIES};
     pub use crate::service::{
-        LatencyStats, PlanCache, QueryService, RequestMeasurement, ThroughputReport,
+        LatencyStats, MixedReport, PlanCache, QueryService, RequestMeasurement, ThroughputReport,
         DEFAULT_PLAN_CACHE,
     };
     pub use crate::spec::{
-        canonical_output, generate_document, load_system, measure_query, open_paged, scale,
-        Benchmark, BenchmarkReport, GeneratedDocument, LoadedStore, PreparedQuery,
-        QueryMeasurement, QueryStream, Scale, Session, SCALES,
+        canonical_output, generate_document, load_system, measure_query, open_paged,
+        open_paged_versioned, scale, Benchmark, BenchmarkReport, GeneratedDocument, LoadedStore,
+        PreparedQuery, QueryMeasurement, QueryStream, Scale, Session, SCALES,
     };
     pub use xmark_gen::{generate_split, generate_string, Generator, GeneratorConfig, AUCTION_DTD};
     pub use xmark_query::{
@@ -149,7 +150,11 @@ pub mod prelude {
         ResultStream, StreamStats, VerifyReport,
     };
     pub use xmark_store::{
-        build_store, IndexManager, IndexStats, PagedStore, PlannerCaps, PoolStats, SystemId,
-        XmlStore, DEFAULT_POOL_PAGES,
+        build_store, IndexManager, IndexStats, PagedStore, PlannerCaps, PoolStats, StoreSource,
+        SystemId, XmlStore, DEFAULT_POOL_PAGES,
+    };
+    pub use xmark_txn::{
+        recover_paged, CommitInfo, RecoveryReport, SnapshotStore, Transaction, TxnError,
+        VersionedStore,
     };
 }

@@ -52,7 +52,7 @@ use std::time::{Duration, Instant};
 
 use xmark_query::{compile, Compiled};
 use xmark_store::sync::lock;
-use xmark_store::{IndexStats, SystemId, XmlStore};
+use xmark_store::{IndexStats, StoreSource, SystemId, XmlStore};
 
 use crate::queries::query;
 
@@ -168,6 +168,9 @@ impl PlanCache {
 pub struct RequestMeasurement {
     /// Query number (1–20).
     pub query: usize,
+    /// Content epoch of the snapshot the request was pinned to (always 0
+    /// on a read-only store).
+    pub epoch: u64,
     /// End-to-end request latency (through serialization of the last
     /// byte).
     pub latency: Duration,
@@ -261,18 +264,40 @@ impl ThroughputReport {
     }
 }
 
+/// What a mixed read/write closed-loop run produced: the reader-side
+/// throughput report plus the writer lane's commit latencies.
+#[derive(Debug, Clone)]
+pub struct MixedReport {
+    /// The reader side, identical in shape to a read-only run.
+    pub read: ThroughputReport,
+    /// Commits the writer lane completed during the run.
+    pub commits: usize,
+    /// Median commit latency (zero when no commit ran).
+    pub commit_p50: Duration,
+    /// 95th-percentile commit latency.
+    pub commit_p95: Duration,
+    /// Slowest commit.
+    pub commit_max: Duration,
+    /// Distinct snapshot epochs the readers pinned — at least 2 proves
+    /// reads genuinely overlapped commits.
+    pub epochs_observed: usize,
+}
+
 enum Job {
     Run(usize),
 }
 
-/// A fixed pool of query workers bound to one shared store.
+/// A fixed pool of query workers bound to one shared store source.
 ///
 /// Dropping the service closes the job channel; workers drain what is
 /// left and exit, and the drop joins them.
 pub struct QueryService {
     system: SystemId,
     workers: usize,
+    /// The snapshot that was current at service start — the read-only
+    /// fast path resolves to exactly this store on every request.
     store: Arc<dyn XmlStore>,
+    source: Arc<dyn StoreSource>,
     cache: Arc<PlanCache>,
     jobs: Option<mpsc::Sender<Job>>,
     results: mpsc::Receiver<RequestMeasurement>,
@@ -300,7 +325,23 @@ impl QueryService {
         workers: usize,
         cache_capacity: usize,
     ) -> Self {
+        Self::start_source(Arc::new(store), workers, cache_capacity)
+    }
+
+    /// Spawn a pool over a [`StoreSource`]: every request pins whatever
+    /// snapshot the source publishes at dispatch time, which is how the
+    /// pool keeps serving consistent reads while a writer commits new
+    /// epochs through a versioned store (see the `xmark-txn` crate).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn start_source(
+        source: Arc<dyn StoreSource>,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> Self {
         assert!(workers > 0, "a query service needs at least one worker");
+        let store = source.snapshot();
         let system = store.system();
         let cache = Arc::new(PlanCache::new(cache_capacity));
         let (job_tx, job_rx) = mpsc::channel::<Job>();
@@ -308,17 +349,18 @@ impl QueryService {
         let (result_tx, result_rx) = mpsc::channel::<RequestMeasurement>();
         let handles = (0..workers)
             .map(|_| {
-                let store = Arc::clone(&store);
+                let source = Arc::clone(&source);
                 let cache = Arc::clone(&cache);
                 let job_rx = Arc::clone(&job_rx);
                 let result_tx = result_tx.clone();
-                thread::spawn(move || worker_loop(store, cache, &job_rx, &result_tx))
+                thread::spawn(move || worker_loop(&*source, &cache, &job_rx, &result_tx))
             })
             .collect();
         QueryService {
             system,
             workers,
             store,
+            source,
             cache,
             jobs: Some(job_tx),
             results: result_rx,
@@ -326,7 +368,9 @@ impl QueryService {
         }
     }
 
-    /// The shared store this pool serves.
+    /// The snapshot that was current when the service started. On a
+    /// read-only store this is *the* store; on a versioned source later
+    /// requests may pin newer epochs.
     pub fn store(&self) -> &Arc<dyn XmlStore> {
         &self.store
     }
@@ -338,7 +382,8 @@ impl QueryService {
     /// index builds ([`ThroughputReport::index_builds`]).
     pub fn build_indexes(&self) -> Duration {
         let start = Instant::now();
-        self.store.indexes().build_all(self.store.as_ref());
+        let store = self.source.snapshot();
+        store.indexes().build_all(store.as_ref());
         start.elapsed()
     }
 
@@ -364,6 +409,45 @@ impl QueryService {
     /// Panics if the mix is empty or a query fails (all twenty canonical
     /// queries are tested to run on every backend).
     pub fn run_mix(&self, mix: &[usize], requests: usize) -> ThroughputReport {
+        self.run_loop(mix, requests, 0, &mut || None).read
+    }
+
+    /// Execute a closed-loop **mixed** run: readers cycle through `mix`
+    /// on the worker pool while this (collector) thread interleaves
+    /// writer commits so that roughly `write_pct` commits happen per 100
+    /// completed reads. `write` performs one commit against the shared
+    /// versioned store and returns its latency, or `None` once the
+    /// writer has nothing left to do.
+    ///
+    /// The reads and the commits genuinely overlap: workers keep
+    /// draining the queued read jobs on their own threads while the
+    /// collector blocks inside `write`. Every read measurement carries
+    /// the epoch of the snapshot it pinned, and cardinality/byte counts
+    /// are asserted identical **per (query, epoch)** — a read that
+    /// observed a torn or partial commit would diverge from its
+    /// epoch-mates and panic the run.
+    ///
+    /// # Panics
+    /// Panics as [`QueryService::run_mix`] does, and additionally when
+    /// two requests pinned to the same epoch disagree on a query's
+    /// result.
+    pub fn run_mixed(
+        &self,
+        mix: &[usize],
+        requests: usize,
+        write_pct: u32,
+        write: &mut dyn FnMut() -> Option<Duration>,
+    ) -> MixedReport {
+        self.run_loop(mix, requests, write_pct, write)
+    }
+
+    fn run_loop(
+        &self,
+        mix: &[usize],
+        requests: usize,
+        write_pct: u32,
+        write: &mut dyn FnMut() -> Option<Duration>,
+    ) -> MixedReport {
         assert!(
             !mix.is_empty(),
             "the query mix must name at least one query"
@@ -380,39 +464,70 @@ impl QueryService {
             jobs.send(Job::Run(mix[i % mix.len()]))
                 .expect("workers outlive the run");
         }
-        // Per query: (latency, time-to-first-item) samples plus the
-        // result cardinality/bytes every request must agree on.
+        // Per (query, epoch): (latency, time-to-first-item) samples plus
+        // the result cardinality/bytes every same-epoch request must
+        // agree on — the snapshot-consistency check.
         type QuerySamples = (Vec<(Duration, Duration)>, usize, u64);
-        let mut by_query: HashMap<usize, QuerySamples> = HashMap::new();
+        let mut by_query: HashMap<(usize, u64), QuerySamples> = HashMap::new();
         let mut result_bytes = 0u64;
-        for _ in 0..requests {
+        let mut commit_latencies: Vec<Duration> = Vec::new();
+        let mut writer_done = write_pct == 0;
+        for received in 0..requests {
             let m = self.recv_measurement();
             result_bytes += m.result_bytes;
             let entry = by_query
-                .entry(m.query)
+                .entry((m.query, m.epoch))
                 .or_insert_with(|| (Vec::new(), m.result_items, m.result_bytes));
             entry.0.push((m.latency, m.first_item));
             assert_eq!(
                 entry.1, m.result_items,
                 "Q{} returned differing cardinalities across concurrent requests \
-                 — thread-safety bug",
-                m.query
+                 pinned to epoch {} — snapshot-isolation bug",
+                m.query, m.epoch
             );
             assert_eq!(
                 entry.2, m.result_bytes,
                 "Q{} streamed differing byte counts across concurrent requests \
-                 — thread-safety bug",
-                m.query
+                 pinned to epoch {} — snapshot-isolation bug",
+                m.query, m.epoch
             );
+            // Writer lane: commit while the workers keep reading.
+            while !writer_done
+                && commit_latencies.len() as u64 * 100 < (received as u64 + 1) * write_pct as u64
+            {
+                match write() {
+                    Some(latency) => commit_latencies.push(latency),
+                    None => writer_done = true,
+                }
+            }
         }
         let elapsed = start.elapsed();
-        let mut per_query: Vec<LatencyStats> = by_query
+        let epochs_observed = by_query
+            .keys()
+            .map(|&(_, epoch)| epoch)
+            .collect::<std::collections::HashSet<u64>>()
+            .len();
+        // Merge epochs per query for the latency distributions; report
+        // the newest epoch's cardinality.
+        type Merged = (Vec<(Duration, Duration)>, u64, usize);
+        let mut merged: HashMap<usize, Merged> = HashMap::new();
+        for ((query, epoch), (samples, result_items, _)) in by_query {
+            let entry = merged
+                .entry(query)
+                .or_insert((Vec::new(), epoch, result_items));
+            entry.0.extend(samples);
+            if epoch >= entry.1 {
+                entry.1 = epoch;
+                entry.2 = result_items;
+            }
+        }
+        let mut per_query: Vec<LatencyStats> = merged
             .into_iter()
-            .map(|(query, (samples, result_items, _))| latency_stats(query, samples, result_items))
+            .map(|(query, (samples, _, result_items))| latency_stats(query, samples, result_items))
             .collect();
         per_query.sort_by_key(|s| s.query);
         let index_after = self.store.indexes().stats();
-        ThroughputReport {
+        let read = ThroughputReport {
             system: self.system,
             workers: self.workers,
             requests,
@@ -423,6 +538,24 @@ impl QueryService {
             index_hits: index_after.hits - index_hits_before,
             result_bytes,
             per_query,
+        };
+        commit_latencies.sort_unstable();
+        let commit_at = |p: f64| -> Duration {
+            if commit_latencies.is_empty() {
+                Duration::ZERO
+            } else {
+                let rank = ((p * commit_latencies.len() as f64).ceil() as usize)
+                    .clamp(1, commit_latencies.len());
+                commit_latencies[rank - 1]
+            }
+        };
+        MixedReport {
+            commits: commit_latencies.len(),
+            commit_p50: commit_at(0.50),
+            commit_p95: commit_at(0.95),
+            commit_max: commit_latencies.last().copied().unwrap_or(Duration::ZERO),
+            epochs_observed,
+            read,
         }
     }
 
@@ -485,8 +618,8 @@ impl std::fmt::Write for ByteSink {
 }
 
 fn worker_loop(
-    store: Arc<dyn XmlStore>,
-    cache: Arc<PlanCache>,
+    source: &dyn StoreSource,
+    cache: &PlanCache,
     jobs: &Mutex<mpsc::Receiver<Job>>,
     results: &mpsc::Sender<RequestMeasurement>,
 ) {
@@ -498,17 +631,26 @@ fn worker_loop(
         };
         let q = query(number);
         let start = Instant::now();
+        // Pin one snapshot for the whole request: a commit landing
+        // mid-request publishes a *new* snapshot and cannot tear this
+        // one. On a read-only store the pin is the store itself.
+        let store = source.snapshot();
+        let epoch = store.content_epoch();
+        // Plans are valid per (snapshot epoch, query): an epoch bump
+        // invalidates every cached plan implicitly through the key, so
+        // a plan compiled against dropped indexes is never reused.
+        let key = format!("{epoch}|{}", q.text);
         // A cache hit reuses the whole compiled artifact: no parse, no
         // metadata resolution, no planning. Two workers racing on the
         // same cold query both compile — harmless, last insert wins.
-        let compiled = match cache.lookup(q.text) {
+        let compiled = match cache.lookup(&key) {
             Some(compiled) => compiled,
             None => {
                 let compiled = Arc::new(
                     compile(q.text, store.as_ref())
                         .unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}")),
                 );
-                cache.insert(q.text, Arc::clone(&compiled));
+                cache.insert(&key, Arc::clone(&compiled));
                 compiled
             }
         };
@@ -523,6 +665,7 @@ fn worker_loop(
         if results
             .send(RequestMeasurement {
                 query: number,
+                epoch,
                 latency,
                 first_item: sink
                     .first_write

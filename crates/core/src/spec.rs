@@ -17,6 +17,7 @@ use xmark_query::{
     ResultStream, Sequence, StreamStats, VerifyReport,
 };
 use xmark_store::{build_store, PagedStore, SystemId, XmlStore, DEFAULT_POOL_PAGES};
+use xmark_txn::VersionedStore;
 
 use crate::queries::query;
 use crate::service::{QueryService, ThroughputReport};
@@ -149,6 +150,21 @@ pub fn open_paged(path: &Path, pool_pages: Option<usize>) -> std::io::Result<Loa
         load_time,
         size_bytes,
     })
+}
+
+/// Open a persisted backend-H page file and wrap it as a
+/// [`VersionedStore`] ready for transactions: committed structural
+/// updates in the WAL are replayed ([`xmark_txn::recover_paged`]), torn
+/// tails are truncated, and uncommitted transactions are discarded — the
+/// cold-start crash-recovery path.
+///
+/// # Errors
+/// As [`open_paged`], plus replay failure on a corrupted log.
+pub fn open_paged_versioned(
+    path: &Path,
+    pool_pages: Option<usize>,
+) -> std::io::Result<(Arc<VersionedStore>, xmark_txn::RecoveryReport)> {
+    xmark_txn::recover_paged(path, pool_pages.unwrap_or(DEFAULT_POOL_PAGES))
 }
 
 /// One query measurement: the parse/plan/execute split of Table 2 and the
@@ -645,6 +661,25 @@ impl Session {
     /// `system`.
     pub fn serve(&self, system: SystemId, workers: usize) -> QueryService {
         QueryService::start(self.load_shared(system), workers)
+    }
+
+    /// Bulkload `system` and wrap it as a [`VersionedStore`] — the entry
+    /// point for structural updates: [`VersionedStore::begin`] opens a
+    /// [`xmark_txn::Transaction`], and [`VersionedStore::snapshot`] pins
+    /// consistent read views while commits publish new epochs.
+    pub fn load_versioned(&self, system: SystemId) -> Arc<VersionedStore> {
+        VersionedStore::new(self.load_shared(system))
+    }
+
+    /// Spawn a [`QueryService`] whose workers resolve each request
+    /// against the *current* snapshot of `store` — reads keep flowing,
+    /// pinned per request, while transactions commit.
+    pub fn serve_versioned(&self, store: &Arc<VersionedStore>, workers: usize) -> QueryService {
+        QueryService::start_source(
+            Arc::clone(store) as Arc<dyn xmark_store::StoreSource>,
+            workers,
+            crate::service::DEFAULT_PLAN_CACHE,
+        )
     }
 
     /// Bulkload `system` and compile `text` against it once, returning a

@@ -34,8 +34,9 @@ pub mod rules;
 
 pub use rules::{Diagnostic, Rule};
 
-/// Run the per-file rules (R1–R5, R7) over one source file. `path` is
-/// the repo-relative path (used both for rule scoping and diagnostics).
+/// Run the per-file rules (R1–R5, R7, R8) over one source file. `path`
+/// is the repo-relative path (used both for rule scoping and
+/// diagnostics).
 pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
     let lines = lexer::model(source);
     let mut out = Vec::new();
@@ -45,11 +46,13 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
     out.extend(rules::wal_write_back(path, &lines));
     out.extend(rules::page_guard_pins(path, &lines));
     out.extend(rules::batch_prealloc(path, &lines));
+    out.extend(rules::wal_logged_mutations(path, &lines));
     out
 }
 
-/// Run every rule — the per-file R1–R5 and R7 plus the workspace-wide
-/// R6 — over a set of `(repo-relative path, source)` pairs.
+/// Run every rule — the per-file R1–R5, R7 and R8 plus the
+/// workspace-wide R6 — over a set of `(repo-relative path, source)`
+/// pairs.
 pub fn lint_files(files: &[(String, String)]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let modeled: Vec<(String, Vec<lexer::Line>)> = files
@@ -204,6 +207,55 @@ mod tests {
                   \x20 scratch.len() + first.len()\n\
                   }";
         assert!(lint_file("crates/store/src/axis.rs", ok).is_empty());
+    }
+
+    // ---- R8 --------------------------------------------------------------
+
+    #[test]
+    fn r8_flags_unlogged_page_mutation_in_commit_paths() {
+        // A function that mutates a pinned page but never appends a WAL
+        // record — in both scoped locations.
+        let src = "fn patch(&self, pid: PageId) -> io::Result<()> {\n\
+                   \x20 let mut g = self.pool.pin(pid)?;\n\
+                   \x20 g.write().set_lsn(lsn);\n\
+                   \x20 Ok(())\n\
+                   }";
+        let diags = lint_file("crates/store/src/paged/store.rs", src);
+        assert_eq!(codes(&diags), ["R8"]);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("write-ahead"));
+        let diags = lint_file("crates/txn/src/versioned.rs", src);
+        assert_eq!(codes(&diags), ["R8"]);
+    }
+
+    #[test]
+    fn r8_clean_when_logged_out_of_scope_or_waived() {
+        // The same mutation is fine when the enclosing function appends
+        // the record first — including across a multi-line signature.
+        let logged = "fn patch(\n\
+                      \x20 &self,\n\
+                      \x20 pid: PageId,\n\
+                      ) -> io::Result<()> {\n\
+                      \x20 let lsn = self.wal.append(&LogRecord::FormatPage { page: pid, kind });\n\
+                      \x20 let mut g = self.pool.pin(pid)?;\n\
+                      \x20 g.write().set_lsn(lsn);\n\
+                      \x20 Ok(())\n\
+                      }";
+        assert!(lint_file("crates/store/src/paged/store.rs", logged).is_empty());
+        // Pool internals flush WAL by LSN, not by appending; the rule
+        // does not apply there, nor outside the commit paths.
+        let unlogged = "fn f(&self) { self.guard.write().clear(); }";
+        assert!(lint_file("crates/store/src/paged/buffer.rs", unlogged).is_empty());
+        assert!(lint_file("crates/store/src/axis.rs", unlogged).is_empty());
+        // A waiver with a reason, and `OpenOptions::write(true)` (an
+        // option setter, not a page mutation), both stay silent.
+        let ok = "fn truncate(&self) -> io::Result<()> {\n\
+                  \x20 let f = OpenOptions::new().write(true).open(&p)?;\n\
+                  \x20 // lint: allow(R8) recovery truncation happens before replay begins\n\
+                  \x20 self.guard.write().clear();\n\
+                  \x20 Ok(())\n\
+                  }";
+        assert!(lint_file("crates/txn/src/recovery.rs", ok).is_empty());
     }
 
     // ---- R6 --------------------------------------------------------------

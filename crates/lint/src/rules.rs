@@ -1,4 +1,4 @@
-//! The seven workspace discipline rules.
+//! The eight workspace discipline rules.
 //!
 //! Each rule is a lexer-level check over the [`crate::lexer`] source
 //! model; all of them honor inline waivers of the form
@@ -28,10 +28,15 @@
 //!   caller's preallocated batch; allocating a fresh growable `Vec`
 //!   (`Vec::new(…)` / `vec![…]`) per call reintroduces exactly the
 //!   per-item reallocation the vectorized pull path exists to remove.
+//! * **R8 wal-logged-mutations** — in the commit paths (`paged/` outside
+//!   the pool internals, plus `crates/txn/`), every page mutation
+//!   (`.write()` on a pinned guard) sits in a function that also appends
+//!   to the WAL (`.append(`): write-ahead means no mutation path exists
+//!   that cannot be replayed after a crash.
 
 use crate::lexer::Line;
 
-/// One of the seven lint rules.
+/// One of the eight lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// R1: no `.unwrap()` / `.expect()` in hot-path modules.
@@ -48,11 +53,13 @@ pub enum Rule {
     SendSyncRoster,
     /// R7: no fresh growable `Vec` inside `next_batch` / `next_block`.
     BatchPrealloc,
+    /// R8: commit-path page mutations sit in WAL-appending functions.
+    WalLoggedMutations,
 }
 
 impl Rule {
-    /// All rules, in R1…R7 order.
-    pub const ALL: [Rule; 7] = [
+    /// All rules, in R1…R8 order.
+    pub const ALL: [Rule; 8] = [
         Rule::HotPathPanics,
         Rule::LockDiscipline,
         Rule::AtomicOrdering,
@@ -60,9 +67,10 @@ impl Rule {
         Rule::PageGuardPins,
         Rule::SendSyncRoster,
         Rule::BatchPrealloc,
+        Rule::WalLoggedMutations,
     ];
 
-    /// Stable short code (`"R1"`…`"R7"`).
+    /// Stable short code (`"R1"`…`"R8"`).
     pub fn code(self) -> &'static str {
         match self {
             Rule::HotPathPanics => "R1",
@@ -72,6 +80,7 @@ impl Rule {
             Rule::PageGuardPins => "R5",
             Rule::SendSyncRoster => "R6",
             Rule::BatchPrealloc => "R7",
+            Rule::WalLoggedMutations => "R8",
         }
     }
 
@@ -85,6 +94,7 @@ impl Rule {
             Rule::PageGuardPins => "page-guard-pins",
             Rule::SendSyncRoster => "send-sync-roster",
             Rule::BatchPrealloc => "batch-prealloc",
+            Rule::WalLoggedMutations => "wal-logged-mutations",
         }
     }
 }
@@ -365,6 +375,119 @@ pub fn batch_prealloc(path: &str, lines: &[Line]) -> Vec<Diagnostic> {
         }
     }
     out
+}
+
+/// R8: in the commit paths — `paged/` outside the pool internals
+/// (`buffer.rs`, `file.rs`) plus `crates/txn/` — every page mutation
+/// (`.write()` on a pinned page guard) must sit inside a function that
+/// also appends to the WAL (`.append(`). Write-ahead logging is a
+/// *pairing* discipline: a mutation whose enclosing function never logs
+/// is a state change recovery cannot replay.
+pub fn wal_logged_mutations(path: &str, lines: &[Line]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let scoped = (in_paged(path) && !matches!(basename(path), "buffer.rs" | "file.rs"))
+        || path.contains("txn/src/");
+    if !scoped {
+        return out;
+    }
+
+    // Pass 1: function spans via brace-depth tracking (same caveats as
+    // R7 — the lexer blanks string contents, so literal braces cannot
+    // confuse the count). A span runs from the `fn` keyword to the `}`
+    // that closes its body; nested `fn` items produce nested spans.
+    struct Span {
+        start: usize,
+        end: usize,
+    }
+    let mut spans: Vec<Span> = Vec::new();
+    let mut open: Vec<(usize, usize)> = Vec::new(); // (span idx, body depth)
+    let mut pending_sig: Option<usize> = None;
+    let mut depth = 0usize;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if pending_sig.is_none() && is_fn_def(code) {
+            spans.push(Span {
+                start: idx,
+                end: lines.len().saturating_sub(1),
+            });
+            pending_sig = Some(spans.len() - 1);
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(si) = pending_sig.take() {
+                        open.push((si, depth));
+                    }
+                }
+                '}' => {
+                    if let Some(&(si, d)) = open.last() {
+                        if depth == d {
+                            spans[si].end = idx;
+                            open.pop();
+                        }
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Pass 2: flag `.write()` lines with no WAL append anywhere in an
+    // enclosing function span.
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || !line.code.contains(".write()") {
+            continue;
+        }
+        let logged = spans
+            .iter()
+            .filter(|s| s.start <= idx && idx <= s.end)
+            .any(|s| {
+                lines[s.start..=s.end]
+                    .iter()
+                    .any(|l| l.code.contains(".append("))
+            });
+        if logged || waived(lines, idx, Rule::WalLoggedMutations) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: Rule::WalLoggedMutations,
+            file: path.to_string(),
+            line: idx + 1,
+            message: "page mutation in a function that never appends to the WAL: log a \
+                      redo/undo record before mutating (write-ahead), or route through a \
+                      logging helper"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// Does this code line start a `fn` item definition (not a call or a
+/// mention inside a type)? Lexer-level heuristic: the `fn` token bounded
+/// by non-identifier characters, followed by an identifier.
+fn is_fn_def(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(at) = rest.find("fn ") {
+        let before_ok = at == 0
+            || rest[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+        let after = &rest[at + 3..];
+        if before_ok
+            && after
+                .trim_start()
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            return true;
+        }
+        rest = &rest[at + 3..];
+    }
+    false
 }
 
 /// R6: every `impl XmlStore for T` appears in the `Send + Sync`

@@ -257,7 +257,12 @@ impl<'a> Evaluator<'a> {
                 let r = self.eval(rhs, env, ctx)?;
                 let before = l.iter().any(|a| {
                     r.iter().any(|b| match (a, b) {
-                        (Item::Node(x), Item::Node(y)) => x < y,
+                        // Compare order *keys*, not raw ids: MVCC
+                        // snapshots number inserted nodes above the base
+                        // range but interleave them by rank.
+                        (Item::Node(x), Item::Node(y)) => {
+                            self.store.doc_order_key(*x) < self.store.doc_order_key(*y)
+                        }
                         _ => false,
                     })
                 });

@@ -87,10 +87,12 @@ fn preorder<S: XmlStore + ?Sized>(store: &S, mut visit: impl FnMut(Node)) {
 /// The element-name index: per tag, the document-ordered posting list of
 /// element node ids, plus each node's subtree end for range stabbing.
 pub struct ElementIndex {
-    /// tag → ascending node ids (document order).
-    postings: HashMap<String, Vec<u32>>,
+    /// tag → ascending node ids (document order). Lists are `Arc`-shared
+    /// so the transaction layer's incremental maintenance clones the map
+    /// in O(tags) and replaces only the lists a commit touched.
+    postings: HashMap<String, Arc<Vec<u32>>>,
     /// node id → largest id in its subtree (inclusive). Indexed by id.
-    subtree_end: Vec<u32>,
+    subtree_end: Arc<Vec<u32>>,
     /// Whether ids were verified to increase along the pre-order walk —
     /// the invariant subtree stabbing rests on.
     ordered: bool,
@@ -102,7 +104,7 @@ impl ElementIndex {
     /// Build by one pre-order walk over `store`'s streaming axis cursors.
     fn build<S: XmlStore + ?Sized>(store: &S) -> ElementIndex {
         let root = store.root();
-        let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut postings: HashMap<String, Arc<Vec<u32>>> = HashMap::new();
         let mut subtree_end: Vec<u32> = vec![0; store.node_count()];
         let mut ordered = true;
         let mut elements = 0usize;
@@ -111,9 +113,11 @@ impl ElementIndex {
             if let Some(tag) = store.tag_of(n) {
                 *elements += 1;
                 match postings.get_mut(tag) {
-                    Some(list) => list.push(n.0),
+                    // Arc never escapes during the build, so this is a
+                    // plain in-place push.
+                    Some(list) => Arc::make_mut(list).push(n.0),
                     None => {
-                        postings.insert(tag.to_string(), vec![n.0]);
+                        postings.insert(tag.to_string(), Arc::new(vec![n.0]));
                     }
                 }
             }
@@ -149,10 +153,44 @@ impl ElementIndex {
         }
         ElementIndex {
             postings,
+            subtree_end: Arc::new(subtree_end),
+            ordered,
+            elements,
+        }
+    }
+
+    /// Assemble an index from pre-computed parts — the transaction
+    /// layer's incremental maintenance path. `ordered` must only be
+    /// passed as `true` when every posting list is ascending in node id
+    /// *and* `subtree_end` covers every listed id.
+    pub fn from_parts(
+        postings: HashMap<String, Arc<Vec<u32>>>,
+        subtree_end: Arc<Vec<u32>>,
+        ordered: bool,
+        elements: usize,
+    ) -> ElementIndex {
+        ElementIndex {
+            postings,
             subtree_end,
             ordered,
             elements,
         }
+    }
+
+    /// The shared posting map — cheap to clone (O(tags) `Arc` bumps) for
+    /// copy-on-write maintenance.
+    pub fn shared_postings(&self) -> &HashMap<String, Arc<Vec<u32>>> {
+        &self.postings
+    }
+
+    /// The shared subtree-end array.
+    pub fn shared_subtree_end(&self) -> &Arc<Vec<u32>> {
+        &self.subtree_end
+    }
+
+    /// The largest id inside `n`'s subtree, when known.
+    pub fn subtree_end_of(&self, n: Node) -> Option<u32> {
+        self.subtree_end.get(n.index()).copied()
     }
 
     /// Whether subtree stabbing is valid (ids verified pre-order).
@@ -162,7 +200,7 @@ impl ElementIndex {
 
     /// Exact extent cardinality of `tag` over the whole document.
     pub fn count(&self, tag: &str) -> usize {
-        self.postings.get(tag).map_or(0, Vec::len)
+        self.postings.get(tag).map_or(0, |list| list.len())
     }
 
     /// Total elements indexed.
@@ -172,7 +210,7 @@ impl ElementIndex {
 
     /// The whole-document posting list of `tag`, ascending ids.
     pub fn postings(&self, tag: &str) -> &[u32] {
-        self.postings.get(tag).map_or(&[], Vec::as_slice)
+        self.postings.get(tag).map_or(&[], |list| list.as_slice())
     }
 
     /// The descendants of `n` with `tag` as a contiguous posting slice
@@ -228,6 +266,17 @@ impl AttrIndex {
         AttrIndex { map }
     }
 
+    /// Assemble from a pre-computed map — the transaction layer's
+    /// incremental upsert path.
+    pub fn from_map(map: HashMap<String, u32>) -> AttrIndex {
+        AttrIndex { map }
+    }
+
+    /// A copy of the underlying map, for copy-on-write maintenance.
+    pub fn clone_map(&self) -> HashMap<String, u32> {
+        self.map.clone()
+    }
+
     /// The element carrying this attribute value, if any.
     pub fn get(&self, value: &str) -> Option<Node> {
         self.map.get(value).map(|&id| Node(id))
@@ -279,6 +328,17 @@ impl ChildValues {
             }
         }
         ChildValues { map }
+    }
+
+    /// Assemble from a pre-computed map — the transaction layer's
+    /// incremental upsert path.
+    pub fn from_map(map: HashMap<u32, Vec<u32>>) -> ChildValues {
+        ChildValues { map }
+    }
+
+    /// A copy of the underlying map, for copy-on-write maintenance.
+    pub fn clone_map(&self) -> HashMap<u32, Vec<u32>> {
+        self.map.clone()
     }
 
     /// The `tag/text()` nodes under parent `n` (empty when it has no
@@ -483,6 +543,61 @@ impl IndexManager {
     /// Whether value slots persist across executions.
     pub fn persistent(&self) -> bool {
         self.persistent.load(Ordering::Relaxed)
+    }
+
+    /// A manager pre-populated with structures carried over (and
+    /// incrementally maintained) from a predecessor snapshot — the
+    /// transaction layer's commit path. Seeded structures count as
+    /// neither builds nor hits until probed.
+    pub fn seeded(
+        element: Option<ElementIndex>,
+        attrs: Vec<(String, Arc<AttrIndex>)>,
+        values: Vec<(String, Arc<dyn Any + Send + Sync>, usize)>,
+    ) -> IndexManager {
+        let manager = IndexManager::new();
+        if let Some(index) = element {
+            let _ = manager.element.set(index);
+        }
+        {
+            let mut map = lock(&manager.attrs);
+            for (name, index) in attrs {
+                let slot = Arc::new(OnceLock::new());
+                let _ = slot.set(index);
+                map.insert(name, slot);
+            }
+        }
+        {
+            let mut map = lock(&manager.values);
+            let mut bytes = 0u64;
+            for (sig, value, size) in values {
+                bytes += size as u64;
+                map.insert(sig, Arc::new(Mutex::new(Some((value, size)))));
+            }
+            manager.value_bytes.store(bytes, Ordering::Relaxed);
+        }
+        manager
+    }
+
+    /// Every attribute index built so far, by name — what a commit
+    /// carries forward into the successor snapshot's manager.
+    pub fn built_attrs(&self) -> Vec<(String, Arc<AttrIndex>)> {
+        lock(&self.attrs)
+            .iter()
+            .filter_map(|(name, slot)| Some((name.clone(), Arc::clone(slot.get()?))))
+            .collect()
+    }
+
+    /// Every filled value slot `(signature, structure, bytes)` — what a
+    /// commit filters through signature invalidation and carries forward.
+    pub fn built_values(&self) -> Vec<(String, Arc<dyn Any + Send + Sync>, usize)> {
+        lock(&self.values)
+            .iter()
+            .filter_map(|(sig, slot)| {
+                let filled = lock(slot);
+                let (value, bytes) = filled.as_ref()?;
+                Some((sig.clone(), Arc::clone(value), *bytes))
+            })
+            .collect()
     }
 
     /// Eagerly build the store-walk indexes (element postings + `@id`

@@ -60,7 +60,7 @@ pub use interval::IntervalStore;
 pub use naive::NaiveStore;
 pub use paged::{PagedStore, PoolStats, DEFAULT_POOL_PAGES};
 pub use summary::SummaryStore;
-pub use traits::{Node, PlannerCaps, PositionSpec, StepEstimate, SystemId, XmlStore};
+pub use traits::{Node, PlannerCaps, PositionSpec, StepEstimate, StoreSource, SystemId, XmlStore};
 
 // Compile-time proof that every backend can be shared across threads:
 // `XmlStore` carries `Send + Sync` supertraits, and each concrete store

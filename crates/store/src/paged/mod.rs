@@ -35,7 +35,7 @@ pub use file::FileManager;
 pub use layout::{Catalog, Header, NodeRec, NODES_PER_PAGE};
 pub use page::{checksum, Page, PageId, PageKind, PAGE_SIZE};
 pub use store::{
-    PagedChildren, PagedChildrenNamed, PagedScanNamed, PagedStore, DEFAULT_POOL_PAGES,
+    wal_path_for, PagedChildren, PagedChildrenNamed, PagedScanNamed, PagedStore, DEFAULT_POOL_PAGES,
 };
 pub use wal::{LogManager, LogRecord, Lsn};
 

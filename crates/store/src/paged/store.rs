@@ -117,7 +117,10 @@ impl<'a> ExtentWriter<'a> {
     }
 }
 
-fn wal_path_for(path: &Path) -> PathBuf {
+/// The `.wal` sibling of a page file — the log [`PagedStore::create_at`]
+/// writes and crash recovery (`xmark_txn::recover_paged`) scans before
+/// reopening.
+pub fn wal_path_for(path: &Path) -> PathBuf {
     path.with_extension("wal")
 }
 
@@ -706,6 +709,10 @@ impl XmlStore for PagedStore {
 
     fn paged_stats(&self) -> Option<PoolStats> {
         Some(self.pool.stats())
+    }
+
+    fn txn_wal(&self) -> Option<&LogManager> {
+        Some(&self.wal)
     }
 
     fn indexes(&self) -> &IndexManager {

@@ -10,16 +10,32 @@
 //!    calls [`LogManager::flush`] up to that page's LSN (**log before
 //!    data** — see `BufferPool::write_back`);
 //! 3. [`LogManager::read_all`] replays the records at open time, which
-//!    today means one integrity check: a page file whose log lacks the
-//!    closing [`LogRecord::EndBulkLoad`] was torn mid-load and is
-//!    rejected rather than silently served.
+//!    for the bulkload means one integrity check: a page file whose log
+//!    lacks the closing [`LogRecord::EndBulkLoad`] was torn mid-load and
+//!    is rejected rather than silently served.
 //!
-//! Records are length-framed (`len: u16, tag: u8, payload`); an LSN is
+//! The transaction layer (`xmark-txn`) extends the log with **logical
+//! redo/undo records** (`Txn*` variants): a commit appends one
+//! [`LogRecord::TxnBegin`], the transaction's operations, and a closing
+//! [`LogRecord::TxnCommit`], then forces the log *before* publishing the
+//! new snapshot (force-log-at-commit). The commit protocol is no-steal
+//! (an uncommitted transaction's delta lives only in writer-private
+//! memory, so aborts never reach the log) and no-force for data pages
+//! (the bulkloaded pages are immutable; committed structural changes are
+//! re-derived from the log). Crash recovery is therefore exactly: replay
+//! the transactions whose `TxnCommit` survived, in log order — see
+//! `xmark_txn::recover_paged`. Undo payloads (`undo_xml`, old values)
+//! ride along ARIES-style so losers are diagnosable, but no-steal means
+//! they are never applied.
+//!
+//! Records are length-framed (`len: u32, tag: u8, payload`); an LSN is
 //! the byte offset just *past* a record, so `flush(lsn)` is "make the
-//! first `lsn` log bytes durable".
+//! first `lsn` log bytes durable". (The length field is 4 bytes because
+//! a logical insert record carries a whole subtree as XML text, which
+//! can exceed 64 KiB.)
 
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -52,12 +68,82 @@ pub enum LogRecord {
     },
     /// All dirty state up to this point is on disk.
     Checkpoint,
+    /// A transaction's commit began writing its logical records.
+    TxnBegin {
+        /// The transaction id (monotonic per store).
+        txn: u64,
+    },
+    /// Redo: a subtree (as XML text) was inserted as the last child of
+    /// `parent`. Replay re-parses the XML and re-inserts; deterministic
+    /// id/rank allocation makes the replayed snapshot identical.
+    TxnInsert {
+        /// The owning transaction.
+        txn: u64,
+        /// The parent node id the subtree was appended under.
+        parent: u32,
+        /// The inserted subtree, serialized.
+        xml: String,
+    },
+    /// Redo: the subtree rooted at `node` was deleted. `undo_xml` is the
+    /// ARIES-style undo image (never applied under no-steal).
+    TxnDelete {
+        /// The owning transaction.
+        txn: u64,
+        /// The deleted subtree's root id.
+        node: u32,
+        /// Serialization of the deleted subtree (undo image).
+        undo_xml: String,
+    },
+    /// Redo: the text node `node`'s content was replaced.
+    TxnSetText {
+        /// The owning transaction.
+        txn: u64,
+        /// The text node id.
+        node: u32,
+        /// Previous content (undo image).
+        old: String,
+        /// New content (redo image).
+        new: String,
+    },
+    /// Redo: attribute `name` of element `node` was set.
+    TxnSetAttr {
+        /// The owning transaction.
+        txn: u64,
+        /// The element id.
+        node: u32,
+        /// The attribute name.
+        name: String,
+        /// Previous value, `None` when the attribute was absent (undo
+        /// image).
+        old: Option<String>,
+        /// New value (redo image).
+        new: String,
+    },
+    /// The transaction's records are complete; forcing the log past this
+    /// point makes the commit durable.
+    TxnCommit {
+        /// The committed transaction.
+        txn: u64,
+    },
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &[u8], off: &mut usize) -> Option<String> {
+    let len = u32::from_le_bytes(buf.get(*off..*off + 4)?.try_into().ok()?) as usize;
+    *off += 4;
+    let s = std::str::from_utf8(buf.get(*off..*off + len)?).ok()?;
+    *off += len;
+    Some(s.to_string())
 }
 
 impl LogRecord {
     fn encode(&self, out: &mut Vec<u8>) {
         let start = out.len();
-        out.extend_from_slice(&0u16.to_le_bytes()); // len, patched below
+        out.extend_from_slice(&0u32.to_le_bytes()); // len, patched below
         match self {
             LogRecord::BeginBulkLoad { nodes } => {
                 out.push(0);
@@ -73,9 +159,65 @@ impl LogRecord {
                 out.extend_from_slice(&pages.to_le_bytes());
             }
             LogRecord::Checkpoint => out.push(3),
+            LogRecord::TxnBegin { txn } => {
+                out.push(4);
+                out.extend_from_slice(&txn.to_le_bytes());
+            }
+            LogRecord::TxnInsert { txn, parent, xml } => {
+                out.push(5);
+                out.extend_from_slice(&txn.to_le_bytes());
+                out.extend_from_slice(&parent.to_le_bytes());
+                put_str(out, xml);
+            }
+            LogRecord::TxnDelete {
+                txn,
+                node,
+                undo_xml,
+            } => {
+                out.push(6);
+                out.extend_from_slice(&txn.to_le_bytes());
+                out.extend_from_slice(&node.to_le_bytes());
+                put_str(out, undo_xml);
+            }
+            LogRecord::TxnSetText {
+                txn,
+                node,
+                old,
+                new,
+            } => {
+                out.push(7);
+                out.extend_from_slice(&txn.to_le_bytes());
+                out.extend_from_slice(&node.to_le_bytes());
+                put_str(out, old);
+                put_str(out, new);
+            }
+            LogRecord::TxnSetAttr {
+                txn,
+                node,
+                name,
+                old,
+                new,
+            } => {
+                out.push(8);
+                out.extend_from_slice(&txn.to_le_bytes());
+                out.extend_from_slice(&node.to_le_bytes());
+                put_str(out, name);
+                match old {
+                    Some(value) => {
+                        out.push(1);
+                        put_str(out, value);
+                    }
+                    None => out.push(0),
+                }
+                put_str(out, new);
+            }
+            LogRecord::TxnCommit { txn } => {
+                out.push(9);
+                out.extend_from_slice(&txn.to_le_bytes());
+            }
         }
-        let len = (out.len() - start - 2) as u16;
-        out[start..start + 2].copy_from_slice(&len.to_le_bytes());
+        let len = (out.len() - start - 4) as u32;
+        out[start..start + 4].copy_from_slice(&len.to_le_bytes());
     }
 
     fn decode(buf: &[u8]) -> Option<LogRecord> {
@@ -83,6 +225,9 @@ impl LogRecord {
         let body = &buf[1..];
         let u32_at = |b: &[u8], off: usize| -> Option<u32> {
             Some(u32::from_le_bytes(b.get(off..off + 4)?.try_into().ok()?))
+        };
+        let u64_at = |b: &[u8], off: usize| -> Option<u64> {
+            Some(u64::from_le_bytes(b.get(off..off + 8)?.try_into().ok()?))
         };
         Some(match tag {
             0 => LogRecord::BeginBulkLoad {
@@ -96,6 +241,61 @@ impl LogRecord {
                 pages: u32_at(body, 0)?,
             },
             3 => LogRecord::Checkpoint,
+            4 => LogRecord::TxnBegin {
+                txn: u64_at(body, 0)?,
+            },
+            5 => {
+                let mut off = 12;
+                LogRecord::TxnInsert {
+                    txn: u64_at(body, 0)?,
+                    parent: u32_at(body, 8)?,
+                    xml: get_str(body, &mut off)?,
+                }
+            }
+            6 => {
+                let mut off = 12;
+                LogRecord::TxnDelete {
+                    txn: u64_at(body, 0)?,
+                    node: u32_at(body, 8)?,
+                    undo_xml: get_str(body, &mut off)?,
+                }
+            }
+            7 => {
+                let mut off = 12;
+                LogRecord::TxnSetText {
+                    txn: u64_at(body, 0)?,
+                    node: u32_at(body, 8)?,
+                    old: get_str(body, &mut off)?,
+                    new: get_str(body, &mut off)?,
+                }
+            }
+            8 => {
+                let mut off = 12;
+                let txn = u64_at(body, 0)?;
+                let node = u32_at(body, 8)?;
+                let name = get_str(body, &mut off)?;
+                let old = match body.get(off)? {
+                    0 => {
+                        off += 1;
+                        None
+                    }
+                    1 => {
+                        off += 1;
+                        Some(get_str(body, &mut off)?)
+                    }
+                    _ => return None,
+                };
+                LogRecord::TxnSetAttr {
+                    txn,
+                    node,
+                    name,
+                    old,
+                    new: get_str(body, &mut off)?,
+                }
+            }
+            9 => LogRecord::TxnCommit {
+                txn: u64_at(body, 0)?,
+            },
             _ => return None,
         })
     }
@@ -208,23 +408,49 @@ impl LogManager {
     /// Read every record of the log at `path` — the open-time replay
     /// scan. Trailing garbage (a torn final record) yields an error.
     pub fn read_all(path: &Path) -> io::Result<Vec<LogRecord>> {
-        let mut bytes = Vec::new();
-        File::open(path)?.read_to_end(&mut bytes)?;
-        let mut records = Vec::new();
-        let mut off = 0usize;
-        while off < bytes.len() {
-            if off + 2 > bytes.len() {
-                return Err(torn(path, off));
-            }
-            let len = u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
-            let body = bytes
-                .get(off + 2..off + 2 + len)
-                .ok_or_else(|| torn(path, off))?;
-            records.push(LogRecord::decode(body).ok_or_else(|| torn(path, off))?);
-            off += 2 + len;
+        let bytes = std::fs::read(path)?;
+        let (records, valid) = parse_records(&bytes);
+        if valid < bytes.len() {
+            return Err(torn(path, valid));
         }
         Ok(records)
     }
+
+    /// Read the longest valid record *prefix* of the log at `path`,
+    /// returning the records plus the byte offset the prefix ends at —
+    /// the crash-recovery scan. A torn tail (the crash hit mid-append)
+    /// is expected and simply ends the prefix; recovery truncates the
+    /// file back to the returned boundary before reopening the store.
+    pub fn read_prefix(path: &Path) -> io::Result<(Vec<LogRecord>, u64)> {
+        let bytes = std::fs::read(path)?;
+        let (records, valid) = parse_records(&bytes);
+        Ok((records, valid as u64))
+    }
+}
+
+/// Decode records from the front of `bytes`; returns them plus the byte
+/// length of the valid prefix (== `bytes.len()` when nothing is torn).
+fn parse_records(bytes: &[u8]) -> (Vec<LogRecord>, usize) {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let Some(head) = bytes
+            .get(off..off + 4)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        else {
+            break;
+        };
+        let len = u32::from_le_bytes(head) as usize;
+        let Some(body) = bytes.get(off + 4..off + 4 + len) else {
+            break;
+        };
+        let Some(rec) = LogRecord::decode(body) else {
+            break;
+        };
+        records.push(rec);
+        off += 4 + len;
+    }
+    (records, off)
 }
 
 fn torn(path: &Path, off: usize) -> io::Error {
@@ -281,6 +507,68 @@ mod tests {
         assert!(log.flushed_lsn() >= first);
         log.flush_all().unwrap();
         assert_eq!(LogManager::read_all(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn txn_records_round_trip() {
+        let path = tmp("txn-roundtrip");
+        let log = LogManager::create(&path).unwrap();
+        let records = vec![
+            LogRecord::TxnBegin { txn: 7 },
+            LogRecord::TxnInsert {
+                txn: 7,
+                parent: 42,
+                xml: "<bid><price>3.5</price></bid>".to_string(),
+            },
+            LogRecord::TxnDelete {
+                txn: 7,
+                node: 13,
+                undo_xml: "<closed_auction/>".to_string(),
+            },
+            LogRecord::TxnSetText {
+                txn: 7,
+                node: 99,
+                old: "old text".to_string(),
+                new: "new text".to_string(),
+            },
+            LogRecord::TxnSetAttr {
+                txn: 7,
+                node: 5,
+                name: "id".to_string(),
+                old: None,
+                new: "person999".to_string(),
+            },
+            LogRecord::TxnSetAttr {
+                txn: 7,
+                node: 5,
+                name: "income".to_string(),
+                old: Some("10.0".to_string()),
+                new: "20.0".to_string(),
+            },
+            LogRecord::TxnCommit { txn: 7 },
+        ];
+        for rec in &records {
+            log.append(rec);
+        }
+        log.flush_all().unwrap();
+        assert_eq!(LogManager::read_all(&path).unwrap(), records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_prefix_tolerates_a_torn_tail() {
+        let path = tmp("prefix-torn");
+        let log = LogManager::create(&path).unwrap();
+        let boundary = log.append(&LogRecord::TxnBegin { txn: 1 });
+        log.append(&LogRecord::TxnCommit { txn: 1 });
+        log.flush_all().unwrap();
+        drop(log);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (records, valid) = LogManager::read_prefix(&path).unwrap();
+        assert_eq!(records, vec![LogRecord::TxnBegin { txn: 1 }]);
+        assert_eq!(valid, boundary, "prefix ends at the last whole record");
         std::fs::remove_file(&path).unwrap();
     }
 

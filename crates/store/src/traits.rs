@@ -229,6 +229,38 @@ pub trait XmlStore: Send + Sync {
         None
     }
 
+    // ---- versioning / write hooks ---------------------------------------
+
+    /// Monotonic content version of the data this store serves.
+    ///
+    /// Every bulkloaded backend is immutable and permanently at epoch 0.
+    /// MVCC snapshot overlays (the `xmark-txn` crate) report the commit
+    /// epoch of the version they pin, so two handles with equal epochs
+    /// serve byte-identical content. Plan caches key compiled artifacts
+    /// on `(epoch, query text)` — a commit invalidates cached plans by
+    /// changing the epoch, never by mutating the cache.
+    fn content_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Total-order key for document-order comparison (`Q4`'s `BEFORE`).
+    ///
+    /// Bulkloaded backends number nodes in document pre-order, so the id
+    /// itself is the key. Snapshot overlays assign fresh ids *above* the
+    /// base range to inserted nodes and override this with an order rank
+    /// that interleaves them correctly.
+    fn doc_order_key(&self, n: Node) -> u64 {
+        n.0 as u64
+    }
+
+    /// The durable write-ahead log the transaction commit protocol must
+    /// append redo/undo records through before publishing a commit.
+    /// `None` (the default) means the backend is RAM-resident and commits
+    /// need no durability step; backend H returns its WAL.
+    fn txn_wal(&self) -> Option<&crate::paged::LogManager> {
+        None
+    }
+
     /// Tag name for elements, `None` for text nodes.
     fn tag_of(&self, n: Node) -> Option<&str>;
 
@@ -465,5 +497,26 @@ pub trait XmlStore: Send + Sync {
             rows: self.compile_step(tag) as u64,
             exact: self.planner_caps().exact_statistics,
         }
+    }
+}
+
+/// A handle that resolves the *current* consistent store version on
+/// demand — the seam between the read path and the transaction layer.
+///
+/// The concurrent `QueryService` holds one of these instead of a fixed
+/// `Arc<dyn XmlStore>`: each request calls [`StoreSource::snapshot`]
+/// once and executes entirely against the pinned version, so readers
+/// never block on (or observe half of) a concurrent commit. A plain
+/// shared store is its own source (the blanket impl below); the
+/// `xmark-txn` crate's `VersionedStore` returns its latest published
+/// snapshot.
+pub trait StoreSource: Send + Sync {
+    /// Pin and return the current version. Cheap (an `Arc` clone).
+    fn snapshot(&self) -> std::sync::Arc<dyn XmlStore>;
+}
+
+impl StoreSource for std::sync::Arc<dyn XmlStore> {
+    fn snapshot(&self) -> std::sync::Arc<dyn XmlStore> {
+        std::sync::Arc::clone(self)
     }
 }

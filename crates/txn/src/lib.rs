@@ -1,0 +1,98 @@
+//! The transaction subsystem: structural updates over the read-only
+//! XMark stores, with MVCC snapshot isolation and WAL-backed recovery.
+//!
+//! XMark models a live auction site, but every backend bulkloads an
+//! immutable document. This crate adds the write path **without
+//! touching the bulkloaded data**: a [`VersionedStore`] wraps any
+//! backend and layers committed changes on top of it as an immutable
+//! delta, so the eight storage architectures keep their read-optimized
+//! layouts while the document evolves.
+//!
+//! # The snapshot/commit protocol
+//!
+//! ```text
+//!             readers                       one writer at a time
+//!    ┌──────────────────────┐      ┌────────────────────────────────┐
+//!    │ snapshot() ──► Arc ──┼──┐   │ begin() ──► Transaction (ops)  │
+//!    │   pin epoch N        │  │   │ commit():                      │
+//!    └──────────────────────┘  │   │   1. re-check epoch (conflict) │
+//!        never blocks,         │   │   2. apply ops to a *copy* of  │
+//!        never sees N+1        │   │      the delta (O(changes))    │
+//!        mid-request           │   │   3. maintain indexes          │
+//!                              │   │   4. WAL append + force (H)    │
+//!                              └── │   5. publish epoch N+1         │
+//!                                  └────────────────────────────────┘
+//! ```
+//!
+//! * **Readers never block.** [`VersionedStore::snapshot`] clones an
+//!   `Arc` to the currently published [`SnapshotStore`] — an immutable
+//!   (base, delta) overlay implementing [`xmark_store::XmlStore`]. A
+//!   request pins one snapshot and executes entirely against it; a
+//!   concurrent commit publishes a *new* snapshot and never mutates a
+//!   pinned one, so torn reads are impossible by construction.
+//! * **Writers are serialized** by a commit mutex (single-writer MVCC).
+//!   A transaction buffers its operations — [`Transaction::insert_subtree`],
+//!   [`Transaction::delete_subtree`], [`Transaction::replace_text`],
+//!   [`Transaction::replace_attr`] — and validates + applies them at
+//!   commit. First-committer-wins: a commit whose start epoch is stale
+//!   fails with [`TxnError::Conflict`] instead of publishing over a
+//!   concurrent change.
+//! * **Commits maintain indexes incrementally.** The successor
+//!   snapshot's [`xmark_store::IndexManager`] is *seeded* from the
+//!   predecessor's: element postings are spliced per touched tag
+//!   (copy-on-write, `O(touched lists)`), built attribute indexes are
+//!   upserted, `cvals` typed-value slots are patched surgically, and
+//!   every other value slot (join build sides, lookup indexes, path
+//!   materializations) survives **iff** its planner signature mentions
+//!   no touched tag or attribute name — signature-keyed invalidation
+//!   instead of a full rebuild.
+//! * **Durability on backend H.** When the base store exposes a WAL
+//!   ([`xmark_store::XmlStore::txn_wal`]), commit appends logical
+//!   redo/undo records (`TxnBegin … TxnCommit`) and forces the log
+//!   *before* publishing. The protocol is no-steal (uncommitted state
+//!   lives only in writer-private memory) and no-force for data pages
+//!   (bulkloaded pages stay immutable), so [`recover_paged`] after a
+//!   crash is exactly: truncate the torn log tail at the last record
+//!   boundary, reopen the page file, and replay the transactions whose
+//!   `TxnCommit` made it to disk — in log order, with deterministic
+//!   id/rank allocation reproducing the pre-crash snapshot.
+//!
+//! # Document order under inserts
+//!
+//! Inserted nodes get fresh ids *above* the base id range, so raw id
+//! comparison no longer encodes document order. Every node instead has
+//! a `u64` **order rank** — base node `n` at `n << 32`, inserted nodes
+//! at ranks subdivided into the gap between their predecessor and
+//! successor (rebalanced within a base gap when a run of appends
+//! exhausts it). [`SnapshotStore`] surfaces the rank through
+//! [`xmark_store::XmlStore::doc_order_key`]; posting lists stay sorted
+//! by rank; `Q4`'s `<<` compares ranks.
+//!
+//! Subtree *stabbing* (the `ordered` element-index fast path) is the
+//! one structure inserts degrade: after the first insert the seeded
+//! index reports `ordered() == false` and executors fall back to the
+//! streamed axis cursors — exactly what a rebuild-from-scratch over the
+//! snapshot would report, which is what makes the incremental index
+//! answer-identical to a rebuilt one (the oracle test's hinge).
+//! Deletion-only histories keep `ordered() == true`: deleted ids are
+//! absent from the postings and the stale subtree-end bounds only widen
+//! stab ranges over ids that no longer exist.
+
+mod delta;
+mod indexes;
+mod recovery;
+mod snapshot;
+mod versioned;
+
+pub use recovery::{recover_paged, RecoveryReport};
+pub use snapshot::SnapshotStore;
+pub use versioned::{CommitInfo, Transaction, TxnError, VersionedStore};
+
+// Compile-time Send+Sync roster for this crate's XmlStore implementor
+// (the store crate's R6 roster cannot name it without a dependency
+// cycle, so the assertion lives here).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SnapshotStore>();
+    assert_send_sync::<VersionedStore>();
+};
