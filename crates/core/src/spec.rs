@@ -11,12 +11,12 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use xmark_gen::{GenStats, Generator, GeneratorConfig};
+use xmark_gen::{generate_sharded, GenStats, Generator, GeneratorConfig};
 use xmark_query::{
-    compile, execute, parse_query, verify_plan_against, CompileStats, Compiled, PlanMode,
+    compile, execute_scattered, parse_query, verify_plan_against, CompileStats, Compiled, PlanMode,
     ResultStream, Sequence, StreamStats, VerifyReport,
 };
-use xmark_store::{build_store, PagedStore, SystemId, XmlStore, DEFAULT_POOL_PAGES};
+use xmark_store::{build_store, PagedStore, ShardedStore, SystemId, XmlStore, DEFAULT_POOL_PAGES};
 use xmark_txn::VersionedStore;
 
 use crate::queries::query;
@@ -273,8 +273,11 @@ pub fn canonical_output(store: &dyn XmlStore, number: usize) -> String {
     let q = query(number);
     let compiled =
         compile(q.text, store).unwrap_or_else(|e| panic!("Q{number} failed to compile: {e}"));
-    let result =
-        execute(&compiled, store).unwrap_or_else(|e| panic!("Q{number} failed to execute: {e}"));
+    // `execute_scattered` fans the plan out across shard parts when the
+    // store is a sharded union and falls through to the sequential
+    // executor otherwise — one entry point for both deployments.
+    let result = execute_scattered(&compiled, store)
+        .unwrap_or_else(|e| panic!("Q{number} failed to execute: {e}"));
     xmark_query::canonicalize(store, &result)
 }
 
@@ -306,12 +309,15 @@ impl PreparedQuery {
     }
 
     /// Execute the prepared plan (no parse, no plan), materializing the
-    /// whole result — a thin wrapper draining [`PreparedQuery::stream`].
+    /// whole result. On a sharded union store the shard-parallel plans
+    /// scatter across the shard parts and merge
+    /// ([`xmark_query::execute_scattered`]); on a monolithic store this
+    /// is the plain sequential drain.
     ///
     /// # Panics
     /// Panics on evaluation errors, mirroring the façade's other helpers.
     pub fn execute(&self) -> Sequence {
-        execute(&self.compiled, self.store.as_ref())
+        execute_scattered(&self.compiled, self.store.as_ref())
             .unwrap_or_else(|e| panic!("prepared query failed to execute: {e}"))
     }
 
@@ -645,6 +651,96 @@ impl Session {
     /// concurrent service layer consumes.
     pub fn load_shared(&self, system: SystemId) -> Arc<dyn XmlStore> {
         Arc::from(self.load(system).store)
+    }
+
+    /// Re-generate this session's document as `entity_shards` shard files
+    /// plus the global head (entity content byte-identical to the
+    /// monolithic document — per-entity RNG streams make the split exact)
+    /// and bulkload each into its own `system` store under a
+    /// [`ShardedStore`] union view. Shard-parallel plans executed through
+    /// the session façade or the service scatter across the shards.
+    ///
+    /// # Panics
+    /// Panics if a shard document fails to parse or the shard skeletons
+    /// mismatch — both would be generator bugs.
+    pub fn load_sharded(&self, system: SystemId, entity_shards: usize) -> LoadedStore {
+        let start = Instant::now();
+        let files = generate_sharded(&GeneratorConfig::at_factor(self.factor), entity_shards);
+        let docs: Vec<&str> = files.iter().map(|f| f.content.as_str()).collect();
+        let store =
+            ShardedStore::load(system, &docs).expect("sharded benchmark documents must load");
+        let load_time = start.elapsed();
+        let size_bytes = store.size_bytes();
+        LoadedStore {
+            system,
+            store: Box::new(store),
+            load_time,
+            size_bytes,
+        }
+    }
+
+    /// [`Session::load_sharded`] behind an `Arc`, for the service layer.
+    pub fn load_sharded_shared(&self, system: SystemId, entity_shards: usize) -> Arc<dyn XmlStore> {
+        Arc::from(self.load_sharded(system, entity_shards).store)
+    }
+
+    /// Sharded deployment of the disk-resident backend H: each shard
+    /// document is bulkloaded into its **own page file**, closed, and
+    /// re-opened **cold** — the union starts with every buffer pool empty
+    /// and only the per-shard header/catalog pages read, exactly how a
+    /// scale-out H deployment would boot. `pool_pages` is the frame
+    /// budget **per shard** (`None` = [`DEFAULT_POOL_PAGES`]); the page
+    /// files are deleted when the union drops.
+    ///
+    /// # Panics
+    /// Panics on generator bugs (shard documents failing to parse) or
+    /// scratch-file I/O failure, mirroring [`Session::load_paged`].
+    pub fn load_sharded_paged(
+        &self,
+        entity_shards: usize,
+        pool_pages: Option<usize>,
+    ) -> LoadedStore {
+        let start = Instant::now();
+        let files = generate_sharded(&GeneratorConfig::at_factor(self.factor), entity_shards);
+        let budget = pool_pages.unwrap_or(DEFAULT_POOL_PAGES);
+        let dir = xmark_store::paged::scratch_dir();
+        static SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+        let union_id = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut shards: Vec<Box<dyn XmlStore>> = Vec::with_capacity(files.len());
+        for (k, file) in files.iter().enumerate() {
+            let doc = xmark_xml::parse_document(&file.content).expect("shard document must parse");
+            let path = dir.join(format!(
+                "shard-{}-{union_id}-{k:03}.pages",
+                std::process::id()
+            ));
+            // Bulkload, drop (flushing every page), then open cold: the
+            // pool the union queries through starts empty.
+            drop(PagedStore::create_at(&path, &doc, budget).expect("shard page file bulkload"));
+            let mut shard = PagedStore::open(&path, budget).expect("shard page file cold open");
+            shard.mark_ephemeral();
+            shards.push(Box::new(shard));
+        }
+        let store = ShardedStore::from_shards(shards).expect("shard skeletons must match");
+        let load_time = start.elapsed();
+        let size_bytes = store.size_bytes();
+        LoadedStore {
+            system: SystemId::H,
+            store: Box::new(store),
+            load_time,
+            size_bytes,
+        }
+    }
+
+    /// Spawn a [`QueryService`] worker pool over a sharded `system`
+    /// deployment with `entity_shards` shards: workers take per-shard
+    /// warmup affinity and shard-parallel plans scatter per request.
+    pub fn serve_sharded(
+        &self,
+        system: SystemId,
+        entity_shards: usize,
+        workers: usize,
+    ) -> QueryService {
+        QueryService::start(self.load_sharded_shared(system, entity_shards), workers)
     }
 
     /// Bulkload `system` and eagerly warm its shared store-resident
@@ -992,6 +1088,48 @@ mod tests {
                 "Q{q} output differs between D and G"
             );
         }
+    }
+
+    #[test]
+    fn sharded_session_matches_monolithic_outputs() {
+        let session = Benchmark::at_factor(0.001).generate();
+        let mono = session.load(SystemId::A);
+        let sharded = session.load_sharded(SystemId::A, 2);
+        assert_eq!(
+            sharded.system,
+            SystemId::A,
+            "union reports its shard backend"
+        );
+        assert!(
+            sharded.store.shard_part_count() >= 3,
+            "head + 2 entity shards"
+        );
+        // One query per scatter mode: doc-order path (Q6 count is Gather,
+        // use a path via Q1's lookup instead), append FLWOR, sum, gather.
+        for q in [1, 5, 8, 19] {
+            assert_eq!(
+                canonical_output(sharded.store.as_ref(), q),
+                canonical_output(mono.store.as_ref(), q),
+                "Q{q} differs sharded vs monolithic"
+            );
+        }
+        // The prepared-query façade scatters through the same entry point.
+        let shared: Arc<dyn XmlStore> = Arc::from(sharded.store);
+        let prepared = PreparedQuery::new(shared, query(5).text);
+        assert!(!prepared.execute().is_empty(), "Q5 count lands via scatter");
+    }
+
+    #[test]
+    fn sharded_paged_session_opens_cold_per_shard() {
+        let session = Benchmark::at_factor(0.001).generate();
+        let mono = session.load(SystemId::A);
+        let sharded = session.load_sharded_paged(2, Some(64));
+        assert_eq!(sharded.system, SystemId::H);
+        assert_eq!(
+            canonical_output(sharded.store.as_ref(), 6),
+            canonical_output(mono.store.as_ref(), 6),
+            "Q6 differs on cold sharded H"
+        );
     }
 
     #[test]

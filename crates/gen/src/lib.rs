@@ -35,6 +35,6 @@ mod writer;
 pub use generator::{generate_into, generate_string, GenStats, Generator, GeneratorConfig};
 pub use rng::XmarkRng;
 pub use schema::{Cardinalities, AUCTION_DTD};
-pub use split::{generate_split, SplitFile};
+pub use split::{generate_sharded, generate_split, shard_range, SplitFile, SITE_SECTIONS};
 pub use text::Vocabulary;
 pub use writer::XmlWriter;

@@ -98,6 +98,106 @@ pub fn generate_split(config: &GeneratorConfig, entities_per_file: usize) -> Vec
     files
 }
 
+// ---- sharded generation --------------------------------------------------
+
+/// The `<site>` section tags in document order — the layout contract the
+/// sharded store relies on (every shard document carries all six, empty
+/// where the shard owns nothing).
+pub const SITE_SECTIONS: [&str; 6] = [
+    "regions",
+    "categories",
+    "catgraph",
+    "people",
+    "open_auctions",
+    "closed_auctions",
+];
+
+/// Balanced contiguous entity range `[start, end)` owned by shard `k` of
+/// `n` (0-based). Ranges tile `0..total` exactly and differ in size by at
+/// most one.
+pub fn shard_range(total: usize, n: usize, k: usize) -> (usize, usize) {
+    assert!(n > 0 && k < n, "shard index out of range");
+    (total * k / n, total * (k + 1) / n)
+}
+
+/// Generate one logical benchmark database as `shards + 1` complete
+/// `<site>` documents: file 0 is the **global head shard** (the full
+/// `regions`/`categories`/`catgraph` sections every query may touch),
+/// files `1..=shards` are **entity shards** holding balanced contiguous
+/// ranges of the `person`/`open_auction`/`closed_auction` entities.
+///
+/// Every document has the same six-section skeleton (unowned sections are
+/// empty elements), and because each entity is generated from its own
+/// named random stream (see [`crate::generator`]), concatenating the
+/// shards' section contents in shard order reproduces the monolithic
+/// document's sections byte-for-byte — the invariant the sharded store's
+/// union view is built on.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn generate_sharded(config: &GeneratorConfig, shards: usize) -> Vec<SplitFile> {
+    assert!(shards > 0, "shards must be positive");
+    let generator = Generator::new(config.clone());
+    let cards = generator.cardinalities().clone();
+    let mut files = Vec::new();
+
+    for k in 0..=shards {
+        let mut buf = Vec::new();
+        let mut w = XmlWriter::new(&mut buf);
+        w.declaration().expect("vec write");
+        w.open("site").expect("vec write");
+        if k == 0 {
+            // The global head: shared reference data, no entities.
+            generator.write_regions(&mut w).expect("vec write");
+            generator.write_categories(&mut w).expect("vec write");
+            generator.write_catgraph(&mut w).expect("vec write");
+            w.empty("people", &[]).expect("vec write");
+            w.empty("open_auctions", &[]).expect("vec write");
+            w.empty("closed_auctions", &[]).expect("vec write");
+        } else {
+            w.empty("regions", &[]).expect("vec write");
+            w.empty("categories", &[]).expect("vec write");
+            w.empty("catgraph", &[]).expect("vec write");
+            let entity_section = |w: &mut XmlWriter<&mut Vec<u8>>,
+                                  tag: &'static str,
+                                  total: usize,
+                                  write_entity: &EntityWriter| {
+                let (start, end) = shard_range(total, shards, k - 1);
+                w.open(tag).expect("vec write");
+                for i in start..end {
+                    write_entity(&generator, w, i).expect("vec write");
+                }
+                w.close().expect("vec write");
+            };
+            entity_section(&mut w, "people", cards.persons, &|g, w, i| {
+                g.write_person(w, i)
+            });
+            entity_section(&mut w, "open_auctions", cards.open_auctions, &|g, w, i| {
+                g.write_open_auction(w, i)
+            });
+            entity_section(
+                &mut w,
+                "closed_auctions",
+                cards.closed_auctions,
+                &|g, w, i| g.write_closed_auction(w, i),
+            );
+        }
+        w.close().expect("vec write");
+        w.newline().expect("vec write");
+        w.finish().expect("vec write");
+        let name = if k == 0 {
+            "shard_global.xml".to_string()
+        } else {
+            format!("shard_{:03}.xml", k - 1)
+        };
+        files.push(SplitFile {
+            name,
+            content: String::from_utf8(buf).expect("generator emits ASCII"),
+        });
+    }
+    files
+}
+
 // Re-export the stream labels privately needed above.
 #[allow(unused_imports)]
 use streams as _streams_doc;

@@ -5,6 +5,20 @@ use proptest::prelude::*;
 
 use xmark_gen::{generate_split, generate_string, Cardinalities, GeneratorConfig, XmarkRng};
 
+/// The `id` attributes of `entity`-tagged elements inside the root child
+/// named `section`, in document order.
+fn section_entity_ids(doc: &xmark_xml::Document, section: &str, entity: &str) -> Vec<String> {
+    let root = doc.root_element();
+    let sec = doc
+        .descendants(root)
+        .find(|&n| doc.is_element(n) && doc.tag_name(n) == section)
+        .unwrap_or_else(|| panic!("no <{section}> section"));
+    doc.descendants(sec)
+        .filter(|&n| doc.is_element(n) && doc.tag_name(n) == entity)
+        .filter_map(|n| doc.attribute(n, "id").map(str::to_string))
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -55,6 +69,39 @@ proptest! {
                 prop_assert!(whole.contains(&file.content[start..start + end]));
             }
         }
+    }
+
+    #[test]
+    fn sharded_partition_covers_every_entity_exactly_once(
+        seed in any::<u64>(),
+        factor in 0.0002f64..0.0015,
+        shards in 1usize..9,
+    ) {
+        let cfg = GeneratorConfig { factor, seed };
+        let whole = generate_string(&cfg);
+        let wdoc = xmark_xml::parse_document(&whole).unwrap();
+        let files = xmark_gen::generate_sharded(&cfg, shards);
+        prop_assert_eq!(files.len(), shards + 1);
+        // Per entity section: concatenating the shards' entity ids in
+        // shard order must reproduce the monolithic list exactly — every
+        // entity exactly once, document order preserved within each shard.
+        for (section, entity) in [
+            ("people", "person"),
+            ("open_auctions", "open_auction"),
+            ("closed_auctions", "closed_auction"),
+        ] {
+            let whole_ids = section_entity_ids(&wdoc, section, entity);
+            let mut sharded_ids = Vec::new();
+            for f in &files[1..] {
+                let doc = xmark_xml::parse_document(&f.content).unwrap();
+                sharded_ids.extend(section_entity_ids(&doc, section, entity));
+            }
+            prop_assert_eq!(sharded_ids, whole_ids);
+        }
+        // The global head shard carries every item exactly once.
+        let gdoc = xmark_xml::parse_document(&files[0].content).unwrap();
+        let whole_items = section_entity_ids(&wdoc, "regions", "item");
+        prop_assert_eq!(section_entity_ids(&gdoc, "regions", "item"), whole_items);
     }
 
     #[test]

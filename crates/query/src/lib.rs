@@ -153,6 +153,7 @@ pub mod parse;
 pub mod plan;
 pub mod planner;
 pub mod result;
+pub mod scatter;
 pub mod stream;
 pub mod verify;
 
@@ -162,7 +163,9 @@ pub use compile::{
 pub use eval::{ebv, EvalError, Evaluator};
 pub use explain::explain_plan;
 pub use parse::{parse_query, ParseError};
-pub use plan::{PhysicalPlan, PlanMode};
+pub use plan::{shard_mode, PhysicalPlan, PlanMode, ShardMode};
+pub use scatter::execute_scattered;
+
 pub use result::{
     atomize, canonicalize, serialize_sequence, write_item, write_sequence, IoSink, Item, Sequence,
 };

@@ -9,7 +9,7 @@
 //! cardinalities, the canonical signature functions) and compares it with
 //! what the plan records.
 //!
-//! The ten invariants:
+//! The eleven invariants:
 //!
 //! | code | name            | what it pins |
 //! |------|-----------------|--------------|
@@ -23,6 +23,7 @@
 //! | V8   | card-consistent | cardinality annotations agree with each other and with exact posting counts |
 //! | V9   | var-scope       | every variable reference resolves to an enclosing binding |
 //! | V10  | batch-supported | `[batch=N]` annotations appear exactly where the operator has a native vectorized drain ([`batch_eligible`]) and carry the canonical capacity |
+//! | V11  | shard-merge     | the scatter-gather annotation equals [`shard_mode`] recomputed on the body — a merge operator is declared iff the plan is *not* gather-required, and it is the right one |
 //!
 //! [`compile_with_mode`](crate::compile::compile_with_mode) runs the
 //! verifier on every plan in debug builds (`debug_assertions`); release
@@ -61,11 +62,13 @@ pub enum Invariant {
     VarScope,
     /// V10: batch annotations appear exactly where supported.
     BatchSupported,
+    /// V11: the shard annotation equals its recomputed classification.
+    ShardMerge,
 }
 
 impl Invariant {
-    /// All invariants, in V1…V10 order.
-    pub const ALL: [Invariant; 10] = [
+    /// All invariants, in V1…V11 order.
+    pub const ALL: [Invariant; 11] = [
         Invariant::CapsAccess,
         Invariant::DensityGate,
         Invariant::NaivePurity,
@@ -76,6 +79,7 @@ impl Invariant {
         Invariant::CardConsistent,
         Invariant::VarScope,
         Invariant::BatchSupported,
+        Invariant::ShardMerge,
     ];
 
     /// Stable short code (`"V1"`…`"V10"`).
@@ -91,6 +95,7 @@ impl Invariant {
             Invariant::CardConsistent => "V8",
             Invariant::VarScope => "V9",
             Invariant::BatchSupported => "V10",
+            Invariant::ShardMerge => "V11",
         }
     }
 
@@ -107,6 +112,7 @@ impl Invariant {
             Invariant::CardConsistent => "card-consistent",
             Invariant::VarScope => "var-scope",
             Invariant::BatchSupported => "batch-supported",
+            Invariant::ShardMerge => "shard-merge",
         }
     }
 
@@ -152,7 +158,7 @@ impl std::fmt::Display for Violation {
 /// and every violation found.
 #[derive(Debug, Clone, Default)]
 pub struct VerifyReport {
-    checks: [usize; 10],
+    checks: [usize; 11],
     /// All violations, in plan-walk order.
     pub violations: Vec<Violation>,
 }
@@ -241,6 +247,14 @@ fn run(plan: &PhysicalPlan, store: &dyn XmlStore, query: Option<&Query>) -> Veri
     }
     v.path.push("body".to_string());
     v.expr(&plan.body);
+    let expected = shard_mode(&plan.body);
+    v.check(Invariant::ShardMerge, plan.shard == expected, || {
+        format!(
+            "plan annotated `{}` but the body classifies as `{}` \
+             (merge operator present iff not gather-required)",
+            plan.shard, expected
+        )
+    });
     v.path.pop();
     if let Some(query) = query {
         v.sort_presence(query, plan);

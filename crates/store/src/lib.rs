@@ -47,6 +47,7 @@ pub mod interval;
 pub mod loader;
 pub mod naive;
 pub mod paged;
+pub mod shard;
 pub mod summary;
 pub mod sync;
 pub mod traits;
@@ -58,7 +59,8 @@ pub use index::{AttrIndex, ChildValues, ElementIndex, IndexManager, IndexStats};
 pub use inlined::InlinedStore;
 pub use interval::IntervalStore;
 pub use naive::NaiveStore;
-pub use paged::{PagedStore, PoolStats, DEFAULT_POOL_PAGES};
+pub use paged::{PagedStore, PoolStats, ReplacerKind, DEFAULT_POOL_PAGES};
+pub use shard::{ShardError, ShardedStore};
 pub use summary::SummaryStore;
 pub use traits::{Node, PlannerCaps, PositionSpec, StepEstimate, StoreSource, SystemId, XmlStore};
 
@@ -76,6 +78,7 @@ const _: () = {
     assert_send_sync::<IntervalStore>();
     assert_send_sync::<NaiveStore>();
     assert_send_sync::<PagedStore>();
+    assert_send_sync::<ShardedStore>();
     assert_send_sync::<Box<dyn XmlStore>>();
     assert_send_sync::<std::sync::Arc<dyn XmlStore>>();
 };

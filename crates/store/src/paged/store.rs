@@ -34,7 +34,7 @@ use crate::index::IndexManager;
 use crate::loader::{parent_array, subtree_ends, NONE};
 use crate::traits::{Node, PlannerCaps, SystemId, XmlStore};
 
-use super::buffer::{BufferPool, PageGuard, PoolStats};
+use super::buffer::{BufferPool, PageGuard, PoolStats, ReplacerKind};
 use super::file::FileManager;
 use super::layout::{le_u16, le_u32, Catalog, Header, NodeRec, NODES_PER_PAGE, TEXT_CHUNK};
 use super::page::{PageId, PageKind};
@@ -137,6 +137,20 @@ impl PagedStore {
     /// # Errors
     /// I/O failure creating or writing the files.
     pub fn create_at(path: &Path, doc: &Document, pool_pages: usize) -> io::Result<PagedStore> {
+        PagedStore::create_at_with(path, doc, pool_pages, ReplacerKind::default())
+    }
+
+    /// [`PagedStore::create_at`] with an explicit pool replacement
+    /// policy (see [`ReplacerKind`]).
+    ///
+    /// # Errors
+    /// I/O failure creating or writing the files.
+    pub fn create_at_with(
+        path: &Path,
+        doc: &Document,
+        pool_pages: usize,
+        replacer: ReplacerKind,
+    ) -> io::Result<PagedStore> {
         let n = doc.node_count();
         let parent = parent_array(doc);
         let end = subtree_ends(doc);
@@ -169,10 +183,11 @@ impl PagedStore {
         let wal_path = wal_path_for(path);
         let wal = Arc::new(LogManager::create(&wal_path)?);
         wal.append(&LogRecord::BeginBulkLoad { nodes: n as u32 });
-        let pool = BufferPool::new(
+        let pool = BufferPool::with_replacer(
             FileManager::create(path)?,
             Some(Arc::clone(&wal)),
             pool_pages,
+            replacer,
         );
 
         // Page 0 is the header; its contents are written *last* so a
@@ -321,6 +336,18 @@ impl PagedStore {
     /// header, or checksum mismatches on the pages read here; plain I/O
     /// errors otherwise.
     pub fn open(path: &Path, pool_pages: usize) -> io::Result<PagedStore> {
+        PagedStore::open_with(path, pool_pages, ReplacerKind::default())
+    }
+
+    /// [`PagedStore::open`] with an explicit pool replacement policy.
+    ///
+    /// # Errors
+    /// As [`PagedStore::open`].
+    pub fn open_with(
+        path: &Path,
+        pool_pages: usize,
+        replacer: ReplacerKind,
+    ) -> io::Result<PagedStore> {
         let wal_path = wal_path_for(path);
         let records = LogManager::read_all(&wal_path)?;
         if !records
@@ -333,7 +360,12 @@ impl PagedStore {
             )));
         }
         let wal = Arc::new(LogManager::open(&wal_path)?);
-        let pool = BufferPool::new(FileManager::open(path)?, Some(Arc::clone(&wal)), pool_pages);
+        let pool = BufferPool::with_replacer(
+            FileManager::open(path)?,
+            Some(Arc::clone(&wal)),
+            pool_pages,
+            replacer,
+        );
         let header = {
             let g = pool.pin(0)?;
             let page = g.read();
@@ -385,6 +417,19 @@ impl PagedStore {
     /// Propagates XML parse errors. Scratch-file I/O failure is
     /// environmental and panics.
     pub fn load_temp(xml: &str, pool_pages: usize) -> Result<PagedStore, xmark_xml::Error> {
+        PagedStore::load_temp_with(xml, pool_pages, ReplacerKind::default())
+    }
+
+    /// [`PagedStore::load_temp`] with an explicit pool replacement
+    /// policy.
+    ///
+    /// # Errors
+    /// As [`PagedStore::load_temp`].
+    pub fn load_temp_with(
+        xml: &str,
+        pool_pages: usize,
+        replacer: ReplacerKind,
+    ) -> Result<PagedStore, xmark_xml::Error> {
         static SEQ: AtomicU32 = AtomicU32::new(0);
         let doc = xmark_xml::parse_document(xml)?;
         let path = super::scratch_dir().join(format!(
@@ -392,7 +437,7 @@ impl PagedStore {
             std::process::id(),
             SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        let mut store = PagedStore::create_at(&path, &doc, pool_pages)
+        let mut store = PagedStore::create_at_with(&path, &doc, pool_pages, replacer)
             .unwrap_or_else(|e| panic!("scratch page store at {}: {e}", path.display()));
         store.ephemeral = true;
         Ok(store)
@@ -422,6 +467,13 @@ impl PagedStore {
     /// stores delete them by default).
     pub fn persist(&mut self) {
         self.ephemeral = false;
+    }
+
+    /// Delete the page + WAL files when this store drops — the inverse of
+    /// [`PagedStore::persist`], for stores created at explicit scratch
+    /// paths (per-shard page files) that should not outlive their union.
+    pub fn mark_ephemeral(&mut self) {
+        self.ephemeral = true;
     }
 
     // ---- page reads ------------------------------------------------------
